@@ -1,0 +1,65 @@
+//! `stcc` — **S**elf-**T**uned **C**ongestion **C**ontrol for multiprocessor
+//! networks, reproducing Thottethodi, Lebeck & Mukherjee (HPCA 2001).
+//!
+//! The paper prevents wormhole-network saturation by **source throttling**
+//! driven by two mechanisms:
+//!
+//! 1. **Global congestion estimation** ([`SelfTuned`], backed by the
+//!    [`sideband`] crate): every node learns the network-wide count of full
+//!    VC buffers through a dedicated side-band, linearly extrapolates the
+//!    delayed snapshots, and blocks new-packet injection while the estimate
+//!    exceeds a threshold.
+//! 2. **Self-tuning of that threshold** ([`TuneConfig`], [`decide`]): a
+//!    hill-climbing loop evaluates the tuning decision table (Table 1) once
+//!    per tuning period on global throughput feedback, plus a
+//!    local-maximum-avoidance rule that restores the conditions of the best
+//!    throughput seen so far and forgets a stale maximum after `r`
+//!    consecutive corrections.
+//!
+//! Alongside the paper's scheme this crate implements its comparison
+//! points: [`wormsim::NoControl`] (the `Base` curves), the locally-estimated
+//! [`AloControl`] of Baydal et al., and fixed-threshold throttling
+//! ([`StaticThreshold`], Figure 5), and a [`Simulation`] facade that wires a
+//! network, a workload and a policy together and measures what the paper
+//! plots.
+//!
+//! # Quick start
+//!
+//! ```
+//! use stcc::{Scheme, SimConfig, Simulation};
+//! use traffic::{Pattern, Process, Workload};
+//! use wormsim::{DeadlockMode, NetConfig};
+//!
+//! let cfg = SimConfig {
+//!     net: NetConfig::small(DeadlockMode::Avoidance),
+//!     workload: Workload::steady(Pattern::UniformRandom, Process::bernoulli(0.005)),
+//!     scheme: Scheme::tuned_paper(),
+//!     cycles: 20_000,
+//!     warmup: 4_000,
+//!     seed: 1,
+//! };
+//! let mut sim = Simulation::new(cfg)?;
+//! sim.run_to_end();
+//! let s = sim.summary();
+//! assert!(s.delivered_packets > 0);
+//! # Ok::<(), stcc::SimError>(())
+//! ```
+
+mod alo;
+mod scheme;
+mod sim;
+mod statik;
+mod tuned;
+
+pub use alo::AloControl;
+pub use scheme::Scheme;
+pub use sim::{SimConfig, SimError, Simulation};
+pub use statik::StaticThreshold;
+pub use tuned::{decide, SelfTuned, TuneAction, TuneConfig};
+
+/// Convenience re-exports for downstream users.
+pub mod prelude {
+    pub use crate::{Scheme, SimConfig, Simulation, TuneConfig};
+    pub use traffic::{Pattern, Process, Workload};
+    pub use wormsim::{DeadlockMode, NetConfig};
+}

@@ -1,0 +1,143 @@
+use crate::{AloControl, SelfTuned, StaticThreshold, TuneConfig};
+use sideband::SidebandConfig;
+use wormsim::{CongestionControl, Network, NoControl};
+
+/// A congestion-control scheme selector, covering every configuration the
+/// paper evaluates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scheme {
+    /// No congestion control (the paper's `Base`).
+    Base,
+    /// The At-Least-One local baseline.
+    Alo,
+    /// Globally informed throttling with a fixed threshold (Figure 5).
+    Static {
+        /// Threshold in full buffers.
+        threshold: u32,
+        /// Side-band parameters.
+        sideband: SidebandConfig,
+    },
+    /// The paper's self-tuned scheme.
+    Tuned(TuneConfig),
+}
+
+impl Scheme {
+    /// The self-tuned scheme with the paper's parameters.
+    #[must_use]
+    pub fn tuned_paper() -> Self {
+        Scheme::Tuned(TuneConfig::paper())
+    }
+
+    /// Label used in experiment tables (e.g. `static-250`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::Base => "base".to_owned(),
+            Scheme::Alo => "alo".to_owned(),
+            Scheme::Static { threshold, .. } => format!("static-{threshold}"),
+            Scheme::Tuned(_) => "tune".to_owned(),
+        }
+    }
+
+    /// Instantiates the controller.
+    #[must_use]
+    pub fn build(&self) -> Control {
+        match self {
+            Scheme::Base => Control::Base(NoControl),
+            Scheme::Alo => Control::Alo(AloControl::new()),
+            Scheme::Static { threshold, sideband } => {
+                Control::Static(StaticThreshold::new(*threshold, sideband.clone()))
+            }
+            Scheme::Tuned(cfg) => Control::Tuned(SelfTuned::new(cfg.clone())),
+        }
+    }
+}
+
+/// A constructed congestion controller (closed set, so simulations can still
+/// reach scheme-specific state such as the self-tuner's threshold).
+#[derive(Debug, Clone)]
+pub enum Control {
+    /// No control.
+    Base(NoControl),
+    /// At-Least-One baseline.
+    Alo(AloControl),
+    /// Fixed global threshold.
+    Static(StaticThreshold),
+    /// The paper's self-tuned controller.
+    Tuned(SelfTuned),
+}
+
+impl Control {
+    /// The self-tuned controller, if that is what this is.
+    #[must_use]
+    pub fn as_tuned(&self) -> Option<&SelfTuned> {
+        match self {
+            Control::Tuned(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl CongestionControl for Control {
+    fn on_cycle(&mut self, now: u64, net: &Network) {
+        match self {
+            Control::Base(c) => c.on_cycle(now, net),
+            Control::Alo(c) => c.on_cycle(now, net),
+            Control::Static(c) => c.on_cycle(now, net),
+            Control::Tuned(c) => c.on_cycle(now, net),
+        }
+    }
+
+    fn allow_injection(&mut self, now: u64, node: usize, dst: usize, net: &Network) -> bool {
+        match self {
+            Control::Base(c) => c.allow_injection(now, node, dst, net),
+            Control::Alo(c) => c.allow_injection(now, node, dst, net),
+            Control::Static(c) => c.allow_injection(now, node, dst, net),
+            Control::Tuned(c) => c.allow_injection(now, node, dst, net),
+        }
+    }
+
+    fn throttled_recently(&self) -> bool {
+        match self {
+            Control::Base(c) => c.throttled_recently(),
+            Control::Alo(c) => c.throttled_recently(),
+            Control::Static(c) => c.throttled_recently(),
+            Control::Tuned(c) => c.throttled_recently(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Control::Base(c) => c.name(),
+            Control::Alo(c) => c.name(),
+            Control::Static(c) => c.name(),
+            Control::Tuned(c) => c.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Scheme::Base.label(), "base");
+        assert_eq!(Scheme::Alo.label(), "alo");
+        assert_eq!(
+            Scheme::Static { threshold: 250, sideband: SidebandConfig::paper() }.label(),
+            "static-250"
+        );
+        assert_eq!(Scheme::tuned_paper().label(), "tune");
+    }
+
+    #[test]
+    fn build_produces_matching_controllers() {
+        assert!(matches!(Scheme::Base.build(), Control::Base(_)));
+        assert!(matches!(Scheme::Alo.build(), Control::Alo(_)));
+        let tuned = Scheme::tuned_paper().build();
+        assert!(tuned.as_tuned().is_some());
+        assert_eq!(tuned.name(), "tune");
+        assert!(Scheme::Base.build().as_tuned().is_none());
+    }
+}

@@ -1,0 +1,300 @@
+use crate::scheme::{Control, Scheme};
+use crate::SelfTuned;
+use core::fmt;
+use simstats::{LatencyStats, RunSummary};
+use traffic::{TrafficError, Workload, WorkloadRunner};
+use wormsim::{ConfigError, NetConfig, Network};
+
+/// Everything needed to run one simulation: a network, a workload, a
+/// congestion-control scheme and the measurement window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Network microarchitecture.
+    pub net: NetConfig,
+    /// Offered traffic.
+    pub workload: Workload,
+    /// Congestion-control policy.
+    pub scheme: Scheme,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Warm-up cycles excluded from all statistics (the paper ignores the
+    /// first 100 000 of 600 000).
+    pub warmup: u64,
+    /// Seed for the (deterministic) traffic generator.
+    pub seed: u64,
+}
+
+/// Error building a [`Simulation`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Invalid network configuration.
+    Net(ConfigError),
+    /// Invalid workload.
+    Traffic(TrafficError),
+    /// Warm-up must be shorter than the simulation.
+    WarmupTooLong {
+        /// Requested warm-up.
+        warmup: u64,
+        /// Requested total cycles.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Net(e) => write!(f, "network configuration: {e}"),
+            SimError::Traffic(e) => write!(f, "workload: {e}"),
+            SimError::WarmupTooLong { warmup, cycles } => {
+                write!(f, "warm-up ({warmup}) must be shorter than the run ({cycles})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Net(e) => Some(e),
+            SimError::Traffic(e) => Some(e),
+            SimError::WarmupTooLong { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Net(e)
+    }
+}
+
+impl From<TrafficError> for SimError {
+    fn from(e: TrafficError) -> Self {
+        SimError::Traffic(e)
+    }
+}
+
+/// A wired-up simulation: network + workload + congestion control +
+/// statistics, stepped one cycle at a time (or run to completion).
+#[derive(Debug)]
+pub struct Simulation {
+    cfg: SimConfig,
+    net: Network,
+    runner: WorkloadRunner,
+    ctl: Control,
+    // Statistics over the measured (post-warm-up) window.
+    net_latency: LatencyStats,
+    total_latency: LatencyStats,
+    base_delivered_flits: u64,
+    base_delivered_packets: u64,
+    base_recovered: u64,
+    base_throttled: u64,
+    warmup_snapped: bool,
+}
+
+impl Simulation {
+    /// Builds the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for invalid network, workload or window
+    /// parameters.
+    pub fn new(cfg: SimConfig) -> Result<Self, SimError> {
+        if cfg.warmup >= cfg.cycles {
+            return Err(SimError::WarmupTooLong {
+                warmup: cfg.warmup,
+                cycles: cfg.cycles,
+            });
+        }
+        let net = Network::new(cfg.net.clone())?;
+        let runner = WorkloadRunner::new(&cfg.workload, net.torus().node_count(), cfg.seed)?;
+        let ctl = cfg.scheme.build();
+        Ok(Simulation {
+            cfg,
+            net,
+            runner,
+            ctl,
+            net_latency: LatencyStats::new(),
+            total_latency: LatencyStats::new(),
+            base_delivered_flits: 0,
+            base_delivered_packets: 0,
+            base_recovered: 0,
+            base_throttled: 0,
+            warmup_snapped: false,
+        })
+    }
+
+    /// Advances one cycle and folds deliveries into the statistics.
+    pub fn step(&mut self) {
+        let now = self.net.now();
+        if !self.warmup_snapped && now >= self.cfg.warmup {
+            let c = self.net.counters();
+            self.base_delivered_flits = c.delivered_flits;
+            self.base_delivered_packets = c.delivered_packets;
+            self.base_recovered = c.recovered_packets;
+            self.base_throttled = c.throttled_injections;
+            self.warmup_snapped = true;
+        }
+        let runner = &mut self.runner;
+        self.net
+            .cycle(&mut |t, node| runner.poll(t, node), &mut self.ctl);
+        let warmup = self.cfg.warmup;
+        for rec in self.net.drain_deliveries() {
+            if rec.generated_at >= warmup {
+                self.net_latency.record(rec.network_latency());
+                self.total_latency.record(rec.total_latency());
+            }
+        }
+    }
+
+    /// Runs until `cfg.cycles` cycles have elapsed.
+    pub fn run_to_end(&mut self) {
+        while self.net.now() < self.cfg.cycles {
+            self.step();
+        }
+    }
+
+    /// The current cycle.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.net.now()
+    }
+
+    /// Read access to the network (counters, census, topology).
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The configuration this simulation was built from.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The self-tuned controller, when the scheme is [`Scheme::Tuned`]
+    /// (lets experiments sample the threshold over time, as in Figure 4).
+    #[must_use]
+    pub fn tuned(&self) -> Option<&SelfTuned> {
+        self.ctl.as_tuned()
+    }
+
+    /// Summary over the measured window. Meaningful once the run is past
+    /// warm-up; normally called after [`Simulation::run_to_end`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the warm-up window has elapsed.
+    #[must_use]
+    pub fn summary(&self) -> RunSummary {
+        assert!(
+            self.warmup_snapped,
+            "summary requested before the warm-up window elapsed"
+        );
+        let c = self.net.counters();
+        let measured_cycles = self.net.now() - self.cfg.warmup;
+        // Mean offered rate over the measured window (phases may vary).
+        let mut offered = 0.0;
+        let wl = &self.cfg.workload;
+        for t in (self.cfg.warmup..self.net.now()).step_by(256) {
+            offered += wl.offered_rate_at(t);
+        }
+        offered /= (measured_cycles as f64 / 256.0).max(1.0);
+        RunSummary {
+            measured_cycles,
+            nodes: self.net.torus().node_count(),
+            packet_len: self.cfg.net.packet_len,
+            offered_rate: offered,
+            delivered_flits: c.delivered_flits - self.base_delivered_flits,
+            delivered_packets: c.delivered_packets - self.base_delivered_packets,
+            network_latency: self.net_latency.clone(),
+            total_latency: self.total_latency.clone(),
+            recovered_packets: c.recovered_packets - self.base_recovered,
+            throttled_injections: c.throttled_injections - self.base_throttled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::{Pattern, Process};
+    use wormsim::DeadlockMode;
+
+    fn quick(scheme: Scheme, rate: f64, deadlock: DeadlockMode) -> RunSummary {
+        let cfg = SimConfig {
+            net: NetConfig::small(deadlock),
+            workload: Workload::steady(Pattern::UniformRandom, Process::bernoulli(rate)),
+            scheme,
+            cycles: 12_000,
+            warmup: 2_000,
+            seed: 7,
+        };
+        let mut sim = Simulation::new(cfg).unwrap();
+        sim.run_to_end();
+        sim.summary()
+    }
+
+    #[test]
+    fn light_load_delivers_everything_offered() {
+        for deadlock in [DeadlockMode::Avoidance, DeadlockMode::PAPER_RECOVERY] {
+            let s = quick(Scheme::Base, 0.002, deadlock);
+            assert!(
+                s.acceptance() > 0.9,
+                "acceptance {} too low under light load ({deadlock:?})",
+                s.acceptance()
+            );
+            assert!(s.recovered_packets == 0 || matches!(deadlock, DeadlockMode::Recovery { .. }));
+        }
+    }
+
+    #[test]
+    fn latency_reasonable_at_low_load() {
+        let s = quick(Scheme::Base, 0.001, DeadlockMode::Avoidance);
+        let mean = s.network_latency.mean().unwrap();
+        // 8-ary 2-cube: avg distance ~4 hops, ~3 cycles/hop + 15 cycles of
+        // body flits + delivery; far under 100 at zero contention.
+        assert!((15.0..100.0).contains(&mean), "zero-load latency {mean}");
+    }
+
+    #[test]
+    fn tuned_scheme_runs_and_exposes_threshold() {
+        let cfg = SimConfig {
+            net: NetConfig::small(DeadlockMode::Avoidance),
+            workload: Workload::steady(Pattern::UniformRandom, Process::bernoulli(0.02)),
+            scheme: Scheme::tuned_paper(),
+            cycles: 5_000,
+            warmup: 1_000,
+            seed: 3,
+        };
+        let mut sim = Simulation::new(cfg).unwrap();
+        sim.run_to_end();
+        let t = sim.tuned().expect("tuned scheme");
+        assert!(t.threshold().unwrap() > 0.0);
+        assert!(t.tune_events() > 10);
+    }
+
+    #[test]
+    fn warmup_must_be_shorter_than_run() {
+        let cfg = SimConfig {
+            net: NetConfig::small(DeadlockMode::Avoidance),
+            workload: Workload::steady(Pattern::UniformRandom, Process::bernoulli(0.01)),
+            scheme: Scheme::Base,
+            cycles: 100,
+            warmup: 100,
+            seed: 0,
+        };
+        assert!(matches!(
+            Simulation::new(cfg),
+            Err(SimError::WarmupTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick(Scheme::Alo, 0.01, DeadlockMode::PAPER_RECOVERY);
+        let b = quick(Scheme::Alo, 0.01, DeadlockMode::PAPER_RECOVERY);
+        assert_eq!(a.delivered_flits, b.delivered_flits);
+        assert_eq!(a.network_latency.mean(), b.network_latency.mean());
+    }
+}

@@ -1,0 +1,110 @@
+use sideband::{Sideband, SidebandConfig};
+use wormsim::{CongestionControl, Network};
+
+/// Globally informed throttling with a **fixed** threshold — the
+/// "Static Threshold" configurations of Figure 5.
+///
+/// Identical to [`SelfTuned`](crate::SelfTuned) in how it observes the
+/// network (side-band snapshots + linear extrapolation) and in how it gates
+/// injection, but the threshold never moves. The paper uses thresholds of
+/// 250 (8% occupancy, good for uniform random) and 50 (1.6%, good for
+/// butterfly) to show that no single static value suits all communication
+/// patterns.
+#[derive(Debug, Clone)]
+pub struct StaticThreshold {
+    threshold: f64,
+    sideband: Sideband,
+    throttling_now: bool,
+}
+
+impl StaticThreshold {
+    /// A fixed-threshold throttle (threshold in full buffers) using the
+    /// given side-band configuration.
+    #[must_use]
+    pub fn new(threshold: u32, sideband: SidebandConfig) -> Self {
+        StaticThreshold {
+            threshold: f64::from(threshold),
+            sideband: Sideband::new(sideband),
+            throttling_now: false,
+        }
+    }
+
+    /// The fixed threshold, in full buffers.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Whether injection is currently blocked network-wide.
+    #[must_use]
+    pub fn throttling(&self) -> bool {
+        self.throttling_now
+    }
+}
+
+impl CongestionControl for StaticThreshold {
+    fn on_cycle(&mut self, now: u64, net: &Network) {
+        self.sideband
+            .on_cycle(now, net.full_buffer_count(), net.delivered_flits_cum());
+        self.throttling_now = self.sideband.estimate(now) > self.threshold;
+    }
+
+    fn allow_injection(&mut self, _now: u64, _node: usize, _dst: usize, _net: &Network) -> bool {
+        !self.throttling_now
+    }
+
+    fn throttled_recently(&self) -> bool {
+        self.throttling_now
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormsim::{DeadlockMode, NetConfig, Network};
+
+    #[test]
+    fn gates_when_estimate_exceeds_threshold() {
+        // Overload a small network with no control, then check a static
+        // throttle (fed the same cycles) would be gating.
+        let cfg = NetConfig::small(DeadlockMode::PAPER_RECOVERY);
+        let mut net = Network::new(cfg).unwrap();
+        let mut ctl = StaticThreshold::new(2, SidebandConfig {
+            radix: 8,
+            ..SidebandConfig::paper()
+        });
+        let nodes = net.torus().node_count();
+        let mut i = 0usize;
+        let mut source = move |_now: u64, node: usize| {
+            i = i.wrapping_add(node + 1);
+            Some((node + 1 + i) % nodes)
+        };
+        let mut ever_throttled = false;
+        for _ in 0..5_000 {
+            net.cycle(&mut source, &mut ctl);
+            ever_throttled |= ctl.throttling();
+        }
+        assert!(ever_throttled, "threshold of 2 full buffers must trip under flood");
+        assert!(net.counters().throttled_injections > 0);
+    }
+
+    #[test]
+    fn never_throttles_an_idle_network() {
+        let cfg = NetConfig::small(DeadlockMode::Avoidance);
+        let mut net = Network::new(cfg).unwrap();
+        let mut ctl = StaticThreshold::new(50, SidebandConfig {
+            radix: 8,
+            ..SidebandConfig::paper()
+        });
+        let mut source = |_now: u64, _node: usize| None;
+        for _ in 0..2_000 {
+            net.cycle(&mut source, &mut ctl);
+        }
+        assert!(!ctl.throttling());
+        assert_eq!(net.counters().throttled_injections, 0);
+    }
+}

@@ -1,0 +1,488 @@
+use sideband::{Sideband, SidebandConfig};
+use wormsim::{CongestionControl, Network};
+
+/// The action the tuning decision table prescribes for one tuning period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TuneAction {
+    /// Lower the threshold by the decrement step.
+    Decrement,
+    /// Raise the threshold by the increment step.
+    Increment,
+    /// Leave the threshold unchanged.
+    NoChange,
+}
+
+/// The paper's tuning decision table (Table 1).
+///
+/// | drop in BW? | throttling? | action    |
+/// |-------------|-------------|-----------|
+/// | yes         | yes         | decrement |
+/// | yes         | no          | decrement |
+/// | no          | yes         | increment |
+/// | no          | no          | no change |
+///
+/// ```
+/// use stcc::{decide, TuneAction};
+/// assert_eq!(decide(true, true), TuneAction::Decrement);
+/// assert_eq!(decide(true, false), TuneAction::Decrement);
+/// assert_eq!(decide(false, true), TuneAction::Increment);
+/// assert_eq!(decide(false, false), TuneAction::NoChange);
+/// ```
+#[must_use]
+pub fn decide(bandwidth_drop: bool, throttling: bool) -> TuneAction {
+    match (bandwidth_drop, throttling) {
+        (true, _) => TuneAction::Decrement,
+        (false, true) => TuneAction::Increment,
+        (false, false) => TuneAction::NoChange,
+    }
+}
+
+/// Configuration of the self-tuned controller (§4 defaults in
+/// [`TuneConfig::paper`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneConfig {
+    /// Side-band gather network parameters (defines the gather period `g`).
+    pub sideband: SidebandConfig,
+    /// Tuning period, in gathers (3 in the paper: 96 cycles at `g = 32`).
+    pub tune_gathers: u32,
+    /// Threshold increment as a fraction of all VC buffers (1%).
+    pub increment_frac: f64,
+    /// Threshold decrement as a fraction of all VC buffers (4%).
+    pub decrement_frac: f64,
+    /// A period counts as a *bandwidth drop* when its throughput falls below
+    /// this fraction of the previous period's (75%).
+    pub drop_fraction: f64,
+    /// The local-maximum-avoidance reset fires when a period's throughput
+    /// falls *significantly* below the best period seen — below this
+    /// fraction of it (50%; period-to-period noise must not trigger it).
+    pub reset_fraction: f64,
+    /// Forget the remembered maximum after this many consecutive resets
+    /// (`r = 5`).
+    pub max_stale_resets: u32,
+    /// Initial threshold as a fraction of all VC buffers (1%): tuning
+    /// starts from the safe (over-throttled) side and climbs.
+    pub initial_threshold_frac: f64,
+    /// Enable the local-maximum-avoidance mechanism of §4.2 (disable to
+    /// reproduce the "hill climbing only" curves of Figure 4).
+    pub avoid_local_maxima: bool,
+}
+
+impl TuneConfig {
+    /// The paper's configuration for its 16-ary 2-cube.
+    #[must_use]
+    pub fn paper() -> Self {
+        TuneConfig {
+            sideband: SidebandConfig::paper(),
+            tune_gathers: 3,
+            increment_frac: 0.01,
+            decrement_frac: 0.04,
+            drop_fraction: 0.75,
+            reset_fraction: 0.5,
+            max_stale_resets: 5,
+            initial_threshold_frac: 0.01,
+            avoid_local_maxima: true,
+        }
+    }
+
+    /// The tuning period in cycles.
+    #[must_use]
+    pub fn tune_period(&self) -> u64 {
+        u64::from(self.tune_gathers) * self.sideband.gather_period()
+    }
+}
+
+/// The paper's self-tuned, globally informed source throttle.
+///
+/// Plug into [`wormsim::Network::cycle`] as the congestion-control policy.
+/// All nodes share the same (side-band-delayed) view and threshold, so one
+/// instance controls the whole network, exactly as the paper's replicated
+/// per-node state would.
+#[derive(Debug, Clone)]
+pub struct SelfTuned {
+    cfg: TuneConfig,
+    sideband: Sideband,
+    state: Option<TunerState>,
+}
+
+#[derive(Debug, Clone)]
+struct TunerState {
+    total_buffers: f64,
+    threshold: f64,
+    inc: f64,
+    dec: f64,
+    /// Visible gather windows accumulated into the current tuning period.
+    snaps_in_period: u32,
+    period_tput: u64,
+    /// Sum of the period's snapshot full-buffer counts (for the period
+    /// average that `N_max` remembers).
+    period_full_sum: f64,
+    prev_period_tput: Option<u64>,
+    throttled_cycles_this_period: u64,
+    cycles_this_period: u64,
+    throttling_now: bool,
+    /// `taken_at` of the newest snapshot already folded into the period.
+    last_snapshot_seen: Option<u64>,
+    // -- local-maximum avoidance (§4.2) --
+    max_tput: u64,
+    n_max: f64,
+    t_max: f64,
+    consecutive_resets: u32,
+    // -- instrumentation --
+    tune_events: u64,
+    resets: u64,
+}
+
+impl SelfTuned {
+    /// Creates a controller; buffer-count-dependent state initializes on the
+    /// first [`CongestionControl::on_cycle`] call.
+    #[must_use]
+    pub fn new(cfg: TuneConfig) -> Self {
+        SelfTuned {
+            sideband: Sideband::new(cfg.sideband.clone()),
+            cfg,
+            state: None,
+        }
+    }
+
+    /// The current threshold, in full buffers (`None` before the first
+    /// cycle).
+    #[must_use]
+    pub fn threshold(&self) -> Option<f64> {
+        self.state.as_ref().map(|s| s.threshold)
+    }
+
+    /// Whether injection is currently blocked network-wide.
+    #[must_use]
+    pub fn throttling(&self) -> bool {
+        self.state.as_ref().is_some_and(|s| s.throttling_now)
+    }
+
+    /// The remembered best-period throughput (flits per tuning period).
+    #[must_use]
+    pub fn max_throughput(&self) -> Option<u64> {
+        self.state.as_ref().map(|s| s.max_tput)
+    }
+
+    /// The remembered `(T_max, N_max)` pair of the best period.
+    #[must_use]
+    pub fn max_anchor(&self) -> Option<(f64, f64)> {
+        self.state.as_ref().map(|s| (s.t_max, s.n_max))
+    }
+
+    /// Number of tuning decisions taken so far.
+    #[must_use]
+    pub fn tune_events(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.tune_events)
+    }
+
+    /// Number of local-maximum-avoidance resets taken so far.
+    #[must_use]
+    pub fn resets(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.resets)
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &TuneConfig {
+        &self.cfg
+    }
+
+    /// Read access to the underlying side-band model.
+    #[must_use]
+    pub fn sideband(&self) -> &Sideband {
+        &self.sideband
+    }
+
+    fn state_for(cfg: &TuneConfig, total_buffers: f64) -> TunerState {
+        TunerState {
+            total_buffers,
+            threshold: cfg.initial_threshold_frac * total_buffers,
+            inc: cfg.increment_frac * total_buffers,
+            dec: cfg.decrement_frac * total_buffers,
+            snaps_in_period: 0,
+            period_tput: 0,
+            period_full_sum: 0.0,
+            prev_period_tput: None,
+            throttled_cycles_this_period: 0,
+            cycles_this_period: 0,
+            throttling_now: false,
+            last_snapshot_seen: None,
+            max_tput: 0,
+            n_max: 0.0,
+            t_max: 0.0,
+            consecutive_resets: 0,
+            tune_events: 0,
+            resets: 0,
+        }
+    }
+
+    /// One tuning decision (runs once per tuning period).
+    /// `period_full_buffers` is the period-average full-buffer count.
+    fn tune(cfg: &TuneConfig, st: &mut TunerState, period_full_buffers: f64) {
+        let tput = st.period_tput;
+        st.tune_events += 1;
+
+        // Track the conditions of the best period seen (§4.2).
+        if tput > st.max_tput {
+            st.max_tput = tput;
+            st.n_max = period_full_buffers;
+            st.t_max = st.threshold;
+        }
+
+        let significant_drop_below_max = cfg.avoid_local_maxima
+            && st.max_tput > 0
+            && (tput as f64) < cfg.reset_fraction * st.max_tput as f64;
+
+        if significant_drop_below_max {
+            // Recreate the conditions of the best period. If even that value
+            // keeps failing for `r` consecutive periods, the remembered max
+            // is stale (e.g. the communication pattern changed): forget it.
+            // A reset period during which throughput is still *recovering*
+            // (rising period over period) does not count as failing — a
+            // deeply saturated network takes more than one period to drain
+            // even at the right threshold.
+            // Never raise the threshold on a reset, and keep honoring the
+            // decision table's first row ("a drop in bandwidth always
+            // decrements") so a knot that the anchor itself cannot clear
+            // still ratchets the threshold downwards.
+            st.threshold = st.threshold.min(st.t_max.min(st.n_max));
+            let drop = st
+                .prev_period_tput
+                .is_some_and(|prev| (tput as f64) < cfg.drop_fraction * prev as f64);
+            if drop {
+                st.threshold -= st.dec;
+            }
+            st.resets += 1;
+            st.consecutive_resets += 1;
+            if st.consecutive_resets >= cfg.max_stale_resets {
+                st.max_tput = 0;
+                st.consecutive_resets = 0;
+            }
+        } else {
+            st.consecutive_resets = 0;
+            let drop = st
+                .prev_period_tput
+                .is_some_and(|prev| (tput as f64) < cfg.drop_fraction * prev as f64);
+            // "Currently throttling" = the gate was closed for most of the
+            // period; a few throttled cycles at the stability boundary do
+            // not count (otherwise the optimistic increment ratchets the
+            // threshold into saturation).
+            let throttling = st.cycles_this_period > 0
+                && st.throttled_cycles_this_period * 2 >= st.cycles_this_period;
+            match decide(drop, throttling) {
+                TuneAction::Decrement => st.threshold -= st.dec,
+                TuneAction::Increment => st.threshold += st.inc,
+                TuneAction::NoChange => {}
+            }
+        }
+        st.threshold = st.threshold.clamp(st.inc, st.total_buffers);
+        st.prev_period_tput = Some(tput);
+        st.period_tput = 0;
+        st.period_full_sum = 0.0;
+        st.snaps_in_period = 0;
+        st.throttled_cycles_this_period = 0;
+        st.cycles_this_period = 0;
+    }
+}
+
+impl CongestionControl for SelfTuned {
+    fn on_cycle(&mut self, now: u64, net: &Network) {
+        let st = self
+            .state
+            .get_or_insert_with(|| Self::state_for(&self.cfg, f64::from(net.total_vc_buffers())));
+
+        self.sideband
+            .on_cycle(now, net.full_buffer_count(), net.delivered_flits_cum());
+
+        // Fold newly visible gather windows into the tuning period.
+        if let Some(snap) = self.sideband.latest() {
+            if st.last_snapshot_seen != Some(snap.taken_at) {
+                st.last_snapshot_seen = Some(snap.taken_at);
+                st.period_tput += u64::from(snap.delivered_flits);
+                st.period_full_sum += f64::from(snap.full_buffers);
+                st.snaps_in_period += 1;
+                if st.snaps_in_period >= self.cfg.tune_gathers {
+                    let avg_full = st.period_full_sum / f64::from(st.snaps_in_period);
+                    Self::tune(&self.cfg, st, avg_full);
+                }
+            }
+        }
+
+        st.throttling_now = self.sideband.estimate(now) > st.threshold;
+        st.cycles_this_period += 1;
+        if st.throttling_now {
+            st.throttled_cycles_this_period += 1;
+        }
+    }
+
+    fn allow_injection(&mut self, _now: u64, _node: usize, _dst: usize, _net: &Network) -> bool {
+        !self.throttling()
+    }
+
+    fn throttled_recently(&self) -> bool {
+        self.throttling()
+    }
+
+    fn name(&self) -> &'static str {
+        "tune"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TuneConfig {
+        TuneConfig::paper()
+    }
+
+    fn state(total: f64) -> TunerState {
+        SelfTuned::state_for(&cfg(), total)
+    }
+
+    #[test]
+    fn paper_constants() {
+        let c = cfg();
+        assert_eq!(c.tune_period(), 96);
+        let st = state(3072.0);
+        // 1% of 3072 = 30.72, 4% = 122.88 (the paper rounds to 30 / 122).
+        assert!((st.inc - 30.72).abs() < 1e-9);
+        assert!((st.dec - 122.88).abs() < 1e-9);
+        assert!((st.threshold - 30.72).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decision_table_matches_table_1() {
+        assert_eq!(decide(true, true), TuneAction::Decrement);
+        assert_eq!(decide(true, false), TuneAction::Decrement);
+        assert_eq!(decide(false, true), TuneAction::Increment);
+        assert_eq!(decide(false, false), TuneAction::NoChange);
+    }
+
+    #[test]
+    fn increment_when_throttling_without_drop() {
+        let c = cfg();
+        let mut st = state(3072.0);
+        st.prev_period_tput = Some(1000);
+        st.period_tput = 1000;
+        st.throttled_cycles_this_period = 96;
+        st.cycles_this_period = 96;
+        let before = st.threshold;
+        SelfTuned::tune(&c, &mut st, 100.0);
+        assert!((st.threshold - before - st.inc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decrement_on_bandwidth_drop() {
+        let c = cfg();
+        let mut st = state(3072.0);
+        st.threshold = 500.0;
+        st.max_tput = 0; // no remembered max yet
+        st.prev_period_tput = Some(1000);
+        st.period_tput = 700; // < 75% of 1000, but not < 50% (no reset)
+        SelfTuned::tune(&c, &mut st, 100.0);
+        assert!((st.threshold - (500.0 - st.dec)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_change_when_stable_and_unthrottled() {
+        let c = cfg();
+        let mut st = state(3072.0);
+        st.prev_period_tput = Some(1000);
+        st.period_tput = 1000;
+        // Keep the max consistent so the reset path stays quiet.
+        st.max_tput = 1000;
+        let before = st.threshold;
+        SelfTuned::tune(&c, &mut st, 100.0);
+        assert_eq!(st.threshold, before);
+    }
+
+    #[test]
+    fn reset_restores_min_of_tmax_nmax() {
+        let c = cfg();
+        let mut st = state(3072.0);
+        st.max_tput = 1000;
+        st.t_max = 500.0;
+        st.n_max = 260.0;
+        st.threshold = 900.0;
+        st.period_tput = 300; // far below the remembered max
+        SelfTuned::tune(&c, &mut st, 100.0);
+        assert_eq!(st.threshold, 260.0, "min(t_max, n_max)");
+        assert!(st.threshold <= 900.0, "resets never raise the threshold");
+        assert_eq!(st.consecutive_resets, 1);
+        assert_eq!(st.resets, 1);
+    }
+
+    #[test]
+    fn stale_max_forgotten_after_r_resets() {
+        let c = cfg();
+        let mut st = state(3072.0);
+        st.max_tput = 10_000;
+        st.t_max = 500.0;
+        st.n_max = 400.0;
+        for i in 1..=c.max_stale_resets {
+            st.period_tput = 100;
+            SelfTuned::tune(&c, &mut st, 100.0);
+            if i < c.max_stale_resets {
+                assert_eq!(st.consecutive_resets, i);
+                assert_eq!(st.max_tput, 10_000);
+            }
+        }
+        assert_eq!(st.max_tput, 0, "max recomputed from scratch");
+        assert_eq!(st.consecutive_resets, 0);
+    }
+
+    #[test]
+    fn new_maximum_interrupts_reset_streak() {
+        let c = cfg();
+        let mut st = state(3072.0);
+        st.max_tput = 1000;
+        st.t_max = 500.0;
+        st.n_max = 400.0;
+        st.period_tput = 100;
+        SelfTuned::tune(&c, &mut st, 50.0);
+        assert_eq!(st.consecutive_resets, 1);
+        // A record-breaking period updates the max and avoids the reset.
+        st.period_tput = 2000;
+        SelfTuned::tune(&c, &mut st, 220.0);
+        assert_eq!(st.consecutive_resets, 0);
+        assert_eq!(st.max_tput, 2000);
+        assert_eq!(st.n_max, 220.0);
+    }
+
+    #[test]
+    fn threshold_clamped_to_valid_range() {
+        let c = cfg();
+        let mut st = state(3072.0);
+        st.threshold = st.inc; // already at the floor
+        st.max_tput = 0;
+        st.prev_period_tput = Some(1000);
+        st.period_tput = 0; // catastrophic drop
+        SelfTuned::tune(&c, &mut st, 0.0);
+        assert_eq!(st.threshold, st.inc, "floor holds");
+        st.threshold = 3072.0;
+        st.prev_period_tput = Some(1);
+        st.period_tput = 1;
+        st.max_tput = 1;
+        st.throttled_cycles_this_period = 96;
+        st.cycles_this_period = 96;
+        SelfTuned::tune(&c, &mut st, 0.0);
+        assert_eq!(st.threshold, 3072.0, "ceiling holds");
+    }
+
+    #[test]
+    fn disabling_avoidance_skips_resets() {
+        let mut c = cfg();
+        c.avoid_local_maxima = false;
+        let mut st = state(3072.0);
+        st.max_tput = 10_000;
+        st.t_max = 100.0;
+        st.n_max = 100.0;
+        st.prev_period_tput = Some(1000);
+        st.period_tput = 900; // below max but not a 25% period drop
+        let before = st.threshold;
+        SelfTuned::tune(&c, &mut st, 50.0);
+        assert_eq!(st.threshold, before, "hill-climbing only: no reset");
+        assert_eq!(st.resets, 0);
+    }
+}

@@ -1,0 +1,7 @@
+//! Ablation: extrapolation (see DESIGN.md experiment index).
+use experiments::{figures::ablations, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    cli.emit("ablation_extrapolation", &ablations::extrapolation(cli.scale));
+}

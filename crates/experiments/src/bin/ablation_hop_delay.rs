@@ -1,0 +1,7 @@
+//! Ablation: hop_delay (see DESIGN.md experiment index).
+use experiments::{figures::ablations, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    cli.emit("ablation_hop_delay", &ablations::hop_delay(cli.scale));
+}

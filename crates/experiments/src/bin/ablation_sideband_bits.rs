@@ -1,0 +1,7 @@
+//! Ablation: sideband_bits (see DESIGN.md experiment index).
+use experiments::{figures::ablations, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    cli.emit("ablation_sideband_bits", &ablations::sideband_bits(cli.scale));
+}

@@ -1,0 +1,7 @@
+//! Ablation: tuning_period (see DESIGN.md experiment index).
+use experiments::{figures::ablations, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    cli.emit("ablation_tuning_period", &ablations::tuning_period(cli.scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 1 of the paper (see DESIGN.md §5).
+use experiments::{figures::fig1, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    cli.emit("fig1", &fig1::generate(cli.scale));
+}

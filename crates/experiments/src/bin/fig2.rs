@@ -1,0 +1,7 @@
+//! Regenerates Figure 2 of the paper (see DESIGN.md §5).
+use experiments::{figures::fig2, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    cli.emit("fig2", &fig2::generate(cli.scale));
+}

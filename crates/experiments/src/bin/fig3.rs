@@ -1,0 +1,7 @@
+//! Regenerates Figure 3 of the paper (see DESIGN.md §5).
+use experiments::{figures::fig3, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    cli.emit("fig3", &fig3::generate(cli.scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 4 of the paper (see DESIGN.md §5).
+use experiments::{figures::fig4, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    cli.emit("fig4", &fig4::generate(cli.scale));
+}

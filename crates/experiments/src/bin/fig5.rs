@@ -1,0 +1,7 @@
+//! Regenerates Figure 5 of the paper (see DESIGN.md §5).
+use experiments::{figures::fig5, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    cli.emit("fig5", &fig5::generate(cli.scale));
+}

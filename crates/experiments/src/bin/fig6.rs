@@ -1,0 +1,7 @@
+//! Regenerates Figure 6 of the paper (see DESIGN.md §5).
+use experiments::{figures::fig6, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    cli.emit("fig6", &fig6::generate(cli.scale));
+}

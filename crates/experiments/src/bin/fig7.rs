@@ -1,0 +1,7 @@
+//! Regenerates Figure 7 of the paper (see DESIGN.md §5).
+use experiments::{figures::fig7, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    cli.emit("fig7", &fig7::generate(cli.scale));
+}

@@ -1,0 +1,7 @@
+//! Prints the bursty-load average latencies quoted in the paper's text.
+use experiments::{figures::fig7, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    cli.emit("fig7_latency", &fig7::latency_summary(cli.scale));
+}

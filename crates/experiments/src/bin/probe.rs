@@ -1,0 +1,66 @@
+//! Ad-hoc probe: windowed throughput over time for one configuration.
+//! Usage: `probe <scheme> <rate> <recovery|avoidance> <cycles>`
+use experiments::run_series;
+use stcc::{Scheme, SimConfig};
+use traffic::{Pattern, Process, Workload};
+use wormsim::{DeadlockMode, NetConfig};
+use stcc::Simulation;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scheme = match args.first().map(String::as_str) {
+        Some("alo") => Scheme::Alo,
+        Some("tune") => Scheme::tuned_paper(),
+        Some(s) if s.starts_with("static-") => Scheme::Static {
+            threshold: s.trim_start_matches("static-").parse().unwrap(),
+            sideband: sideband::SidebandConfig::paper(),
+        },
+        _ => Scheme::Base,
+    };
+    let rate: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let deadlock = match args.get(2).map(String::as_str) {
+        Some("avoidance") => DeadlockMode::Avoidance,
+        _ => DeadlockMode::PAPER_RECOVERY,
+    };
+    let cycles: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let cfg = SimConfig {
+        net: NetConfig::paper(deadlock),
+        workload: Workload::steady(Pattern::UniformRandom, Process::bernoulli(rate)),
+        scheme,
+        cycles,
+        warmup: cycles / 6,
+        seed: 42,
+    };
+    if std::env::var("PROBE_TUNER_DEBUG").is_ok() {
+        let mut sim = Simulation::new(cfg.clone()).unwrap();
+        let mut last = 0u64;
+        while sim.now() < cfg.cycles {
+            sim.step();
+            if sim.now() % 2000 == 0 {
+                let cum = sim.network().delivered_flits_cum();
+                let tput = (cum - last) as f64 / (2000.0 * 256.0);
+                last = cum;
+                if let Some(t) = sim.tuned() {
+                    let (tm, nm) = t.max_anchor().unwrap_or((f64::NAN, f64::NAN));
+                    println!(
+                        "t={} tput={:.4} full={} thr={:.0} max={} tmax={:.0} nmax={:.0} resets={}",
+                        sim.now(), tput, sim.network().full_buffer_count(),
+                        t.threshold().unwrap_or(f64::NAN), t.max_throughput().unwrap_or(0),
+                        tm, nm, t.resets()
+                    );
+                }
+            }
+        }
+        return;
+    }
+    let r = run_series(cfg, 4000);
+    println!("t,tput_flits_node_cyc,full_buffers,threshold");
+    let fb: Vec<_> = r.full_buffers.points().to_vec();
+    let th: Vec<_> = r.threshold.points().to_vec();
+    for (i, (t, v)) in r.tput.normalized(r.nodes).enumerate() {
+        let f = fb.get(i).map_or(f64::NAN, |&(_, v)| v);
+        let h = th.get(i).map_or(f64::NAN, |&(_, v)| v);
+        println!("{t},{v:.4},{f},{h:.0}");
+    }
+    println!("# latency={:.1} latency_total={:.1} recovered={}", r.latency, r.latency_total, r.recovered);
+}

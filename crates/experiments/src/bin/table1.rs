@@ -1,0 +1,7 @@
+//! Prints the implemented tuning decision table (Table 1 of the paper).
+use experiments::{figures::table1, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    cli.emit("table1", &table1::generate());
+}

@@ -1,0 +1,113 @@
+use crate::{Scale, Table};
+use std::path::PathBuf;
+
+/// Shared command-line options of the figure binaries.
+///
+/// Usage: `figN [--scale paper|reduced|smoke] [--out DIR] [--seed N]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    /// Simulation length preset (default: `reduced`).
+    pub scale: Scale,
+    /// Output directory for CSV files (default: `results/`).
+    pub out: PathBuf,
+    /// Base seed override.
+    pub seed: u64,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            scale: Scale::Reduced,
+            out: PathBuf::from("results"),
+            seed: 1,
+        }
+    }
+}
+
+impl Cli {
+    /// Parses `args` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage string on unknown flags or bad values.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
+        let mut cli = Cli::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it.next().ok_or("--scale needs a value")?;
+                    cli.scale = Scale::parse(&v)
+                        .ok_or_else(|| format!("unknown scale '{v}' (paper|reduced|smoke)"))?;
+                }
+                "--out" => {
+                    cli.out = PathBuf::from(it.next().ok_or("--out needs a value")?);
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    cli.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+                }
+                "--help" | "-h" => {
+                    return Err("usage: [--scale paper|reduced|smoke] [--out DIR] [--seed N]"
+                        .to_owned())
+                }
+                other => return Err(format!("unknown argument '{other}' (try --help)")),
+            }
+        }
+        Ok(cli)
+    }
+
+    /// Parses the process arguments, exiting with a message on error.
+    #[must_use]
+    pub fn from_env() -> Cli {
+        match Cli::parse(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Prints `table` and writes it to `<out>/<stem>.<scale>.csv`.
+    pub fn emit(&self, stem: &str, table: &Table) {
+        print!("{}", table.to_text());
+        let path = self.out.join(format!("{stem}.{}.csv", self.scale.label()));
+        match table.write_csv(&path) {
+            Ok(()) => eprintln!("[wrote {}]", path.display()),
+            Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| (*a).to_owned()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = Cli::parse(args(&[])).unwrap();
+        assert_eq!(cli.scale, Scale::Reduced);
+        assert_eq!(cli.out, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn parses_flags() {
+        let cli = Cli::parse(args(&["--scale", "smoke", "--out", "/tmp/x", "--seed", "9"]))
+            .unwrap();
+        assert_eq!(cli.scale, Scale::Smoke);
+        assert_eq!(cli.out, PathBuf::from("/tmp/x"));
+        assert_eq!(cli.seed, 9);
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        assert!(Cli::parse(args(&["--bogus"])).is_err());
+        assert!(Cli::parse(args(&["--scale", "huge"])).is_err());
+        assert!(Cli::parse(args(&["--scale"])).is_err());
+    }
+}

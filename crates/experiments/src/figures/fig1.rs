@@ -1,0 +1,51 @@
+//! Figure 1: performance breakdown at network saturation.
+//!
+//! 16-ary 2-cube, adaptive routing, deadlock recovery, **no congestion
+//! control**; uniform-random and butterfly traffic; delivered bandwidth vs
+//! offered load. The paper's two observations to reproduce: (1) both
+//! patterns collapse dramatically at saturation, and (2) they saturate at
+//! *different* offered loads.
+
+use crate::table::fnum;
+use crate::{run_point, steady_config, sweep_rates_for, Scale, Table};
+use stcc::Scheme;
+use traffic::Pattern;
+use wormsim::{DeadlockMode, NetConfig};
+
+/// Runs the Figure 1 sweep.
+#[must_use]
+pub fn generate(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Figure 1 — saturation breakdown (base, deadlock recovery, 16-ary 2-cube)",
+        &[
+            "pattern",
+            "offered_pkts",
+            "tput_pkts",
+            "tput_flits",
+            "net_latency",
+            "recovered",
+        ],
+    );
+    for pattern in [Pattern::UniformRandom, Pattern::Butterfly] {
+        for (i, &rate) in sweep_rates_for(scale).iter().enumerate() {
+            let cfg = steady_config(
+                NetConfig::paper(DeadlockMode::PAPER_RECOVERY),
+                Scheme::Base,
+                pattern.clone(),
+                rate,
+                scale,
+                0xF16_0001 + i as u64,
+            );
+            let r = run_point(cfg);
+            t.push(vec![
+                pattern.name().to_owned(),
+                fnum(rate),
+                fnum(r.tput_packets),
+                fnum(r.tput_flits),
+                fnum(r.latency),
+                r.recovered.to_string(),
+            ]);
+        }
+    }
+    t
+}

@@ -1,0 +1,60 @@
+//! Figure 2: throughput vs full buffers.
+//!
+//! The paper's Figure 2 is a conceptual sketch: as offered load rises, both
+//! the full-buffer count and the delivered bandwidth rise; past saturation
+//! bandwidth falls while full buffers keep climbing — which is why a
+//! full-buffer threshold (point B, the knee) is a usable throttle set-point.
+//! We regenerate it with data: sweep offered load on the base network and
+//! report measured (full-buffer occupancy, delivered bandwidth) pairs.
+
+use crate::table::fnum;
+use crate::{steady_config, sweep_rates_for, Scale, Table};
+use simstats::GaugeSeries;
+use stcc::{Scheme, Simulation};
+use traffic::Pattern;
+use wormsim::{DeadlockMode, NetConfig};
+
+/// Runs the Figure 2 sweep (deadlock recovery, uniform random, base).
+#[must_use]
+pub fn generate(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Figure 2 — delivered bandwidth vs full-buffer occupancy (base, deadlock recovery)",
+        &[
+            "offered_pkts",
+            "avg_full_buffers",
+            "full_buffer_pct",
+            "tput_flits",
+        ],
+    );
+    for (i, &rate) in sweep_rates_for(scale).iter().enumerate() {
+        let cfg = steady_config(
+            NetConfig::paper(DeadlockMode::PAPER_RECOVERY),
+            Scheme::Base,
+            Pattern::UniformRandom,
+            rate,
+            scale,
+            0xF16_0002 + i as u64,
+        );
+        let warmup = cfg.warmup;
+        let cycles = cfg.cycles;
+        let mut sim = Simulation::new(cfg).expect("valid fig2 config");
+        let mut occupancy = GaugeSeries::new();
+        while sim.now() < cycles {
+            sim.step();
+            if sim.now() >= warmup && sim.now() % 256 == 0 {
+                occupancy.sample(sim.now(), f64::from(sim.network().full_buffer_count()));
+            }
+        }
+        let s = sim.summary();
+        let avg_full = occupancy.points().iter().map(|&(_, v)| v).sum::<f64>()
+            / occupancy.points().len().max(1) as f64;
+        let total = f64::from(sim.network().total_vc_buffers());
+        t.push(vec![
+            fnum(rate),
+            fnum(avg_full),
+            fnum(100.0 * avg_full / total),
+            fnum(s.throughput_flits()),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,58 @@
+//! Figure 5: static thresholds vs self-tuning.
+//!
+//! Deadlock recovery; uniform-random and butterfly traffic; `Base`, two
+//! fixed global thresholds (250 ≈ 8% occupancy and 50 ≈ 1.6%), and `Tune`.
+//! The point to reproduce: 250 works well for uniform random but cannot
+//! prevent butterfly saturation, 50 protects butterfly but over-throttles
+//! uniform random, and the self-tuner adapts to both.
+
+use crate::table::fnum;
+use crate::{run_point, steady_config, sweep_rates_for, Scale, Table};
+use sideband::SidebandConfig;
+use stcc::Scheme;
+use traffic::Pattern;
+use wormsim::{DeadlockMode, NetConfig};
+
+/// The paper's static thresholds (in full buffers; 8% and 1.6% of 3072).
+pub const STATIC_THRESHOLDS: [u32; 2] = [250, 50];
+
+/// Runs the Figure 5 sweeps.
+#[must_use]
+pub fn generate(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Figure 5 — static thresholds vs self-tuning (deadlock recovery)",
+        &["pattern", "scheme", "offered_pkts", "tput_pkts", "tput_flits", "net_latency"],
+    );
+    let schemes: Vec<Scheme> = [Scheme::Base]
+        .into_iter()
+        .chain(STATIC_THRESHOLDS.iter().map(|&threshold| Scheme::Static {
+            threshold,
+            sideband: SidebandConfig::paper(),
+        }))
+        .chain([Scheme::tuned_paper()])
+        .collect();
+    for pattern in [Pattern::UniformRandom, Pattern::Butterfly] {
+        for scheme in &schemes {
+            for (i, &rate) in sweep_rates_for(scale).iter().enumerate() {
+                let cfg = steady_config(
+                    NetConfig::paper(DeadlockMode::PAPER_RECOVERY),
+                    scheme.clone(),
+                    pattern.clone(),
+                    rate,
+                    scale,
+                    0xF16_0005 + i as u64,
+                );
+                let r = run_point(cfg);
+                t.push(vec![
+                    pattern.name().to_owned(),
+                    scheme.label(),
+                    fnum(rate),
+                    fnum(r.tput_packets),
+                    fnum(r.tput_flits),
+                    fnum(r.latency),
+                ]);
+            }
+        }
+    }
+    t
+}

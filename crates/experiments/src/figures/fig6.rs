@@ -1,0 +1,49 @@
+//! Figure 6: the offered bursty load.
+//!
+//! Prints the burst schedule itself (offered injection rate and pattern vs
+//! time): alternating low/high phases, each high burst using a different
+//! communication pattern (uniform random → bit reversal → perfect shuffle →
+//! butterfly).
+
+use crate::table::fnum;
+use crate::{Scale, Table};
+use traffic::Workload;
+
+/// The bursty workload at a given scale (the paper's 50 000-cycle phases at
+/// paper scale, proportionally shorter otherwise).
+#[must_use]
+pub fn workload(scale: Scale) -> Workload {
+    Workload::bursty(scale.bursty_phase(), 1_500, 15)
+}
+
+/// Total cycles for the bursty runs: nine phases (Figure 6's 450 000 cycles
+/// at paper scale).
+#[must_use]
+pub fn cycles(scale: Scale) -> u64 {
+    9 * scale.bursty_phase()
+}
+
+/// Tabulates the offered schedule.
+#[must_use]
+pub fn generate(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Figure 6 — offered bursty load",
+        &["phase_start", "phase_end", "pattern", "offered_pkts"],
+    );
+    let wl = workload(scale);
+    let mut start = 0u64;
+    for phase in wl.phases() {
+        let end = start.saturating_add(phase.duration);
+        t.push(vec![
+            start.to_string(),
+            if end == u64::MAX { "...".to_owned() } else { end.to_string() },
+            phase.pattern.name().to_owned(),
+            fnum(phase.process.offered_rate()),
+        ]);
+        if end == u64::MAX {
+            break;
+        }
+        start = end;
+    }
+    t
+}

@@ -1,0 +1,13 @@
+//! One module per reproduced figure/table of the paper, plus the ablation
+//! experiments DESIGN.md commits to. Each `generate` function returns a
+//! [`Table`](crate::Table) with the same rows/series the paper reports.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table1;

@@ -1,0 +1,19 @@
+//! `experiments` — the harness that regenerates every table and figure of
+//! the paper (see DESIGN.md §5 for the experiment index).
+//!
+//! Each figure has a module under [`figures`] producing a [`Table`] of rows,
+//! and a binary (`fig1` … `fig7`, `table1`, `ablation_*`) that prints it and
+//! writes a CSV under `results/`. Binaries accept a `--scale` argument
+//! (`paper`, `reduced`, `smoke`) because the paper-scale runs (600 000
+//! cycles × many sweep points) take a while on one core.
+
+pub mod cli;
+pub mod figures;
+mod run;
+mod scale;
+pub mod table;
+
+pub use cli::Cli;
+pub use run::{run_point, run_series, steady_config, sweep_rates, sweep_rates_for, PointResult, SeriesResult};
+pub use scale::Scale;
+pub use table::Table;

@@ -1,0 +1,162 @@
+use crate::Scale;
+use simstats::{GaugeSeries, WindowSeries};
+use stcc::{Scheme, SimConfig, Simulation};
+use traffic::{Pattern, Process, Workload};
+use wormsim::NetConfig;
+
+/// The measurements of one sweep point, in the units the paper plots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointResult {
+    /// Offered load, packets/node/cycle.
+    pub offered: f64,
+    /// Delivered bandwidth, packets/node/cycle (normalized accepted
+    /// traffic).
+    pub tput_packets: f64,
+    /// Delivered bandwidth, flits/node/cycle.
+    pub tput_flits: f64,
+    /// Mean network latency (cycles), `NaN` if nothing was delivered.
+    pub latency: f64,
+    /// Mean end-to-end latency including source queueing (cycles).
+    pub latency_total: f64,
+    /// Packets delivered via Disha recovery during the measured window.
+    pub recovered: u64,
+    /// Injection-gate denials during the measured window.
+    pub throttled: u64,
+}
+
+/// Runs one simulation and condenses its summary.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (the harness constructs only valid
+/// ones; the error message names the offender).
+#[must_use]
+pub fn run_point(cfg: SimConfig) -> PointResult {
+    let label = format!(
+        "{} {} @ {:.4}",
+        cfg.scheme.label(),
+        cfg.workload.phases()[0].pattern.name(),
+        cfg.workload.offered_rate_at(cfg.warmup)
+    );
+    let mut sim = Simulation::new(cfg).unwrap_or_else(|e| panic!("bad experiment ({label}): {e}"));
+    sim.run_to_end();
+    let s = sim.summary();
+    PointResult {
+        offered: s.offered_rate,
+        tput_packets: s.throughput_packets(),
+        tput_flits: s.throughput_flits(),
+        latency: s.network_latency.mean().unwrap_or(f64::NAN),
+        latency_total: s.total_latency.mean().unwrap_or(f64::NAN),
+        recovered: s.recovered_packets,
+        throttled: s.throttled_injections,
+    }
+}
+
+/// Time-resolved measurements of one run (Figures 4 and 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesResult {
+    /// Window width used for the throughput series, in cycles.
+    pub window: u64,
+    /// Node count (for normalization).
+    pub nodes: usize,
+    /// Delivered flits per window.
+    pub tput: WindowSeries,
+    /// Self-tuner threshold samples (empty for other schemes).
+    pub threshold: GaugeSeries,
+    /// Full-buffer census samples (one per window).
+    pub full_buffers: GaugeSeries,
+    /// Mean network latency over the whole run (cycles).
+    pub latency: f64,
+    /// Mean end-to-end latency over the whole run (cycles).
+    pub latency_total: f64,
+    /// Packets recovered via the deadlock network.
+    pub recovered: u64,
+}
+
+/// Runs one simulation collecting windowed time series (no warm-up
+/// exclusion on the series; the latency means respect the configured
+/// warm-up).
+///
+/// # Panics
+///
+/// Panics on an invalid configuration.
+#[must_use]
+pub fn run_series(cfg: SimConfig, window: u64) -> SeriesResult {
+    let cycles = cfg.cycles;
+    let mut sim = Simulation::new(cfg).expect("bad experiment configuration");
+    let nodes = sim.network().torus().node_count();
+    let mut tput = WindowSeries::new(window);
+    let mut threshold = GaugeSeries::new();
+    let mut full = GaugeSeries::new();
+    let mut last_flits = 0u64;
+    while sim.now() < cycles {
+        sim.step();
+        let now = sim.now() - 1;
+        let cum = sim.network().delivered_flits_cum();
+        tput.add(now, cum - last_flits);
+        last_flits = cum;
+        if now % window == 0 {
+            if let Some(t) = sim.tuned() {
+                if let Some(v) = t.threshold() {
+                    threshold.sample(now, v);
+                }
+            }
+            full.sample(now, f64::from(sim.network().full_buffer_count()));
+        }
+    }
+    let s = sim.summary();
+    SeriesResult {
+        window,
+        nodes,
+        tput,
+        threshold,
+        full_buffers: full,
+        latency: s.network_latency.mean().unwrap_or(f64::NAN),
+        latency_total: s.total_latency.mean().unwrap_or(f64::NAN),
+        recovered: s.recovered_packets,
+    }
+}
+
+/// The injection-rate sweep of the paper's load/throughput plots
+/// (log-spaced from 0.001 to 0.1 packets/node/cycle).
+#[must_use]
+pub fn sweep_rates() -> Vec<f64> {
+    vec![
+        0.001, 0.0015, 0.002, 0.003, 0.005, 0.007, 0.010, 0.014, 0.020, 0.028, 0.040, 0.056,
+        0.080, 0.100,
+    ]
+}
+
+/// The sweep actually run at a given scale: the full 14 points at paper
+/// scale, a 9-point subset otherwise (wall-clock economy on one core; the
+/// subset still brackets the saturation cliff).
+#[must_use]
+pub fn sweep_rates_for(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Paper => sweep_rates(),
+        Scale::Reduced => {
+            vec![0.001, 0.002, 0.005, 0.010, 0.014, 0.020, 0.028, 0.056, 0.100]
+        }
+        Scale::Smoke => vec![0.001, 0.005, 0.014, 0.028, 0.056, 0.100],
+    }
+}
+
+/// Builds the [`SimConfig`] for one steady-load sweep point.
+#[must_use]
+pub fn steady_config(
+    net: NetConfig,
+    scheme: Scheme,
+    pattern: Pattern,
+    rate: f64,
+    scale: Scale,
+    seed: u64,
+) -> SimConfig {
+    SimConfig {
+        net,
+        workload: Workload::steady(pattern, Process::bernoulli(rate)),
+        scheme,
+        cycles: scale.cycles(),
+        warmup: scale.warmup(),
+        seed,
+    }
+}

@@ -1,0 +1,92 @@
+use crate::LatencyStats;
+
+/// Headline results of one steady-state simulation run, measured after the
+/// warm-up window (the paper ignores the first 100 000 of 600 000 cycles).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Measured cycles (total minus warm-up).
+    pub measured_cycles: u64,
+    /// Node count.
+    pub nodes: usize,
+    /// Flits per packet.
+    pub packet_len: usize,
+    /// Offered load in packets/node/cycle (mean of the workload over the
+    /// measured window).
+    pub offered_rate: f64,
+    /// Flits delivered during the measured window.
+    pub delivered_flits: u64,
+    /// Packets delivered during the measured window.
+    pub delivered_packets: u64,
+    /// Network latency (header injection to tail consumption) of packets
+    /// *generated* after warm-up.
+    pub network_latency: LatencyStats,
+    /// End-to-end latency (generation to tail consumption) of the same
+    /// packets, including source queueing.
+    pub total_latency: LatencyStats,
+    /// Packets that finished through the recovery network.
+    pub recovered_packets: u64,
+    /// Injection-gate denials during the measured window.
+    pub throttled_injections: u64,
+}
+
+impl RunSummary {
+    /// Delivered bandwidth in flits/node/cycle (the paper's normalized
+    /// accepted traffic, flit units).
+    #[must_use]
+    pub fn throughput_flits(&self) -> f64 {
+        self.delivered_flits as f64 / (self.measured_cycles as f64 * self.nodes as f64)
+    }
+
+    /// Delivered bandwidth in packets/node/cycle (Figure 1/3/5 y-axis).
+    #[must_use]
+    pub fn throughput_packets(&self) -> f64 {
+        self.delivered_packets as f64 / (self.measured_cycles as f64 * self.nodes as f64)
+    }
+
+    /// Fraction of offered packets actually delivered (1.0 below
+    /// saturation; < 1.0 when the network, its queues, or throttling refuse
+    /// load).
+    #[must_use]
+    pub fn acceptance(&self) -> f64 {
+        if self.offered_rate == 0.0 {
+            1.0
+        } else {
+            self.throughput_packets() / self.offered_rate
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> RunSummary {
+        RunSummary {
+            measured_cycles: 1000,
+            nodes: 64,
+            packet_len: 16,
+            offered_rate: 0.02,
+            delivered_flits: 16_000,
+            delivered_packets: 1000,
+            network_latency: LatencyStats::new(),
+            total_latency: LatencyStats::new(),
+            recovered_packets: 0,
+            throttled_injections: 0,
+        }
+    }
+
+    #[test]
+    fn throughput_units() {
+        let s = summary();
+        assert!((s.throughput_flits() - 0.25).abs() < 1e-12);
+        assert!((s.throughput_packets() - 0.015_625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acceptance_ratio() {
+        let s = summary();
+        assert!((s.acceptance() - 0.78125).abs() < 1e-9);
+        let idle = RunSummary { offered_rate: 0.0, ..summary() };
+        assert_eq!(idle.acceptance(), 1.0);
+    }
+}

@@ -1,0 +1,48 @@
+use crate::network::Network;
+use kncube::NodeId;
+
+/// A congestion-control policy plugged into the simulator.
+///
+/// The simulator calls [`CongestionControl::on_cycle`] exactly once per
+/// cycle, before any injection decision, with read access to the network
+/// (controllers derive whatever visibility model they implement from it —
+/// e.g. the self-tuned controller feeds the true census into its side-band
+/// model and only ever acts on the delayed snapshots that emerge).
+/// [`CongestionControl::allow_injection`] is then consulted for the packet
+/// at the head of each non-empty source queue; returning `false` keeps that
+/// packet (and everything behind it) in the source queue this cycle.
+///
+/// Throttling only gates *new* packets: a packet whose header has entered
+/// the network always finishes streaming.
+pub trait CongestionControl {
+    /// Per-cycle observation hook; default is a no-op.
+    fn on_cycle(&mut self, now: u64, net: &Network) {
+        let _ = (now, net);
+    }
+
+    /// Whether `node` may start injecting a packet destined for `dst` at
+    /// cycle `now`. Default: always allow.
+    fn allow_injection(&mut self, now: u64, node: NodeId, dst: NodeId, net: &Network) -> bool {
+        let _ = (now, node, dst, net);
+        true
+    }
+
+    /// Whether the policy throttled any injection during the most recent
+    /// cycle (used by the self-tuner's decision table and by statistics).
+    fn throttled_recently(&self) -> bool {
+        false
+    }
+
+    /// Short name used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's `Base` configuration: no congestion control at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoControl;
+
+impl CongestionControl for NoControl {
+    fn name(&self) -> &'static str {
+        "base"
+    }
+}

@@ -1,0 +1,32 @@
+/// Aggregate event counters of a [`Network`](crate::Network), cumulative
+/// since construction.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counters {
+    /// Packets accepted into source queues.
+    pub generated_packets: u64,
+    /// Generation attempts refused because the source queue was full
+    /// (bounds open-loop memory; counted so offered load stays auditable).
+    pub refused_generations: u64,
+    /// Packets whose header has entered the network.
+    pub injected_packets: u64,
+    /// Packets fully consumed at their destination.
+    pub delivered_packets: u64,
+    /// Flits consumed at destinations (the paper's throughput metric).
+    pub delivered_flits: u64,
+    /// Packets that finished through the Disha recovery network.
+    pub recovered_packets: u64,
+    /// Recovery-token grants (deadlock suspicions acted upon).
+    pub recovery_timeouts: u64,
+    /// Headers that were allocated an escape virtual channel.
+    pub escape_allocations: u64,
+    /// Injection-gate denials (one per throttled packet-cycle).
+    pub throttled_injections: u64,
+}
+
+impl Counters {
+    /// Packets currently somewhere between generation and delivery.
+    #[must_use]
+    pub fn undelivered(&self) -> u64 {
+        self.generated_packets - self.delivered_packets
+    }
+}

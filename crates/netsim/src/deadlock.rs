@@ -1,0 +1,132 @@
+//! Disha-style progressive deadlock recovery.
+//!
+//! In recovery mode every VC routes fully adaptively, so cyclic waits can
+//! form. A packet is *suspected* deadlocked when its header has been
+//! ready-but-unrouted for `timeout` consecutive cycles and no flit of the
+//! whole worm has moved for as long (the routing stage detects this and
+//! queues the packet for the token). Suspects keep retrying normal routing;
+//! capturing the single network-wide token is the commitment point. The
+//! token holder drains, one flit per cycle, through per-router deadlock
+//! buffers along a dimension-order path to its destination, bypassing the
+//! ordinary virtual channels entirely. The token is released when the tail
+//! is consumed.
+//!
+//! This serialization is exactly why the paper's deadlock-recovery network
+//! collapses so hard past saturation: when deadlocks become frequent, the
+//! only forward progress happens over this one-packet-at-a-time drain path.
+
+use crate::network::{Assign, Network, RecoveryJob, DL_DEPTH};
+
+impl Network {
+    /// Grants the recovery token (if free) to the longest-waiting suspect
+    /// and advances the active recovery by one cycle.
+    pub(crate) fn recovery_stage(&mut self, now: u64) {
+        if self.recovery.is_none() {
+            self.grant_token();
+        }
+        let Some(mut job) = self.recovery.take() else {
+            return;
+        };
+        let finished = self.advance_recovery(now, &mut job);
+        if finished {
+            debug_assert!(job.tail_in, "tail delivered before leaving the source VC");
+        } else {
+            self.recovery = Some(job);
+        }
+    }
+
+    fn grant_token(&mut self) {
+        // Suspected packets are served in suspicion order (FIFO token
+        // hand-off). Entries whose packet escaped back to normal routing in
+        // the meantime are skipped.
+        let idx = loop {
+            let Some(idx) = self.token_queue.pop_front() else {
+                return;
+            };
+            self.in_vcs[idx].queued_for_token = false;
+            if matches!(self.in_vcs[idx].assign, Assign::AwaitToken) {
+                break idx;
+            }
+        };
+        let vc = &mut self.in_vcs[idx];
+        let pid = vc.buf.front().expect("candidate VC has a blocked header").packet;
+        vc.assign = Assign::Recovery;
+        vc.blocked = 0;
+        let node = idx / (self.torus().channels_per_node() * self.config().vcs);
+        let dst = self.packets.get(pid).dst;
+        let mut path = Vec::with_capacity(self.torus().distance(node, dst) + 1);
+        path.push(node);
+        let mut cur = node;
+        while let Some((dim, dir)) = self.torus().dimension_order_hop(cur, dst) {
+            cur = self.torus().neighbor(cur, dim, dir);
+            path.push(cur);
+        }
+        self.recovery = Some(RecoveryJob {
+            packet: pid,
+            path,
+            src_vc: idx,
+            tail_in: false,
+        });
+    }
+
+    /// Moves the recovering packet's flits one step: delivery end first so a
+    /// vacated buffer can be refilled in the same cycle (pipelined drain).
+    /// Returns whether the tail was delivered.
+    fn advance_recovery(&mut self, now: u64, job: &mut RecoveryJob) -> bool {
+        let last = job.path.len() - 1;
+        let mut finished = false;
+
+        for i in (0..=last).rev() {
+            let r = job.path[i];
+            let Some(front) = self.dl_buf[r].front() else {
+                continue;
+            };
+            if front.ready_at > now {
+                continue;
+            }
+            if i == last {
+                let flit = self.dl_buf[r].pop_front().expect("front checked");
+                let is_tail = flit.idx + 1 == self.packets.get(flit.packet).len;
+                self.deliver_flit(now, flit, true);
+                if is_tail {
+                    finished = true;
+                }
+            } else {
+                let next = job.path[i + 1];
+                if self.dl_buf[next].len() < DL_DEPTH {
+                    let mut flit = self.dl_buf[r].pop_front().expect("front checked");
+                    flit.ready_at = now + self.config().hop_latency;
+                    self.dl_buf[next].push_back(flit);
+                }
+            }
+        }
+
+        // Transition: pull the packet's flits out of the blocked input VC
+        // into the local deadlock buffer.
+        if !job.tail_in {
+            let entry = job.path[0];
+            if self.dl_buf[entry].len() < DL_DEPTH {
+                let depth = self.config().buf_depth;
+                let vc = &mut self.in_vcs[job.src_vc];
+                debug_assert!(matches!(vc.assign, Assign::Recovery));
+                if let Some(front) = vc.buf.front() {
+                    if front.ready_at <= now {
+                        debug_assert_eq!(front.packet, job.packet);
+                        let was_full = vc.buf.len() >= depth;
+                        let mut flit = vc.buf.pop_front().expect("front checked");
+                        if was_full {
+                            self.full_buffers -= 1;
+                        }
+                        if flit.idx + 1 == self.packets.get(flit.packet).len {
+                            vc.assign = Assign::None;
+                            job.tail_in = true;
+                        }
+                        flit.ready_at = now + 1;
+                        self.dl_buf[entry].push_back(flit);
+                    }
+                }
+            }
+        }
+        finished
+    }
+}

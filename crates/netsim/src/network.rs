@@ -1,0 +1,736 @@
+use crate::config::{DeadlockMode, NetConfig};
+use crate::control::CongestionControl;
+use crate::counters::Counters;
+use crate::packet::{DeliveredRecord, Flit, PacketId, PacketInfo, PacketStore};
+use kncube::{Dir, NodeId, Torus};
+use std::collections::VecDeque;
+
+/// Capacity of each per-router Disha deadlock buffer, in flits. Two slots
+/// allow the recovery path to stream at full rate despite the 2-cycle hop
+/// pipeline.
+pub(crate) const DL_DEPTH: usize = 2;
+
+/// Where the packet currently at the front of an input VC (or of the
+/// injection interface) is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Assign {
+    /// Not yet routed.
+    None,
+    /// Assigned an output virtual channel on a network port.
+    Out { port: u8, vc: u8 },
+    /// Headed for the local delivery channel.
+    Delivery,
+    /// Suspected deadlocked: committed to recovery, waiting for the token.
+    AwaitToken,
+    /// Draining through the Disha recovery network.
+    Recovery,
+}
+
+/// One input virtual channel: its edge buffer and the routing state of the
+/// packet currently being forwarded out of it.
+#[derive(Debug, Clone)]
+pub(crate) struct InVc {
+    pub buf: VecDeque<Flit>,
+    pub assign: Assign,
+    /// Cycle the current assignment was made (headers move one cycle later:
+    /// the paper's 1-cycle routing delay).
+    pub routed_at: u64,
+    /// Consecutive cycles the front header has been ready but unrouted
+    /// (drives Disha's timeout detection).
+    pub blocked: u64,
+    /// Whether this VC currently has an entry in the recovery token queue.
+    pub queued_for_token: bool,
+}
+
+impl InVc {
+    fn new(depth: usize) -> Self {
+        InVc {
+            buf: VecDeque::with_capacity(depth),
+            assign: Assign::None,
+            routed_at: 0,
+            blocked: 0,
+            queued_for_token: false,
+        }
+    }
+}
+
+/// Per-node injection interface: the packet currently streaming from the
+/// source queue into the router.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InjState {
+    pub active: Option<PacketId>,
+    pub sent: u16,
+    pub assign: Assign,
+    pub routed_at: u64,
+}
+
+impl InjState {
+    fn idle() -> Self {
+        InjState {
+            active: None,
+            sent: 0,
+            assign: Assign::None,
+            routed_at: 0,
+        }
+    }
+}
+
+/// An in-progress Disha recovery: the token holder and its drain path.
+#[derive(Debug, Clone)]
+pub(crate) struct RecoveryJob {
+    pub packet: PacketId,
+    /// Dimension-order path from the transition router (inclusive) to the
+    /// destination (inclusive).
+    pub path: Vec<NodeId>,
+    /// Input VC (global index) whose flits transition into the deadlock
+    /// network, until the tail has passed.
+    pub src_vc: usize,
+    /// Whether the tail has left `src_vc` (no more flits will transition).
+    pub tail_in: bool,
+}
+
+/// The simulated wormhole network: all router state, flat for speed.
+///
+/// Drive it with [`Network::cycle`]; read results with
+/// [`Network::drain_deliveries`] and [`Network::counters`].
+#[derive(Debug)]
+pub struct Network {
+    cfg: NetConfig,
+    torus: Torus,
+    /// Network ports per router (`2n`).
+    d: usize,
+    /// VCs per physical channel.
+    v: usize,
+    depth: usize,
+    packet_len: u16,
+
+    /// Input VCs, indexed by `(node * d + port) * v + vc`.
+    pub(crate) in_vcs: Vec<InVc>,
+    /// Output VC allocation flags, same indexing as `in_vcs` (an output VC
+    /// of node `u` is the upstream side of a neighbor's input VC).
+    pub(crate) out_alloc: Vec<bool>,
+    pub(crate) inj: Vec<InjState>,
+    pub(crate) source_q: Vec<VecDeque<PacketId>>,
+    pub(crate) packets: PacketStore,
+    /// Whether each packet ever took an escape VC (sticky escape).
+    pub(crate) escaped: Vec<bool>,
+
+    /// Per-router Disha deadlock buffers (recovery mode only).
+    pub(crate) dl_buf: Vec<VecDeque<Flit>>,
+    pub(crate) recovery: Option<RecoveryJob>,
+
+    /// Demand-slotted round-robin cursor of each router's routing arbiter.
+    route_rr: Vec<usize>,
+    /// Round-robin cursor per output channel (network ports + delivery).
+    out_rr: Vec<usize>,
+
+    now: u64,
+    pub(crate) counters: Counters,
+    /// Incrementally maintained count of completely full input VC buffers.
+    pub(crate) full_buffers: u32,
+    deliveries: Vec<DeliveredRecord>,
+    /// Scratch: per-node injection allowance for the current cycle.
+    allow: Vec<bool>,
+    /// FIFO of suspected-deadlocked input VCs awaiting the recovery token.
+    pub(crate) token_queue: VecDeque<usize>,
+    /// Cycle of the most recent flit delivery (watchdog aid).
+    last_delivery_at: u64,
+}
+
+impl Network {
+    /// Builds an empty network from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration error, if any.
+    pub fn new(cfg: NetConfig) -> Result<Self, crate::config::ConfigError> {
+        cfg.validate()?;
+        let torus = cfg.torus().expect("validated");
+        let nodes = torus.node_count();
+        let d = torus.channels_per_node();
+        let v = cfg.vcs;
+        Ok(Network {
+            torus,
+            d,
+            v,
+            depth: cfg.buf_depth,
+            packet_len: cfg.packet_len as u16,
+            in_vcs: (0..nodes * d * v).map(|_| InVc::new(cfg.buf_depth)).collect(),
+            out_alloc: vec![false; nodes * d * v],
+            inj: vec![InjState::idle(); nodes],
+            source_q: vec![VecDeque::new(); nodes],
+            packets: PacketStore::new(),
+            escaped: Vec::new(),
+            dl_buf: (0..nodes).map(|_| VecDeque::with_capacity(DL_DEPTH)).collect(),
+            recovery: None,
+            route_rr: vec![0; nodes],
+            out_rr: vec![0; nodes * (d + 1)],
+            now: 0,
+            counters: Counters::default(),
+            full_buffers: 0,
+            deliveries: Vec::new(),
+            allow: vec![true; nodes],
+            token_queue: VecDeque::new(),
+            last_delivery_at: 0,
+            cfg,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Read-side API (used by congestion controllers and experiments)
+    // ------------------------------------------------------------------
+
+    /// The network configuration.
+    #[must_use]
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// The underlying torus.
+    #[must_use]
+    pub fn torus(&self) -> &Torus {
+        &self.torus
+    }
+
+    /// The current cycle (number of completed [`Network::cycle`] calls).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Network-wide count of *completely full* input VC buffers — the
+    /// congestion metric the paper's side-band distributes.
+    #[must_use]
+    pub fn full_buffer_count(&self) -> u32 {
+        self.full_buffers
+    }
+
+    /// Total number of VC buffers (the denominator for threshold
+    /// percentages; 3072 for the paper's network).
+    #[must_use]
+    pub fn total_vc_buffers(&self) -> u32 {
+        self.in_vcs.len() as u32
+    }
+
+    /// Cumulative flits delivered since the start of the simulation.
+    #[must_use]
+    pub fn delivered_flits_cum(&self) -> u64 {
+        self.counters.delivered_flits
+    }
+
+    /// Whether the output VC `(dim, dir, vc)` of `node` is currently
+    /// allocated to a packet (used by the ALO baseline's "free VC" test).
+    #[must_use]
+    pub fn output_vc_allocated(&self, node: NodeId, dim: usize, dir: Dir, vc: usize) -> bool {
+        self.out_alloc[self.vc_idx(node, port_of(dim, dir), vc)]
+    }
+
+    /// Number of packets waiting in `node`'s source queue.
+    #[must_use]
+    pub fn source_queue_len(&self, node: NodeId) -> usize {
+        self.source_q[node].len()
+    }
+
+    /// Number of packets generated but not yet fully delivered.
+    #[must_use]
+    pub fn live_packets(&self) -> usize {
+        self.packets.live()
+    }
+
+    /// Takes the records of packets delivered since the last drain.
+    pub fn drain_deliveries(&mut self) -> std::vec::Drain<'_, DeliveredRecord> {
+        self.deliveries.drain(..)
+    }
+
+    /// Whether the network has had traffic in flight but delivered nothing
+    /// for at least `window` cycles — a watchdog for tests (a correctly
+    /// functioning configuration always makes progress).
+    #[must_use]
+    pub fn progress_stalled(&self, window: u64) -> bool {
+        self.packets.live() > 0 && self.now.saturating_sub(self.last_delivery_at) >= window
+    }
+
+    // ------------------------------------------------------------------
+    // Index helpers
+    // ------------------------------------------------------------------
+
+    #[inline]
+    pub(crate) fn vc_idx(&self, node: NodeId, port: usize, vc: usize) -> usize {
+        (node * self.d + port) * self.v + vc
+    }
+
+    /// The downstream input VC fed by output VC `(port, vc)` of `node`.
+    #[inline]
+    pub(crate) fn downstream_idx(&self, node: NodeId, port: usize, vc: usize) -> usize {
+        let (dim, dir) = dim_dir_of(port);
+        let nb = self.torus.neighbor(node, dim, dir);
+        self.vc_idx(nb, port_of(dim, dir.opposite()), vc)
+    }
+
+    #[inline]
+    fn feeders_per_node(&self) -> usize {
+        self.d * self.v + 1 // input VCs + injection interface
+    }
+
+    // ------------------------------------------------------------------
+    // The cycle pipeline
+    // ------------------------------------------------------------------
+
+    /// Advances the network by one cycle.
+    ///
+    /// `source(now, node)` is polled once per node and returns the
+    /// destination of a newly generated packet, if any; `ctl` is the
+    /// congestion-control policy (use [`crate::NoControl`] for the paper's
+    /// `Base`).
+    pub fn cycle(
+        &mut self,
+        source: &mut dyn FnMut(u64, NodeId) -> Option<NodeId>,
+        ctl: &mut dyn CongestionControl,
+    ) {
+        let now = self.now;
+        self.generate(now, source);
+        ctl.on_cycle(now, self);
+        self.decide_injection(now, ctl);
+        self.route_stage(now);
+        if let DeadlockMode::Recovery { timeout } = self.cfg.deadlock {
+            self.detect_starved_heads(now, timeout);
+            self.recovery_stage(now);
+        }
+        self.switch_stage(now);
+        self.now = now + 1;
+    }
+
+    /// Runs `cycles` cycles (convenience wrapper over [`Network::cycle`]).
+    pub fn run(
+        &mut self,
+        cycles: u64,
+        source: &mut dyn FnMut(u64, NodeId) -> Option<NodeId>,
+        ctl: &mut dyn CongestionControl,
+    ) {
+        for _ in 0..cycles {
+            self.cycle(source, ctl);
+        }
+    }
+
+    fn generate(&mut self, now: u64, source: &mut dyn FnMut(u64, NodeId) -> Option<NodeId>) {
+        let nodes = self.torus.node_count();
+        for node in 0..nodes {
+            let Some(dst) = source(now, node) else { continue };
+            assert!(dst < nodes, "traffic source produced destination {dst} out of range");
+            if self.source_q[node].len() >= self.cfg.source_queue_cap {
+                self.counters.refused_generations += 1;
+                continue;
+            }
+            let id = self.packets.alloc(PacketInfo {
+                src: node,
+                dst,
+                generated_at: now,
+                injected_at: u64::MAX,
+                len: self.packet_len,
+                delivered_flits: 0,
+                last_move: now,
+            });
+            if self.escaped.len() <= id as usize {
+                self.escaped.resize(id as usize + 1, false);
+            }
+            self.escaped[id as usize] = false;
+            self.source_q[node].push_back(id);
+            self.counters.generated_packets += 1;
+        }
+    }
+
+    fn decide_injection(&mut self, now: u64, ctl: &mut dyn CongestionControl) {
+        let nodes = self.torus.node_count();
+        for node in 0..nodes {
+            // Only consult the gate when a new packet could actually start.
+            let waiting = self.inj[node].active.is_none() && !self.source_q[node].is_empty();
+            self.allow[node] = if waiting {
+                let dst = self.packets.get(self.source_q[node][0]).dst;
+                let ok = ctl.allow_injection(now, node, dst, self);
+                if !ok {
+                    self.counters.throttled_injections += 1;
+                }
+                ok
+            } else {
+                false
+            };
+        }
+    }
+
+    /// Routing + VC allocation: each router's central arbiter routes at most
+    /// one header per cycle, demand-slotted round-robin over requesters.
+    fn route_stage(&mut self, now: u64) {
+        let nodes = self.torus.node_count();
+        let fpn = self.feeders_per_node();
+        let inj_feeder = self.d * self.v;
+        let timeout = match self.cfg.deadlock {
+            DeadlockMode::Recovery { timeout } => timeout,
+            DeadlockMode::Avoidance => u64::MAX,
+        };
+        for node in 0..nodes {
+            // Gather routing requests.
+            let mut requests: [u16; 64] = [0; 64];
+            let mut nreq = 0usize;
+            let base = self.vc_idx(node, 0, 0);
+            for f in 0..inj_feeder {
+                let vc = &self.in_vcs[base + f];
+                // Unrouted headers request routing; suspected (token-queued)
+                // headers keep requesting too — only capturing the token
+                // commits a packet to the recovery path, so a transiently
+                // congested packet resumes normal routing when a channel
+                // frees. Truly deadlocked packets never see a free channel.
+                if matches!(vc.assign, Assign::None | Assign::AwaitToken) {
+                    if let Some(front) = vc.buf.front() {
+                        if front.idx == 0 && front.ready_at <= now {
+                            requests[nreq] = f as u16;
+                            nreq += 1;
+                        }
+                    }
+                }
+            }
+            if self.allow[node] {
+                requests[nreq] = inj_feeder as u16;
+                nreq += 1;
+            }
+            if nreq == 0 {
+                continue;
+            }
+            // Demand-slotted RR: pick the first requester at or after the
+            // cursor position.
+            let cursor = self.route_rr[node] % fpn;
+            let winner = *requests[..nreq]
+                .iter()
+                .find(|&&f| usize::from(f) >= cursor)
+                .unwrap_or(&requests[0]);
+            let winner = usize::from(winner);
+            self.route_rr[node] = winner + 1;
+
+            // Attempt allocation for the winner.
+            let routed = self.try_route(now, node, winner, inj_feeder);
+
+            // Blocked-cycle accounting for every input-VC requester that did
+            // not end up routed this cycle (drives Disha detection).
+            for &f in &requests[..nreq] {
+                let f = usize::from(f);
+                if f == inj_feeder {
+                    continue; // queued packets hold no resources: not deadlockable
+                }
+                let idx = base + f;
+                if routed && f == winner {
+                    self.in_vcs[idx].blocked = 0;
+                } else if self.in_vcs[idx].assign == Assign::None {
+                    self.in_vcs[idx].blocked += 1;
+                    // Disha suspicion: the header has starved for `timeout`
+                    // cycles AND no flit of the whole worm has moved for
+                    // `timeout` cycles (transient contention keeps body
+                    // flits crawling and does not trip this). A suspected
+                    // packet queues for the recovery token but keeps
+                    // retrying normal routing until the token is captured.
+                    if self.in_vcs[idx].blocked >= timeout {
+                        let pid = self.in_vcs[idx].buf.front().expect("requester").packet;
+                        if now.saturating_sub(self.packets.get(pid).last_move) >= timeout {
+                            self.in_vcs[idx].assign = Assign::AwaitToken;
+                            self.in_vcs[idx].blocked = 0;
+                            if !self.in_vcs[idx].queued_for_token {
+                                self.in_vcs[idx].queued_for_token = true;
+                                self.token_queue.push_back(idx);
+                            }
+                            self.counters.recovery_timeouts += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Detects deadlocked worms whose header is *routed* but has been
+    /// credit-starved at the front of its buffer for `timeout` cycles with
+    /// the whole worm inactive. (The routing stage only watches unrouted
+    /// headers; a cycle can also form among headers that already hold an
+    /// output VC and wait forever for buffer space.) Such a header has sent
+    /// nothing on its allocated VC yet — the header is still here — so the
+    /// allocation is released and the worm committed to the token queue.
+    fn detect_starved_heads(&mut self, now: u64, timeout: u64) {
+        // Cheap gating: only sweep when the sweep could matter (every
+        // `timeout` cycles).
+        if timeout == 0 || now % timeout != 0 {
+            return;
+        }
+        for idx in 0..self.in_vcs.len() {
+            let vc = &self.in_vcs[idx];
+            let Assign::Out { port, vc: ovc } = vc.assign else { continue };
+            let Some(front) = vc.buf.front() else { continue };
+            if front.idx != 0 || front.ready_at > now {
+                continue;
+            }
+            let pid = front.packet;
+            if now.saturating_sub(self.packets.get(pid).last_move) < timeout {
+                continue;
+            }
+            let node = idx / (self.d * self.v);
+            let oidx = self.vc_idx(node, usize::from(port), usize::from(ovc));
+            debug_assert!(self.out_alloc[oidx]);
+            self.out_alloc[oidx] = false;
+            let vc = &mut self.in_vcs[idx];
+            vc.assign = Assign::AwaitToken;
+            vc.blocked = 0;
+            if !vc.queued_for_token {
+                vc.queued_for_token = true;
+                self.token_queue.push_back(idx);
+            }
+            self.counters.recovery_timeouts += 1;
+        }
+    }
+
+    /// Routes the winning feeder of `node`'s arbiter; returns whether an
+    /// assignment was made.
+    fn try_route(&mut self, now: u64, node: NodeId, feeder: usize, inj_feeder: usize) -> bool {
+        let (pid, is_inj) = if feeder == inj_feeder {
+            (self.source_q[node][0], true)
+        } else {
+            let idx = self.vc_idx(node, 0, 0) + feeder;
+            (self.in_vcs[idx].buf.front().expect("requester has front").packet, false)
+        };
+        let dst = self.packets.get(pid).dst;
+        let assign = if dst == node {
+            Some(Assign::Delivery)
+        } else {
+            self.choose_output(node, dst, pid)
+        };
+        let Some(assign) = assign else { return false };
+        if let Assign::Out { port, vc } = assign {
+            let oidx = self.vc_idx(node, usize::from(port), usize::from(vc));
+            debug_assert!(!self.out_alloc[oidx], "allocating an owned VC");
+            self.out_alloc[oidx] = true;
+            if usize::from(vc) < self.cfg.escape_vcs() {
+                self.escaped[pid as usize] = true;
+                self.counters.escape_allocations += 1;
+            }
+        }
+        if is_inj {
+            let id = self.source_q[node].pop_front().expect("queue head checked");
+            debug_assert_eq!(id, pid);
+            self.inj[node] = InjState {
+                active: Some(id),
+                sent: 0,
+                assign,
+                routed_at: now,
+            };
+        } else {
+            let idx = self.vc_idx(node, 0, 0) + feeder;
+            let vc = &mut self.in_vcs[idx];
+            vc.assign = assign;
+            vc.routed_at = now;
+            vc.blocked = 0;
+        }
+        true
+    }
+
+    /// Switch + link traversal: each output channel (network ports and the
+    /// delivery channel) moves at most one flit per cycle, round-robin over
+    /// the input VCs assigned to it.
+    fn switch_stage(&mut self, now: u64) {
+        let nodes = self.torus.node_count();
+        let inj_feeder = self.d * self.v;
+        let nports = self.d + 1; // network ports + delivery
+        for node in 0..nodes {
+            // Bucket ready feeders by output port.
+            let mut buckets: [[u16; 64]; 17] = [[0; 64]; 17];
+            let mut counts = [0usize; 17];
+            debug_assert!(nports <= 17 && self.feeders_per_node() <= 64);
+            let base = self.vc_idx(node, 0, 0);
+            for f in 0..inj_feeder {
+                let vc = &self.in_vcs[base + f];
+                let port = match vc.assign {
+                    Assign::Out { port, .. } => usize::from(port),
+                    Assign::Delivery => self.d,
+                    Assign::None | Assign::AwaitToken | Assign::Recovery => continue,
+                };
+                let Some(front) = vc.buf.front() else { continue };
+                if front.ready_at > now || (front.idx == 0 && vc.routed_at >= now) {
+                    continue;
+                }
+                if let Assign::Out { port, vc: ovc } = vc.assign {
+                    let didx = self.downstream_idx(node, usize::from(port), usize::from(ovc));
+                    if self.in_vcs[didx].buf.len() >= self.depth {
+                        continue; // no credit
+                    }
+                }
+                buckets[port][counts[port]] = f as u16;
+                counts[port] += 1;
+            }
+            // Injection feeder.
+            let inj = self.inj[node];
+            if let Some(pid) = inj.active {
+                let port = match inj.assign {
+                    Assign::Out { port, .. } => Some(usize::from(port)),
+                    Assign::Delivery => Some(self.d),
+                    _ => None,
+                };
+                if let Some(port) = port {
+                    let header_wait = inj.sent == 0 && inj.routed_at >= now;
+                    let credit_ok = match inj.assign {
+                        Assign::Out { port, vc } => {
+                            let didx =
+                                self.downstream_idx(node, usize::from(port), usize::from(vc));
+                            self.in_vcs[didx].buf.len() < self.depth
+                        }
+                        _ => true,
+                    };
+                    if !header_wait && credit_ok && inj.sent < self.packets.get(pid).len {
+                        buckets[port][counts[port]] = inj_feeder as u16;
+                        counts[port] += 1;
+                    }
+                }
+            }
+            // One flit per output channel, RR over its candidates.
+            for port in 0..nports {
+                if counts[port] == 0 {
+                    continue;
+                }
+                let cands = &buckets[port][..counts[port]];
+                let cursor = self.out_rr[node * nports + port] % self.feeders_per_node();
+                let pick = *cands
+                    .iter()
+                    .find(|&&f| usize::from(f) >= cursor)
+                    .unwrap_or(&cands[0]);
+                self.out_rr[node * nports + port] = usize::from(pick) + 1;
+                self.move_flit(now, node, usize::from(pick), inj_feeder);
+            }
+        }
+    }
+
+    /// Moves one flit from feeder `f` of `node` along its assignment.
+    fn move_flit(&mut self, now: u64, node: NodeId, f: usize, inj_feeder: usize) {
+        let (flit, assign, is_tail) = if f == inj_feeder {
+            let inj = &mut self.inj[node];
+            let pid = inj.active.expect("injection feeder has active packet");
+            let idx = inj.sent;
+            inj.sent += 1;
+            let len = self.packets.get(pid).len;
+            let is_tail = inj.sent == len;
+            if idx == 0 {
+                self.packets.get_mut(pid).injected_at = now;
+                self.counters.injected_packets += 1;
+            }
+            let assign = inj.assign;
+            if is_tail {
+                self.inj[node] = InjState::idle();
+            }
+            (
+                Flit {
+                    packet: pid,
+                    idx,
+                    ready_at: now,
+                },
+                assign,
+                is_tail,
+            )
+        } else {
+            let idx = self.vc_idx(node, 0, 0) + f;
+            let vc = &mut self.in_vcs[idx];
+            let was_full = vc.buf.len() >= self.depth;
+            let flit = vc.buf.pop_front().expect("bucketed feeder has a flit");
+            if was_full {
+                self.full_buffers -= 1;
+            }
+            let assign = vc.assign;
+            let is_tail = flit.idx + 1 == self.packets.get(flit.packet).len;
+            if is_tail {
+                vc.assign = Assign::None;
+            }
+            (flit, assign, is_tail)
+        };
+
+        self.packets.get_mut(flit.packet).last_move = now;
+        match assign {
+            Assign::Out { port, vc } => {
+                let oidx = self.vc_idx(node, usize::from(port), usize::from(vc));
+                let didx = self.downstream_idx(node, usize::from(port), usize::from(vc));
+                if is_tail {
+                    debug_assert!(self.out_alloc[oidx]);
+                    self.out_alloc[oidx] = false;
+                }
+                let down = &mut self.in_vcs[didx];
+                down.buf.push_back(Flit {
+                    ready_at: now + self.cfg.hop_latency,
+                    ..flit
+                });
+                if down.buf.len() >= self.depth {
+                    self.full_buffers += 1;
+                }
+            }
+            Assign::Delivery => self.deliver_flit(now, flit, false),
+            Assign::None | Assign::AwaitToken | Assign::Recovery => {
+                unreachable!("move_flit called on unassigned feeder")
+            }
+        }
+    }
+
+    /// Consumes a flit at its destination's delivery channel.
+    pub(crate) fn deliver_flit(&mut self, now: u64, flit: Flit, via_recovery: bool) {
+        self.counters.delivered_flits += 1;
+        self.last_delivery_at = now;
+        let len = {
+            let p = self.packets.get_mut(flit.packet);
+            p.delivered_flits += 1;
+            p.len
+        };
+        if flit.idx + 1 == len {
+            let p = *self.packets.get(flit.packet);
+            debug_assert_eq!(p.delivered_flits, len, "flits delivered out of order");
+            self.deliveries.push(DeliveredRecord {
+                src: p.src,
+                dst: p.dst,
+                generated_at: p.generated_at,
+                injected_at: p.injected_at,
+                delivered_at: now,
+                len,
+                recovered: via_recovery,
+            });
+            self.counters.delivered_packets += 1;
+            if via_recovery {
+                self.counters.recovered_packets += 1;
+            }
+            self.packets.release(flit.packet);
+        }
+    }
+}
+
+/// Output/input port index of `(dim, dir)`: `2*dim` for `Plus`, `2*dim + 1`
+/// for `Minus`.
+#[inline]
+#[must_use]
+pub(crate) fn port_of(dim: usize, dir: Dir) -> usize {
+    dim * 2 + usize::from(dir == Dir::Minus)
+}
+
+/// Inverse of [`port_of`].
+#[inline]
+#[must_use]
+pub(crate) fn dim_dir_of(port: usize) -> (usize, Dir) {
+    (port / 2, if port % 2 == 0 { Dir::Plus } else { Dir::Minus })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_mapping_round_trips() {
+        for dim in 0..4 {
+            for dir in Dir::BOTH {
+                let p = port_of(dim, dir);
+                assert_eq!(dim_dir_of(p), (dim, dir));
+            }
+        }
+        assert_eq!(port_of(0, Dir::Plus), 0);
+        assert_eq!(port_of(1, Dir::Minus), 3);
+    }
+}

@@ -1,0 +1,173 @@
+use kncube::NodeId;
+
+/// Identifier of an in-flight packet (an index into the packet store; slots
+/// are recycled after delivery).
+pub type PacketId = u32;
+
+/// One flit of a packet.
+///
+/// All flits of a packet are identical except for their index: index 0 is
+/// the header (carries routing information), index `len - 1` is the tail
+/// (releases resources as it passes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet: PacketId,
+    /// Position within the packet (0 = header).
+    pub idx: u16,
+    /// First cycle at which this flit is usable at its current location
+    /// (models crossbar + link pipeline latency).
+    pub ready_at: u64,
+}
+
+/// Metadata of an in-flight packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketInfo {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Cycle the packet was generated (entered the source queue).
+    pub generated_at: u64,
+    /// Cycle the header flit left the source (entered the network), or
+    /// `u64::MAX` while still queued.
+    pub injected_at: u64,
+    /// Packet length in flits.
+    pub len: u16,
+    /// Flits already consumed at the destination.
+    pub delivered_flits: u16,
+    /// Cycle any flit of this packet last moved (drives Disha's
+    /// whole-worm-inactive deadlock detection).
+    pub last_move: u64,
+}
+
+/// Record emitted when a packet's tail is consumed at its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveredRecord {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Generation cycle.
+    pub generated_at: u64,
+    /// Injection cycle (header left the source).
+    pub injected_at: u64,
+    /// Delivery cycle (tail consumed).
+    pub delivered_at: u64,
+    /// Packet length in flits.
+    pub len: u16,
+    /// Whether the packet finished through the Disha recovery network.
+    pub recovered: bool,
+}
+
+impl DeliveredRecord {
+    /// Network latency: injection of the header to consumption of the tail.
+    #[must_use]
+    pub fn network_latency(&self) -> u64 {
+        self.delivered_at - self.injected_at
+    }
+
+    /// End-to-end latency including source queueing.
+    #[must_use]
+    pub fn total_latency(&self) -> u64 {
+        self.delivered_at - self.generated_at
+    }
+}
+
+/// A slab of packet metadata with slot recycling, so long simulations do not
+/// accumulate memory proportional to the number of packets ever sent.
+#[derive(Debug, Default, Clone)]
+pub struct PacketStore {
+    slots: Vec<PacketInfo>,
+    free: Vec<PacketId>,
+}
+
+impl PacketStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        PacketStore::default()
+    }
+
+    /// Allocates a slot for a new packet and returns its id.
+    pub fn alloc(&mut self, info: PacketInfo) -> PacketId {
+        if let Some(id) = self.free.pop() {
+            self.slots[id as usize] = info;
+            id
+        } else {
+            let id = PacketId::try_from(self.slots.len()).expect("too many live packets");
+            self.slots.push(info);
+            id
+        }
+    }
+
+    /// Releases a delivered packet's slot for reuse.
+    pub fn release(&mut self, id: PacketId) {
+        debug_assert!(!self.free.contains(&id), "double release of packet {id}");
+        self.free.push(id);
+    }
+
+    /// Read access to a live packet.
+    #[must_use]
+    pub fn get(&self, id: PacketId) -> &PacketInfo {
+        &self.slots[id as usize]
+    }
+
+    /// Write access to a live packet.
+    pub fn get_mut(&mut self, id: PacketId) -> &mut PacketInfo {
+        &mut self.slots[id as usize]
+    }
+
+    /// Number of currently live (allocated, not yet released) packets.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(src: NodeId) -> PacketInfo {
+        PacketInfo {
+            src,
+            dst: 0,
+            generated_at: 0,
+            injected_at: u64::MAX,
+            len: 16,
+            delivered_flits: 0,
+            last_move: 0,
+        }
+    }
+
+    #[test]
+    fn alloc_release_recycles_slots() {
+        let mut s = PacketStore::new();
+        let a = s.alloc(info(1));
+        let b = s.alloc(info(2));
+        assert_ne!(a, b);
+        assert_eq!(s.live(), 2);
+        s.release(a);
+        assert_eq!(s.live(), 1);
+        let c = s.alloc(info(3));
+        assert_eq!(c, a, "released slot should be reused");
+        assert_eq!(s.get(c).src, 3);
+        assert_eq!(s.live(), 2);
+    }
+
+    #[test]
+    fn latency_accessors() {
+        let r = DeliveredRecord {
+            src: 0,
+            dst: 1,
+            generated_at: 10,
+            injected_at: 25,
+            delivered_at: 100,
+            len: 16,
+            recovered: false,
+        };
+        assert_eq!(r.network_latency(), 75);
+        assert_eq!(r.total_latency(), 90);
+    }
+}

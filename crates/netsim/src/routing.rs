@@ -1,0 +1,122 @@
+//! Output-channel selection for headers (adaptive routing with either
+//! escape channels or full adaptivity, per the deadlock mode).
+
+use crate::network::{port_of, Assign, Network};
+use crate::packet::PacketId;
+use kncube::{Dir, NodeId};
+
+impl Network {
+    /// Chooses an output virtual channel for a header at `node` destined for
+    /// `dst` (`dst != node`; local delivery is handled by the caller).
+    ///
+    /// Policy, following the paper's §5.1 configurations:
+    ///
+    /// * **Adaptive candidates** — the first free VC in the adaptive class
+    ///   over the *productive* (minimal, including wraparound) physical
+    ///   channels, scanned in fixed (dimension, direction, VC) order — the
+    ///   simple selection function of flexsim-era routers (DESIGN.md §5b).
+    /// * **Escape fallback** (avoidance mode only) — VC 0 of the
+    ///   dimension-order *mesh* hop (no wraparound links), which forms a
+    ///   deadlock-free escape sub-network with a single VC. Escape is
+    ///   sticky: once a packet takes an escape channel it stays on the
+    ///   escape network to its destination, which keeps the extended
+    ///   channel-dependency graph acyclic on the torus.
+    ///
+    /// Returns `None` when no candidate channel is free this cycle.
+    pub(crate) fn choose_output(
+        &self,
+        node: NodeId,
+        dst: NodeId,
+        pid: PacketId,
+    ) -> Option<Assign> {
+        debug_assert_ne!(node, dst);
+        let escape_vcs = self.config().escape_vcs();
+        let sticky_escaped = escape_vcs > 0 && self.escaped[pid as usize];
+
+        if !sticky_escaped {
+            // First free adaptive VC in fixed (dimension, direction, VC)
+            // order — the simple selection function of flexsim-era routers.
+            for (dim, dir) in self.torus().productive_hops(node, dst).iter() {
+                let port = port_of(dim, dir);
+                for vc in escape_vcs..self.config().vcs {
+                    let oidx = self.vc_idx(node, port, vc);
+                    if !self.out_alloc[oidx] {
+                        return Some(Assign::Out {
+                            port: port as u8,
+                            vc: vc as u8,
+                        });
+                    }
+                }
+            }
+        }
+
+        if escape_vcs > 0 {
+            let (dim, dir) = self
+                .mesh_dor_hop(node, dst)
+                .expect("mesh DOR hop exists whenever node != dst");
+            let port = port_of(dim, dir);
+            for vc in 0..escape_vcs {
+                let oidx = self.vc_idx(node, port, vc);
+                if !self.out_alloc[oidx] {
+                    return Some(Assign::Out {
+                        port: port as u8,
+                        vc: vc as u8,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Dimension-order next hop on the *mesh* sub-network (never crosses a
+    /// wraparound link): the escape routing function.
+    pub(crate) fn mesh_dor_hop(&self, cur: NodeId, dst: NodeId) -> Option<(usize, Dir)> {
+        let ca = self.torus().coords(cur);
+        let cb = self.torus().coords(dst);
+        for dim in 0..self.torus().dimensions() {
+            if ca[dim] != cb[dim] {
+                let dir = if cb[dim] > ca[dim] { Dir::Plus } else { Dir::Minus };
+                return Some((dim, dir));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{DeadlockMode, NetConfig};
+    use crate::network::Network;
+    use kncube::Dir;
+
+    #[test]
+    fn mesh_dor_never_wraps() {
+        let net = Network::new(NetConfig::small(DeadlockMode::Avoidance)).unwrap();
+        // Node 0 to node 7 (same row): torus-minimal is one hop Minus (wrap),
+        // but the mesh escape must walk +x without wrapping.
+        let (dim, dir) = net.mesh_dor_hop(0, 7).unwrap();
+        assert_eq!((dim, dir), (0, Dir::Plus));
+        // And from 7 back to 0 it walks -x.
+        let (dim, dir) = net.mesh_dor_hop(7, 0).unwrap();
+        assert_eq!((dim, dir), (0, Dir::Minus));
+        assert_eq!(net.mesh_dor_hop(5, 5), None);
+    }
+
+    #[test]
+    fn mesh_dor_walk_terminates_everywhere() {
+        let net = Network::new(NetConfig::small(DeadlockMode::Avoidance)).unwrap();
+        let t = net.torus().clone();
+        for src in [0usize, 7, 32, 63] {
+            for dst in 0..t.node_count() {
+                let mut cur = src;
+                let mut steps = 0;
+                while let Some((dim, dir)) = net.mesh_dor_hop(cur, dst) {
+                    cur = t.neighbor(cur, dim, dir);
+                    steps += 1;
+                    assert!(steps < 100, "mesh DOR walk diverged");
+                }
+                assert_eq!(cur, dst);
+            }
+        }
+    }
+}

@@ -1,0 +1,374 @@
+use crate::Quantizer;
+use std::collections::VecDeque;
+
+/// How receivers turn delayed snapshots into a current-congestion estimate.
+///
+/// The paper uses linear extrapolation and notes that "any prediction
+/// mechanism based on previously observed network states can be used"; the
+/// extra variants here exist for that ablation (X1 in DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Estimator {
+    /// Use the most recent snapshot unchanged until the next one arrives.
+    LastSnapshot,
+    /// Linearly extrapolate from the two most recent snapshots (the paper's
+    /// default; §3.1 reports it is worth 3–5% of throughput).
+    LinearExtrapolation,
+    /// Exponentially weighted moving average over snapshots with smoothing
+    /// factor `alpha` in `(0, 1]` (1 degenerates to
+    /// [`Estimator::LastSnapshot`]). Smooths census noise at the cost of
+    /// extra lag — the opposite trade to extrapolation.
+    Ewma {
+        /// Weight of the newest snapshot.
+        alpha: f64,
+    },
+}
+
+impl Default for Estimator {
+    fn default() -> Self {
+        Estimator::LinearExtrapolation
+    }
+}
+
+/// Configuration of the side-band gather network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SidebandConfig {
+    /// Torus radix `k`.
+    pub radix: usize,
+    /// Torus dimension count `n`.
+    pub dimensions: usize,
+    /// Per-hop side-band delay `h`, in cycles (2 in the paper).
+    pub hop_delay: u64,
+    /// Estimation scheme used by receivers.
+    pub estimator: Estimator,
+    /// Optional narrow-side-band quantization of the transmitted counts
+    /// (models the TR's 9-bit side-band channels).
+    pub quantizer: Option<Quantizer>,
+}
+
+impl SidebandConfig {
+    /// The paper's configuration: 16-ary 2-cube, `h = 2`, linear
+    /// extrapolation, full-width (25-bit) side-band.
+    #[must_use]
+    pub fn paper() -> Self {
+        SidebandConfig {
+            radix: 16,
+            dimensions: 2,
+            hop_delay: 2,
+            estimator: Estimator::LinearExtrapolation,
+            quantizer: None,
+        }
+    }
+
+    /// The gather duration `g = ceil(k/2) * h * n`, in cycles.
+    ///
+    /// ```
+    /// use sideband::SidebandConfig;
+    /// assert_eq!(SidebandConfig::paper().gather_period(), 32);
+    /// ```
+    #[must_use]
+    pub fn gather_period(&self) -> u64 {
+        (self.radix as u64).div_ceil(2) * self.hop_delay * self.dimensions as u64
+    }
+}
+
+/// One network snapshot as seen by receivers: the instantaneous full-buffer
+/// count at `taken_at` and the flits delivered network-wide during the
+/// gather window ending at `taken_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Cycle at which the snapshot was taken (a multiple of `g`).
+    pub taken_at: u64,
+    /// Cycle at which every node has received the aggregate (`taken_at + g`).
+    pub available_at: u64,
+    /// Network-wide count of completely full VC buffers at `taken_at`
+    /// (quantized if a [`Quantizer`] is configured).
+    pub full_buffers: u32,
+    /// Flits delivered network-wide in `[taken_at - g, taken_at)`
+    /// (quantized if a [`Quantizer`] is configured).
+    pub delivered_flits: u32,
+}
+
+/// The side-band gather network: accepts the true census every cycle and
+/// exposes delayed snapshots plus the congestion estimate derived from them.
+///
+/// All nodes receive identical aggregates at identical times under
+/// dimension-wise aggregation on a symmetric torus, so one instance serves
+/// the whole network.
+#[derive(Debug, Clone)]
+pub struct Sideband {
+    cfg: SidebandConfig,
+    period: u64,
+    /// Snapshots in flight (taken, not yet visible to receivers).
+    in_flight: VecDeque<Snapshot>,
+    /// The two most recent snapshots visible to receivers: `[newest, older]`.
+    visible: [Option<Snapshot>; 2],
+    /// Running EWMA state (only maintained for [`Estimator::Ewma`]).
+    ewma: Option<f64>,
+    /// Cumulative delivered flits at the previous snapshot boundary.
+    window_base: u64,
+    last_cycle_seen: Option<u64>,
+}
+
+impl Sideband {
+    /// Creates a side-band network from `cfg`.
+    #[must_use]
+    pub fn new(cfg: SidebandConfig) -> Self {
+        let period = cfg.gather_period();
+        Sideband {
+            cfg,
+            period,
+            in_flight: VecDeque::with_capacity(4),
+            visible: [None, None],
+            ewma: None,
+            window_base: 0,
+            last_cycle_seen: None,
+        }
+    }
+
+    /// The gather duration `g` in cycles.
+    #[must_use]
+    pub fn gather_period(&self) -> u64 {
+        self.period
+    }
+
+    /// The configuration this side-band was built from.
+    #[must_use]
+    pub fn config(&self) -> &SidebandConfig {
+        &self.cfg
+    }
+
+    /// Feeds one cycle of ground truth: the instantaneous network-wide
+    /// full-buffer count and the *cumulative* delivered flit count.
+    ///
+    /// Must be called once per cycle with strictly increasing `now`
+    /// (starting at 0); the simulator drives this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if cycles are skipped or repeated.
+    pub fn on_cycle(&mut self, now: u64, full_buffers: u32, delivered_cum: u64) {
+        if let Some(prev) = self.last_cycle_seen {
+            assert_eq!(now, prev + 1, "sideband must be ticked every cycle");
+        } else {
+            assert_eq!(now, 0, "sideband must be ticked starting at cycle 0");
+        }
+        self.last_cycle_seen = Some(now);
+
+        // Promote snapshots that have finished propagating.
+        while let Some(front) = self.in_flight.front() {
+            if front.available_at <= now {
+                let snap = self.in_flight.pop_front().expect("front checked");
+                self.visible = [Some(snap), self.visible[0]];
+                if let Estimator::Ewma { alpha } = self.cfg.estimator {
+                    let v = f64::from(snap.full_buffers);
+                    self.ewma = Some(match self.ewma {
+                        Some(prev) => alpha * v + (1.0 - alpha) * prev,
+                        None => v,
+                    });
+                }
+            } else {
+                break;
+            }
+        }
+
+        // Take a new snapshot at each gather boundary (skip cycle 0: there is
+        // no delivery window behind it yet).
+        if now > 0 && now % self.period == 0 {
+            let window_flits = delivered_cum - self.window_base;
+            self.window_base = delivered_cum;
+            let q = |v: u32, max: u32| match &self.cfg.quantizer {
+                Some(quant) => quant.quantize(v, max),
+                None => v,
+            };
+            let max_tput = (self.period * self.node_count() as u64) as u32;
+            let snap = Snapshot {
+                taken_at: now,
+                available_at: now + self.period,
+                full_buffers: q(full_buffers, self.max_full_buffers()),
+                delivered_flits: q(
+                    u32::try_from(window_flits).expect("window flits exceed u32"),
+                    max_tput,
+                ),
+            };
+            self.in_flight.push_back(snap);
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        self.cfg.radix.pow(self.cfg.dimensions as u32)
+    }
+
+    fn max_full_buffers(&self) -> u32 {
+        // Upper bound used only for quantization scaling; assumes the paper's
+        // 3 VCs x 2n channels. Conservative overestimates are harmless here.
+        (self.node_count() * 2 * self.cfg.dimensions * 3) as u32
+    }
+
+    /// The most recent snapshot visible to receivers, if any.
+    #[must_use]
+    pub fn latest(&self) -> Option<Snapshot> {
+        self.visible[0]
+    }
+
+    /// The snapshot before [`Sideband::latest`], if any.
+    #[must_use]
+    pub fn previous(&self) -> Option<Snapshot> {
+        self.visible[1]
+    }
+
+    /// The receivers' estimate of the *current* network-wide full-buffer
+    /// count at cycle `now`.
+    ///
+    /// With [`Estimator::LinearExtrapolation`] this is
+    /// `s0 + (s0 - s1) * (now - t0) / g` clamped at zero; with
+    /// [`Estimator::LastSnapshot`] it is simply `s0`. Before any snapshot is
+    /// visible the estimate is 0 (an empty warm network).
+    #[must_use]
+    pub fn estimate(&self, now: u64) -> f64 {
+        match (self.visible[0], self.visible[1], self.cfg.estimator) {
+            (None, _, _) => 0.0,
+            (Some(s0), _, Estimator::LastSnapshot) => f64::from(s0.full_buffers),
+            (Some(s0), _, Estimator::Ewma { .. }) => {
+                self.ewma.unwrap_or_else(|| f64::from(s0.full_buffers))
+            }
+            (Some(s0), None, Estimator::LinearExtrapolation) => f64::from(s0.full_buffers),
+            (Some(s0), Some(s1), Estimator::LinearExtrapolation) => {
+                let slope = (f64::from(s0.full_buffers) - f64::from(s1.full_buffers))
+                    / self.period as f64;
+                let ahead = now.saturating_sub(s0.taken_at) as f64;
+                (f64::from(s0.full_buffers) + slope * ahead).max(0.0)
+            }
+        }
+    }
+
+    /// Flits delivered network-wide in the most recent visible gather
+    /// window (the throughput feedback used by the self-tuner).
+    #[must_use]
+    pub fn window_throughput(&self) -> Option<u32> {
+        self.latest().map(|s| s.delivered_flits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(sb: &mut Sideband, upto: u64, full: impl Fn(u64) -> u32, rate: u64) {
+        let start = sb.last_cycle_seen.map_or(0, |c| c + 1);
+        for now in start..=upto {
+            sb.on_cycle(now, full(now), now * rate);
+        }
+    }
+
+    #[test]
+    fn gather_period_formula() {
+        let cfg = SidebandConfig {
+            radix: 8,
+            dimensions: 3,
+            hop_delay: 1,
+            estimator: Estimator::default(),
+            quantizer: None,
+        };
+        assert_eq!(cfg.gather_period(), 12);
+        // Odd radix rounds up.
+        let cfg = SidebandConfig {
+            radix: 5,
+            dimensions: 2,
+            hop_delay: 2,
+            ..cfg
+        };
+        assert_eq!(cfg.gather_period(), 12);
+        assert_eq!(SidebandConfig::paper().gather_period(), 32);
+    }
+
+    #[test]
+    fn snapshots_arrive_exactly_one_gather_late() {
+        let mut sb = Sideband::new(SidebandConfig::paper());
+        drive(&mut sb, 63, |_| 100, 0);
+        // Snapshot taken at 32 is available at 64, not before.
+        assert!(sb.latest().is_none());
+        sb.on_cycle(64, 100, 0);
+        let s = sb.latest().expect("snapshot at 32 visible at 64");
+        assert_eq!(s.taken_at, 32);
+        assert_eq!(s.available_at, 64);
+        assert_eq!(s.full_buffers, 100);
+    }
+
+    #[test]
+    fn window_throughput_counts_per_window_flits() {
+        let mut sb = Sideband::new(SidebandConfig::paper());
+        // 5 flits delivered per cycle.
+        drive(&mut sb, 96, |_| 0, 5);
+        let s = sb.latest().expect("snapshot visible");
+        assert_eq!(s.taken_at, 64);
+        assert_eq!(s.delivered_flits, 32 * 5);
+        assert_eq!(sb.window_throughput(), Some(160));
+    }
+
+    #[test]
+    fn linear_extrapolation_tracks_linear_growth_exactly() {
+        let mut sb = Sideband::new(SidebandConfig::paper());
+        // Census grows by exactly 2 per cycle; extrapolation should predict
+        // the current value exactly despite the g-cycle staleness.
+        drive(&mut sb, 200, |now| (2 * now) as u32, 0);
+        let est = sb.estimate(200);
+        assert!((est - 400.0).abs() < 1e-9, "estimate {est} should be 400");
+    }
+
+    #[test]
+    fn last_snapshot_estimator_lags() {
+        let mut cfg = SidebandConfig::paper();
+        cfg.estimator = Estimator::LastSnapshot;
+        let mut sb = Sideband::new(cfg);
+        drive(&mut sb, 200, |now| (2 * now) as u32, 0);
+        // Latest visible snapshot was taken at 160 (available at 192).
+        assert_eq!(sb.estimate(200), 320.0);
+    }
+
+    #[test]
+    fn extrapolation_clamps_at_zero() {
+        let mut sb = Sideband::new(SidebandConfig::paper());
+        // Census collapses from 1000 to 0; extrapolation must not go negative.
+        drive(&mut sb, 200, |now| if now < 100 { 1000 } else { 0 }, 0);
+        assert!(sb.estimate(260) >= 0.0);
+    }
+
+    #[test]
+    fn estimate_before_first_snapshot_is_zero() {
+        let mut sb = Sideband::new(SidebandConfig::paper());
+        drive(&mut sb, 40, |_| 999, 0);
+        assert_eq!(sb.estimate(40), 0.0);
+    }
+
+    #[test]
+    fn ewma_smooths_and_lags() {
+        let mut cfg = SidebandConfig::paper();
+        cfg.estimator = Estimator::Ewma { alpha: 0.5 };
+        let mut sb = Sideband::new(cfg);
+        // Alternating census 0 / 1000 per gather window.
+        drive(&mut sb, 400, |now| if (now / 32) % 2 == 0 { 0 } else { 1000 }, 0);
+        let est = sb.estimate(400);
+        assert!(
+            (200.0..800.0).contains(&est),
+            "EWMA should land between the extremes, got {est}"
+        );
+        // alpha = 1 degenerates to last-snapshot behavior.
+        let mut cfg = SidebandConfig::paper();
+        cfg.estimator = Estimator::Ewma { alpha: 1.0 };
+        let mut sb1 = Sideband::new(cfg);
+        let mut cfg = SidebandConfig::paper();
+        cfg.estimator = Estimator::LastSnapshot;
+        let mut sb2 = Sideband::new(cfg);
+        drive(&mut sb1, 300, |now| (3 * now) as u32, 0);
+        drive(&mut sb2, 300, |now| (3 * now) as u32, 0);
+        assert_eq!(sb1.estimate(300), sb2.estimate(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "ticked every cycle")]
+    fn skipping_cycles_panics() {
+        let mut sb = Sideband::new(SidebandConfig::paper());
+        sb.on_cycle(0, 0, 0);
+        sb.on_cycle(2, 0, 0);
+    }
+}

@@ -1,0 +1,43 @@
+use core::fmt;
+
+/// Error returned when constructing an invalid [`Torus`](crate::Torus).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Radix must be at least 2 so that every dimension has distinct nodes.
+    RadixTooSmall {
+        /// The rejected radix.
+        k: usize,
+    },
+    /// Dimension count must be in `1..=MAX_DIMS`.
+    BadDimensionCount {
+        /// The rejected dimension count.
+        n: usize,
+    },
+    /// `k^n` overflows the node index space.
+    TooManyNodes {
+        /// Requested radix.
+        k: usize,
+        /// Requested dimension count.
+        n: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::RadixTooSmall { k } => {
+                write!(f, "torus radix must be at least 2, got {k}")
+            }
+            TopologyError::BadDimensionCount { n } => write!(
+                f,
+                "torus dimension count must be in 1..={}, got {n}",
+                crate::MAX_DIMS
+            ),
+            TopologyError::TooManyNodes { k, n } => {
+                write!(f, "{k}^{n} nodes exceeds the supported node index space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

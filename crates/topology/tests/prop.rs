@@ -1,0 +1,91 @@
+//! Property-based tests for the torus topology.
+
+use kncube::{Dir, Torus};
+use proptest::prelude::*;
+
+fn torus_strategy() -> impl Strategy<Value = Torus> {
+    (2usize..=16, 1usize..=3).prop_map(|(k, n)| Torus::new(k, n).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn coords_node_round_trip(t in torus_strategy(), seed in any::<u64>()) {
+        let id = (seed as usize) % t.node_count();
+        prop_assert_eq!(t.node(t.coords(id)), id);
+    }
+
+    #[test]
+    fn distance_is_symmetric(t in torus_strategy(), a in any::<u64>(), b in any::<u64>()) {
+        let a = (a as usize) % t.node_count();
+        let b = (b as usize) % t.node_count();
+        prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+        prop_assert_eq!(t.distance(a, a), 0);
+    }
+
+    #[test]
+    fn distance_triangle_inequality(
+        t in torus_strategy(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+    ) {
+        let a = (a as usize) % t.node_count();
+        let b = (b as usize) % t.node_count();
+        let c = (c as usize) % t.node_count();
+        prop_assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+    }
+
+    #[test]
+    fn productive_hop_decreases_distance(
+        t in torus_strategy(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let a = (a as usize) % t.node_count();
+        let b = (b as usize) % t.node_count();
+        for (dim, dir) in t.productive_hops(a, b).iter() {
+            let next = t.neighbor(a, dim, dir);
+            prop_assert_eq!(t.distance(next, b) + 1, t.distance(a, b));
+        }
+    }
+
+    #[test]
+    fn productive_hops_empty_only_at_destination(
+        t in torus_strategy(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let a = (a as usize) % t.node_count();
+        let b = (b as usize) % t.node_count();
+        prop_assert_eq!(t.productive_hops(a, b).is_empty(), a == b);
+    }
+
+    #[test]
+    fn dimension_order_hop_is_productive(
+        t in torus_strategy(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let a = (a as usize) % t.node_count();
+        let b = (b as usize) % t.node_count();
+        if let Some((dim, dir)) = t.dimension_order_hop(a, b) {
+            let productive: Vec<_> = t.productive_hops(a, b).iter().collect();
+            prop_assert!(productive.contains(&(dim, dir)));
+        } else {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_distance_one(t in torus_strategy(), a in any::<u64>()) {
+        let a = (a as usize) % t.node_count();
+        for dim in 0..t.dimensions() {
+            for dir in Dir::BOTH {
+                let nb = t.neighbor(a, dim, dir);
+                if t.radix() > 1 {
+                    prop_assert_eq!(t.distance(a, nb), 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+use crate::TrafficError;
+use kncube::NodeId;
+use rand::Rng;
+
+/// Number of address bits for a power-of-two node count.
+///
+/// # Errors
+///
+/// Returns [`TrafficError::NodesNotPowerOfTwo`] otherwise.
+///
+/// ```
+/// assert_eq!(traffic::bits_for_nodes(256).unwrap(), 8);
+/// assert!(traffic::bits_for_nodes(100).is_err());
+/// ```
+pub fn bits_for_nodes(nodes: usize) -> Result<u32, TrafficError> {
+    if nodes >= 2 && nodes.is_power_of_two() {
+        Ok(nodes.trailing_zeros())
+    } else {
+        Err(TrafficError::NodesNotPowerOfTwo { nodes })
+    }
+}
+
+/// A communication pattern: how a source chooses each packet's destination.
+///
+/// The bit-permutation patterns operate on the `b = log2(node_count)` bit
+/// coordinates `(a_{b-1}, ..., a_1, a_0)` of the source node number, exactly
+/// as defined in §5.1 of the paper:
+///
+/// * **bit-reversal**: `(a_0, a_1, ..., a_{b-1})`
+/// * **perfect-shuffle**: `(a_{b-2}, ..., a_0, a_{b-1})` (rotate left)
+/// * **butterfly**: `(a_0, a_{b-2}, ..., a_1, a_{b-1})` (swap MSB and LSB)
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// Destination drawn uniformly at random among all *other* nodes.
+    UniformRandom,
+    /// Bit-reversal permutation.
+    BitReversal,
+    /// Perfect-shuffle permutation (left rotate by one bit).
+    PerfectShuffle,
+    /// Butterfly permutation (exchange most- and least-significant bits).
+    Butterfly,
+    /// Bit-complement permutation (extension; classic adversarial pattern).
+    BitComplement,
+    /// Matrix transpose (swap the high and low halves of the address bits;
+    /// extension pattern common in the literature).
+    Transpose,
+    /// A fraction of traffic targets a fixed hotspot node; the rest is
+    /// uniform random (extension; models the tree-saturation hotspot of
+    /// Pfister & Norton).
+    Hotspot {
+        /// The hotspot destination.
+        target: NodeId,
+        /// Fraction of packets sent to the hotspot, in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl Pattern {
+    /// Short name used in experiment tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pattern::UniformRandom => "uniform-random",
+            Pattern::BitReversal => "bit-reversal",
+            Pattern::PerfectShuffle => "perfect-shuffle",
+            Pattern::Butterfly => "butterfly",
+            Pattern::BitComplement => "bit-complement",
+            Pattern::Transpose => "transpose",
+            Pattern::Hotspot { .. } => "hotspot",
+        }
+    }
+
+    /// Validates the pattern against a node count.
+    ///
+    /// # Errors
+    ///
+    /// Bit-permutation patterns require a power-of-two node count; hotspot
+    /// patterns require `target < nodes` and `fraction` in `[0, 1]`.
+    pub fn validate(&self, nodes: usize) -> Result<(), TrafficError> {
+        match self {
+            Pattern::UniformRandom => Ok(()),
+            Pattern::BitReversal
+            | Pattern::PerfectShuffle
+            | Pattern::Butterfly
+            | Pattern::BitComplement
+            | Pattern::Transpose => bits_for_nodes(nodes).map(|_| ()),
+            Pattern::Hotspot { target, fraction } => {
+                if *target < nodes && (0.0..=1.0).contains(fraction) {
+                    Ok(())
+                } else {
+                    Err(TrafficError::BadHotspot)
+                }
+            }
+        }
+    }
+
+    /// Chooses a destination for a packet from `src`.
+    ///
+    /// Deterministic patterns ignore `rng`. The result of a deterministic
+    /// pattern may equal `src` (e.g. palindromic addresses under
+    /// bit-reversal); such packets are delivered locally by the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the pattern was not validated for `nodes`.
+    #[must_use]
+    pub fn destination<R: Rng + ?Sized>(&self, src: NodeId, nodes: usize, rng: &mut R) -> NodeId {
+        debug_assert!(self.validate(nodes).is_ok());
+        match self {
+            Pattern::UniformRandom => {
+                if nodes == 1 {
+                    return src;
+                }
+                // Uniform among all nodes except the source.
+                let d = rng.random_range(0..nodes - 1);
+                if d >= src {
+                    d + 1
+                } else {
+                    d
+                }
+            }
+            Pattern::BitReversal => {
+                let b = nodes.trailing_zeros();
+                (src.reverse_bits() >> (usize::BITS - b)) & (nodes - 1)
+            }
+            Pattern::PerfectShuffle => {
+                let b = nodes.trailing_zeros();
+                ((src << 1) | (src >> (b - 1))) & (nodes - 1)
+            }
+            Pattern::Butterfly => {
+                let b = nodes.trailing_zeros();
+                if b == 1 {
+                    return src;
+                }
+                let msb = (src >> (b - 1)) & 1;
+                let lsb = src & 1;
+                let mid = src & ((nodes - 1) >> 1) & !1;
+                mid | (lsb << (b - 1)) | msb
+            }
+            Pattern::BitComplement => !src & (nodes - 1),
+            Pattern::Transpose => {
+                let b = nodes.trailing_zeros();
+                let half = b / 2;
+                let lo_mask = (1usize << half) - 1;
+                let lo = src & lo_mask;
+                let hi = (src >> (b - half)) & lo_mask;
+                let mid = src & !(lo_mask | (lo_mask << (b - half)));
+                mid | (lo << (b - half)) | hi
+            }
+            Pattern::Hotspot { target, fraction } => {
+                if rng.random::<f64>() < *fraction {
+                    *target
+                } else {
+                    Pattern::UniformRandom.destination(src, nodes, rng)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn bits_for_nodes_checks_power_of_two() {
+        assert_eq!(bits_for_nodes(2).unwrap(), 1);
+        assert_eq!(bits_for_nodes(256).unwrap(), 8);
+        assert!(bits_for_nodes(0).is_err());
+        assert!(bits_for_nodes(1).is_err());
+        assert!(bits_for_nodes(6).is_err());
+    }
+
+    #[test]
+    fn uniform_random_never_targets_self() {
+        let mut r = rng();
+        for src in 0..16 {
+            for _ in 0..100 {
+                let d = Pattern::UniformRandom.destination(src, 16, &mut r);
+                assert_ne!(d, src);
+                assert!(d < 16);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_random_covers_all_destinations() {
+        let mut r = rng();
+        let mut seen = [false; 16];
+        for _ in 0..2000 {
+            seen[Pattern::UniformRandom.destination(3, 16, &mut r)] = true;
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert_eq!(covered, 15, "all nodes except the source must be reachable");
+        assert!(!seen[3]);
+    }
+
+    #[test]
+    fn bit_reversal_matches_paper_definition() {
+        let mut r = rng();
+        // 256 nodes, 8 bits: 0b0000_0001 -> 0b1000_0000.
+        assert_eq!(Pattern::BitReversal.destination(0x01, 256, &mut r), 0x80);
+        assert_eq!(Pattern::BitReversal.destination(0b1011_0010, 256, &mut r), 0b0100_1101);
+        // Palindrome maps to itself.
+        assert_eq!(Pattern::BitReversal.destination(0b1000_0001, 256, &mut r), 0b1000_0001);
+    }
+
+    #[test]
+    fn perfect_shuffle_rotates_left() {
+        let mut r = rng();
+        assert_eq!(Pattern::PerfectShuffle.destination(0b1000_0000, 256, &mut r), 0b0000_0001);
+        assert_eq!(Pattern::PerfectShuffle.destination(0b0100_1101, 256, &mut r), 0b1001_1010);
+    }
+
+    #[test]
+    fn butterfly_swaps_msb_and_lsb() {
+        let mut r = rng();
+        assert_eq!(Pattern::Butterfly.destination(0b1000_0000, 256, &mut r), 0b0000_0001);
+        assert_eq!(Pattern::Butterfly.destination(0b0000_0001, 256, &mut r), 0b1000_0000);
+        assert_eq!(Pattern::Butterfly.destination(0b1011_0010, 256, &mut r), 0b0011_0011);
+        // MSB == LSB: fixed point.
+        assert_eq!(Pattern::Butterfly.destination(0b1011_0011, 256, &mut r), 0b1011_0011);
+    }
+
+    #[test]
+    fn bit_complement_flips_all_bits() {
+        let mut r = rng();
+        assert_eq!(Pattern::BitComplement.destination(0, 256, &mut r), 255);
+        assert_eq!(Pattern::BitComplement.destination(0b1010_1010, 256, &mut r), 0b0101_0101);
+    }
+
+    #[test]
+    fn transpose_swaps_halves() {
+        let mut r = rng();
+        // 8 bits: hi nibble <-> lo nibble.
+        assert_eq!(Pattern::Transpose.destination(0x2B, 256, &mut r), 0xB2);
+    }
+
+    #[test]
+    fn permutations_are_bijections() {
+        let mut r = rng();
+        for p in [
+            Pattern::BitReversal,
+            Pattern::PerfectShuffle,
+            Pattern::Butterfly,
+            Pattern::BitComplement,
+            Pattern::Transpose,
+        ] {
+            let mut seen = vec![false; 256];
+            for src in 0..256 {
+                let d = p.destination(src, 256, &mut r);
+                assert!(d < 256, "{} out of range", p.name());
+                assert!(!seen[d], "{} is not injective at {src}", p.name());
+                seen[d] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_sends_requested_fraction() {
+        let mut r = rng();
+        let p = Pattern::Hotspot { target: 5, fraction: 0.3 };
+        let hits = (0..10_000)
+            .filter(|_| p.destination(9, 64, &mut r) == 5)
+            .count();
+        // 30% +- noise (uniform part can also hit node 5 with prob ~1.1%).
+        assert!((2500..4000).contains(&hits), "hotspot fraction off: {hits}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        assert!(Pattern::BitReversal.validate(100).is_err());
+        assert!(Pattern::UniformRandom.validate(100).is_ok());
+        assert!(Pattern::Hotspot { target: 99, fraction: 0.5 }.validate(64).is_err());
+        assert!(Pattern::Hotspot { target: 3, fraction: 1.5 }.validate(64).is_err());
+    }
+}

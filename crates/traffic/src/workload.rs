@@ -1,0 +1,343 @@
+use crate::{Pattern, Process, TrafficError};
+use kncube::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One phase of a workload: a pattern and process active for `duration`
+/// cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// How long this phase lasts, in cycles.
+    pub duration: u64,
+    /// Destination selection during the phase.
+    pub pattern: Pattern,
+    /// Packet generation process during the phase.
+    pub process: Process,
+}
+
+/// A workload: a sequence of phases. After the last phase ends, the final
+/// phase's configuration continues indefinitely (steady workloads are a
+/// single phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    phases: Vec<Phase>,
+}
+
+impl Workload {
+    /// A steady (single-phase) workload.
+    #[must_use]
+    pub fn steady(pattern: Pattern, process: Process) -> Self {
+        Workload {
+            phases: vec![Phase {
+                duration: u64::MAX,
+                pattern,
+                process,
+            }],
+        }
+    }
+
+    /// A workload from an explicit phase list.
+    #[must_use]
+    pub fn phased(phases: Vec<Phase>) -> Self {
+        Workload { phases }
+    }
+
+    /// The bursty workload of Figure 6: alternating low/high 50 000-cycle
+    /// phases. Low phases offer uniform-random traffic with a 1 500-cycle
+    /// regeneration interval (0.67·10⁻³ packets/node/cycle); high phases use
+    /// a 15-cycle interval (0.067 packets/node/cycle) and rotate the
+    /// communication pattern: uniform-random, bit-reversal, perfect-shuffle,
+    /// butterfly.
+    #[must_use]
+    pub fn paper_bursty() -> Self {
+        Self::bursty(50_000, 1_500, 15)
+    }
+
+    /// A bursty workload with configurable phase length and regeneration
+    /// intervals (see [`Workload::paper_bursty`] for the paper's values).
+    #[must_use]
+    pub fn bursty(phase_len: u64, low_interval: u64, high_interval: u64) -> Self {
+        let low = |dur| Phase {
+            duration: dur,
+            pattern: Pattern::UniformRandom,
+            process: Process::periodic(low_interval),
+        };
+        let high = |pattern| Phase {
+            duration: phase_len,
+            pattern,
+            process: Process::periodic(high_interval),
+        };
+        Workload {
+            phases: vec![
+                low(phase_len),
+                high(Pattern::UniformRandom),
+                low(phase_len),
+                high(Pattern::BitReversal),
+                low(phase_len),
+                high(Pattern::PerfectShuffle),
+                low(phase_len),
+                high(Pattern::Butterfly),
+                low(u64::MAX),
+            ],
+        }
+    }
+
+    /// The phases of this workload.
+    #[must_use]
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// The phase active at `cycle`, with the cycle at which it started.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is empty (prevented by [`WorkloadRunner::new`]).
+    #[must_use]
+    pub fn phase_at(&self, cycle: u64) -> (usize, u64) {
+        let mut start = 0u64;
+        for (i, p) in self.phases.iter().enumerate() {
+            let end = start.saturating_add(p.duration);
+            if cycle < end {
+                return (i, start);
+            }
+            start = end;
+        }
+        let last = self.phases.len() - 1;
+        (last, start - self.phases[last].duration.min(start))
+    }
+
+    /// Validates every phase against a node count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first phase validation error, or
+    /// [`TrafficError::EmptyWorkload`] for an empty phase list.
+    pub fn validate(&self, nodes: usize) -> Result<(), TrafficError> {
+        if self.phases.is_empty() {
+            return Err(TrafficError::EmptyWorkload);
+        }
+        for p in &self.phases {
+            p.pattern.validate(nodes)?;
+            p.process.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Mean offered load at `cycle`, in packets/node/cycle.
+    #[must_use]
+    pub fn offered_rate_at(&self, cycle: u64) -> f64 {
+        let (i, _) = self.phase_at(cycle);
+        self.phases[i].process.offered_rate()
+    }
+}
+
+/// Runtime state of a [`Workload`] over all nodes: polled once per node per
+/// cycle; deterministic for a given seed.
+#[derive(Debug, Clone)]
+pub struct WorkloadRunner {
+    workload: Workload,
+    nodes: usize,
+    rng: StdRng,
+    /// Per-node next generation time for periodic processes.
+    next_gen: Vec<u64>,
+    /// Phase index the per-node state was initialized for.
+    cur_phase: usize,
+    /// Cycle at which `cur_phase` started.
+    phase_start: u64,
+}
+
+impl WorkloadRunner {
+    /// Creates the runtime state for `workload` on a network of `nodes`
+    /// nodes, deterministic for the given `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the workload is invalid for `nodes`.
+    pub fn new(workload: &Workload, nodes: usize, seed: u64) -> Result<Self, TrafficError> {
+        workload.validate(nodes)?;
+        let mut runner = WorkloadRunner {
+            workload: workload.clone(),
+            nodes,
+            rng: StdRng::seed_from_u64(seed),
+            next_gen: vec![0; nodes],
+            cur_phase: usize::MAX,
+            phase_start: 0,
+        };
+        runner.enter_phase(0, 0);
+        Ok(runner)
+    }
+
+    fn enter_phase(&mut self, phase: usize, start: u64) {
+        self.cur_phase = phase;
+        self.phase_start = start;
+        if let Process::Periodic { interval } = self.workload.phases[phase].process {
+            // Random phase offsets so nodes do not generate in lockstep.
+            for slot in &mut self.next_gen {
+                *slot = start + self.rng.random_range(0..interval);
+            }
+        }
+    }
+
+    /// Advances phase tracking; must be called with nondecreasing `now`.
+    fn sync_phase(&mut self, now: u64) {
+        let (phase, start) = self.workload.phase_at(now);
+        if phase != self.cur_phase {
+            self.enter_phase(phase, start);
+        }
+    }
+
+    /// Polls node `node` at cycle `now`: returns the destination of a newly
+    /// generated packet, if any.
+    ///
+    /// Callers must poll nodes `0..nodes` in order within a cycle, and cycles
+    /// in nondecreasing order, for deterministic replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= nodes`.
+    pub fn poll(&mut self, now: u64, node: NodeId) -> Option<NodeId> {
+        assert!(node < self.nodes, "node {node} out of range");
+        if node == 0 {
+            self.sync_phase(now);
+        }
+        let phase = &self.workload.phases[self.cur_phase];
+        let generate = match phase.process {
+            Process::Bernoulli { rate } => self.rng.random::<f64>() < rate,
+            Process::Periodic { interval } => {
+                if now >= self.next_gen[node] {
+                    self.next_gen[node] += interval;
+                    // If the caller skipped cycles, do not build up a backlog.
+                    if self.next_gen[node] <= now {
+                        self.next_gen[node] = now + interval;
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            Process::Silent => false,
+        };
+        if generate {
+            Some(phase.pattern.destination(node, self.nodes, &mut self.rng))
+        } else {
+            None
+        }
+    }
+
+    /// The workload being run.
+    #[must_use]
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_workload_generates_at_requested_rate() {
+        let wl = Workload::steady(Pattern::UniformRandom, Process::bernoulli(0.05));
+        let mut r = WorkloadRunner::new(&wl, 64, 42).unwrap();
+        let mut count = 0u64;
+        let cycles = 4000u64;
+        for now in 0..cycles {
+            for node in 0..64 {
+                if r.poll(now, node).is_some() {
+                    count += 1;
+                }
+            }
+        }
+        let rate = count as f64 / (cycles as f64 * 64.0);
+        assert!((rate - 0.05).abs() < 0.005, "measured rate {rate}");
+    }
+
+    #[test]
+    fn periodic_generates_exactly_one_per_interval() {
+        let wl = Workload::steady(Pattern::BitReversal, Process::periodic(10));
+        let mut r = WorkloadRunner::new(&wl, 4, 1).unwrap();
+        let mut per_node = [0u64; 4];
+        for now in 0..100 {
+            for node in 0..4 {
+                if r.poll(now, node).is_some() {
+                    per_node[node] += 1;
+                }
+            }
+        }
+        for (node, &c) in per_node.iter().enumerate() {
+            assert!((9..=10).contains(&c), "node {node} generated {c} packets");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let wl = Workload::steady(Pattern::UniformRandom, Process::bernoulli(0.1));
+        let mut a = WorkloadRunner::new(&wl, 16, 99).unwrap();
+        let mut b = WorkloadRunner::new(&wl, 16, 99).unwrap();
+        for now in 0..500 {
+            for node in 0..16 {
+                assert_eq!(a.poll(now, node), b.poll(now, node));
+            }
+        }
+    }
+
+    #[test]
+    fn phase_at_walks_schedule() {
+        let wl = Workload::bursty(100, 50, 5);
+        assert_eq!(wl.phase_at(0), (0, 0));
+        assert_eq!(wl.phase_at(99), (0, 0));
+        assert_eq!(wl.phase_at(100), (1, 100));
+        assert_eq!(wl.phase_at(350), (3, 300));
+        // Tail phase persists.
+        let (i, _) = wl.phase_at(10_000_000);
+        assert_eq!(i, wl.phases().len() - 1);
+    }
+
+    #[test]
+    fn bursty_switches_pattern_and_rate() {
+        let wl = Workload::paper_bursty();
+        assert_eq!(wl.phases().len(), 9);
+        assert!((wl.offered_rate_at(0) - 1.0 / 1500.0).abs() < 1e-12);
+        assert!((wl.offered_rate_at(60_000) - 1.0 / 15.0).abs() < 1e-12);
+        let (hi1, _) = wl.phase_at(160_000);
+        assert_eq!(wl.phases()[hi1].pattern, Pattern::BitReversal);
+        let (hi3, _) = wl.phase_at(370_000);
+        assert_eq!(wl.phases()[hi3].pattern, Pattern::Butterfly);
+    }
+
+    #[test]
+    fn bursty_runner_changes_throughput_between_phases() {
+        let wl = Workload::bursty(1_000, 100, 5);
+        let mut r = WorkloadRunner::new(&wl, 8, 3).unwrap();
+        let mut low = 0u64;
+        let mut high = 0u64;
+        for now in 0..2_000u64 {
+            for node in 0..8 {
+                if r.poll(now, node).is_some() {
+                    if now < 1_000 {
+                        low += 1;
+                    } else {
+                        high += 1;
+                    }
+                }
+            }
+        }
+        assert!(high > low * 5, "high phase ({high}) should dwarf low phase ({low})");
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let wl = Workload::phased(vec![]);
+        assert!(matches!(
+            WorkloadRunner::new(&wl, 8, 0),
+            Err(TrafficError::EmptyWorkload)
+        ));
+    }
+
+    #[test]
+    fn permutation_pattern_on_non_power_of_two_rejected() {
+        let wl = Workload::steady(Pattern::Butterfly, Process::bernoulli(0.1));
+        assert!(WorkloadRunner::new(&wl, 100, 0).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! Saturation demo: the phenomenon of the paper's Figure 1, side by side
+//! with its cure.
+//!
+//! Runs the same oversaturating uniform-random load through an uncontrolled
+//! network, the ALO baseline and the self-tuned throttle, and prints the
+//! delivered bandwidth of each. The uncontrolled deadlock-recovery network
+//! collapses to roughly the recovery-token bandwidth; the self-tuned
+//! throttle keeps it near peak.
+//!
+//! ```sh
+//! cargo run --release --example saturation_demo
+//! ```
+
+use stcc::prelude::*;
+use stcc::Simulation;
+
+fn run(scheme: Scheme, rate: f64) -> Result<(f64, f64), stcc::SimError> {
+    // The avalanche needs the paper's full-size 16-ary 2-cube — smaller
+    // tori saturate gracefully (see DESIGN.md §5b).
+    let cfg = SimConfig {
+        net: NetConfig::paper(DeadlockMode::PAPER_RECOVERY),
+        workload: Workload::steady(Pattern::UniformRandom, Process::bernoulli(rate)),
+        scheme,
+        cycles: 30_000,
+        warmup: 6_000,
+        seed: 7,
+    };
+    let mut sim = Simulation::new(cfg)?;
+    sim.run_to_end();
+    let s = sim.summary();
+    Ok((
+        s.throughput_flits(),
+        s.network_latency.mean().unwrap_or(f64::NAN),
+    ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("16-ary 2-cube, deadlock recovery, uniform random (takes ~1 min)");
+    println!("{:<10} {:>8} {:>14} {:>12}", "scheme", "offered", "tput (flits)", "latency");
+    for rate in [0.01, 0.06] {
+        for scheme in [Scheme::Base, Scheme::Alo, Scheme::tuned_paper()] {
+            let label = scheme.label();
+            let (tput, lat) = run(scheme, rate)?;
+            println!("{label:<10} {rate:>8.3} {tput:>14.4} {lat:>12.1}");
+        }
+        println!();
+    }
+    println!("note how base/alo collapse at offered 0.06 while tune sustains.");
+    Ok(())
+}
