@@ -1,82 +1,94 @@
 //! Component microbenches: per-cycle simulator cost, side-band estimation,
 //! controller arithmetic, topology and traffic primitives.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::harness::{BenchConfig, Group};
 use kncube::Torus;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sideband::{Sideband, SidebandConfig};
 use std::hint::black_box;
-use traffic::Pattern;
+use traffic::{Pattern, SimRng};
 use wormsim::{DeadlockMode, NetConfig, Network, NoControl};
 
-fn network_cycles(c: &mut Criterion) {
-    let mut g = c.benchmark_group("network_cycle");
+fn network_cycles() {
+    let mut g = Group::new(
+        "network_cycle (1000 cycles/iter)",
+        BenchConfig {
+            samples: 10,
+            iters_per_sample: 1,
+            warmup_iters: 1,
+        },
+    );
     let cycles_per_iter = 1_000u64;
-    g.throughput(Throughput::Elements(cycles_per_iter));
 
     // Idle 16-ary 2-cube: the floor cost of one cycle over 256 routers.
-    g.bench_function("idle_256_nodes", |b| {
+    {
         let mut net = Network::new(NetConfig::paper(DeadlockMode::PAPER_RECOVERY)).unwrap();
         let mut src = |_: u64, _: usize| None;
-        b.iter(|| {
+        g.bench("idle_256_nodes", || {
             net.run(cycles_per_iter, &mut src, &mut NoControl);
             black_box(net.now())
         });
-    });
+    }
 
     // Saturated: worst-case per-cycle cost (pre-warmed network).
-    g.bench_function("saturated_256_nodes", |b| {
+    {
         let mut net = Network::new(NetConfig::paper(DeadlockMode::PAPER_RECOVERY)).unwrap();
         let nodes = net.torus().node_count();
         let mut x = 0usize;
         let mut src = move |_: u64, node: usize| {
-            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(node + 1);
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(node + 1);
             Some((x >> 33) % nodes)
         };
         net.run(5_000, &mut src, &mut NoControl); // warm into saturation
-        b.iter(|| {
+        g.bench("saturated_256_nodes", || {
             net.run(cycles_per_iter, &mut src, &mut NoControl);
             black_box(net.counters().delivered_flits)
         });
-    });
-    g.finish();
+    }
 }
 
-fn components(c: &mut Criterion) {
-    let mut g = c.benchmark_group("components");
+fn components() {
+    let mut g = Group::new(
+        "components",
+        BenchConfig {
+            samples: 10,
+            iters_per_sample: 10_000,
+            warmup_iters: 100,
+        },
+    );
 
-    g.bench_function("sideband_tick", |b| {
+    {
         let mut sb = Sideband::new(SidebandConfig::paper());
         let mut now = 0u64;
-        b.iter(|| {
+        g.bench("sideband_tick", || {
             sb.on_cycle(now, (now % 3_000) as u32, now * 3);
             now += 1;
             black_box(sb.estimate(now))
         });
-    });
+    }
 
     let torus = Torus::new(16, 2).unwrap();
-    g.bench_function("torus_productive_hops", |b| {
+    {
         let mut i = 0usize;
-        b.iter(|| {
+        g.bench("torus_productive_hops", || {
             i = (i + 97) % 256;
             black_box(torus.productive_hops(i, 255 - i).len())
         });
-    });
+    }
 
-    g.bench_function("pattern_destinations", |b| {
-        let mut rng = StdRng::seed_from_u64(1);
+    {
+        let mut rng = SimRng::seed_from_u64(1);
         let mut i = 0usize;
-        b.iter(|| {
+        g.bench("pattern_destinations", || {
             i = (i + 1) % 256;
             black_box(Pattern::BitReversal.destination(i, 256, &mut rng))
                 + black_box(Pattern::UniformRandom.destination(i, 256, &mut rng))
         });
-    });
-
-    g.finish();
+    }
 }
 
-criterion_group!(benches, network_cycles, components);
-criterion_main!(benches);
+fn main() {
+    network_cycles();
+    components();
+}

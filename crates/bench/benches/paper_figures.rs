@@ -3,31 +3,52 @@
 //! end-to-end simulator cost behind every artifact; the full-size artifacts
 //! are produced by the `experiments` binaries.
 
+use bench::harness::{BenchConfig, Group};
 use bench::run_mini;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use sideband::SidebandConfig;
-use std::hint::black_box;
 use stcc::{Scheme, SimConfig, Simulation};
+use std::hint::black_box;
 use traffic::{Pattern, Process, Workload};
 use wormsim::{DeadlockMode, NetConfig};
 
 const CYCLES: u64 = 6_000;
 
-fn bench_group(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper_figures");
-    g.sample_size(10);
+fn main() {
+    let mut g = Group::new(
+        "paper_figures",
+        BenchConfig {
+            samples: 10,
+            iters_per_sample: 1,
+            warmup_iters: 1,
+        },
+    );
 
     // Figure 1: base saturation breakdown (below and beyond the cliff).
-    g.bench_function("fig1_base_light_load", |b| {
-        b.iter(|| run_mini(Scheme::Base, DeadlockMode::PAPER_RECOVERY, black_box(0.005), CYCLES));
+    g.bench("fig1_base_light_load", || {
+        run_mini(
+            Scheme::Base,
+            DeadlockMode::PAPER_RECOVERY,
+            black_box(0.005),
+            CYCLES,
+        )
     });
-    g.bench_function("fig1_base_saturated", |b| {
-        b.iter(|| run_mini(Scheme::Base, DeadlockMode::PAPER_RECOVERY, black_box(0.06), CYCLES));
+    g.bench("fig1_base_saturated", || {
+        run_mini(
+            Scheme::Base,
+            DeadlockMode::PAPER_RECOVERY,
+            black_box(0.06),
+            CYCLES,
+        )
     });
 
     // Figure 2: throughput-vs-occupancy point (same machinery, mid load).
-    g.bench_function("fig2_tput_vs_buffers", |b| {
-        b.iter(|| run_mini(Scheme::Base, DeadlockMode::PAPER_RECOVERY, black_box(0.02), CYCLES));
+    g.bench("fig2_tput_vs_buffers", || {
+        run_mini(
+            Scheme::Base,
+            DeadlockMode::PAPER_RECOVERY,
+            black_box(0.02),
+            CYCLES,
+        )
     });
 
     // Figure 3: the three schemes at overload, both deadlock modes.
@@ -35,78 +56,60 @@ fn bench_group(c: &mut Criterion) {
         (DeadlockMode::PAPER_RECOVERY, "recovery"),
         (DeadlockMode::Avoidance, "avoidance"),
     ] {
-        g.bench_function(format!("fig3_base_{name}"), |b| {
-            b.iter(|| run_mini(Scheme::Base, mode, black_box(0.06), CYCLES));
+        g.bench(&format!("fig3_base_{name}"), || {
+            run_mini(Scheme::Base, mode, black_box(0.06), CYCLES)
         });
-        g.bench_function(format!("fig3_alo_{name}"), |b| {
-            b.iter(|| run_mini(Scheme::Alo, mode, black_box(0.06), CYCLES));
+        g.bench(&format!("fig3_alo_{name}"), || {
+            run_mini(Scheme::Alo, mode, black_box(0.06), CYCLES)
         });
-        g.bench_function(format!("fig3_tune_{name}"), |b| {
-            b.iter(|| run_mini(Scheme::tuned_paper(), mode, black_box(0.06), CYCLES));
+        g.bench(&format!("fig3_tune_{name}"), || {
+            run_mini(Scheme::tuned_paper(), mode, black_box(0.06), CYCLES)
         });
     }
 
     // Figure 4: tuning trace (periodic load, avoidance).
-    g.bench_function("fig4_tuning_trace", |b| {
-        b.iter_batched(
-            || {
-                Simulation::new(SimConfig {
-                    net: NetConfig::small(DeadlockMode::Avoidance),
-                    workload: Workload::steady(Pattern::UniformRandom, Process::periodic(100)),
-                    scheme: Scheme::tuned_paper(),
-                    cycles: CYCLES,
-                    warmup: CYCLES / 6,
-                    seed: 4,
-                })
-                .expect("valid fig4 bench config")
-            },
-            |mut sim| {
-                sim.run_to_end();
-                black_box(sim.tuned().and_then(stcc::SelfTuned::threshold))
-            },
-            BatchSize::PerIteration,
-        );
+    g.bench("fig4_tuning_trace", || {
+        let mut sim = Simulation::new(SimConfig {
+            net: NetConfig::small(DeadlockMode::Avoidance),
+            workload: Workload::steady(Pattern::UniformRandom, Process::periodic(100)),
+            scheme: Scheme::tuned_paper(),
+            cycles: CYCLES,
+            warmup: CYCLES / 6,
+            seed: 4,
+        })
+        .expect("valid fig4 bench config");
+        sim.run_to_end();
+        black_box(sim.tuned().and_then(stcc::SelfTuned::threshold))
     });
 
     // Figure 5: static thresholds.
-    g.bench_function("fig5_static_vs_tuned", |b| {
-        b.iter(|| {
-            run_mini(
-                Scheme::Static {
-                    threshold: 60,
-                    sideband: SidebandConfig { radix: 8, ..SidebandConfig::paper() },
+    g.bench("fig5_static_vs_tuned", || {
+        run_mini(
+            Scheme::Static {
+                threshold: 60,
+                sideband: SidebandConfig {
+                    radix: 8,
+                    ..SidebandConfig::paper()
                 },
-                DeadlockMode::PAPER_RECOVERY,
-                black_box(0.06),
-                CYCLES,
-            )
-        });
+            },
+            DeadlockMode::PAPER_RECOVERY,
+            black_box(0.06),
+            CYCLES,
+        )
     });
 
     // Figures 6/7: the bursty workload.
-    g.bench_function("fig7_bursty", |b| {
-        b.iter_batched(
-            || {
-                Simulation::new(SimConfig {
-                    net: NetConfig::small(DeadlockMode::PAPER_RECOVERY),
-                    workload: Workload::bursty(CYCLES / 6, 1_500, 15),
-                    scheme: Scheme::tuned_paper(),
-                    cycles: CYCLES,
-                    warmup: CYCLES / 12,
-                    seed: 7,
-                })
-                .expect("valid fig7 bench config")
-            },
-            |mut sim| {
-                sim.run_to_end();
-                black_box(sim.network().counters().delivered_flits)
-            },
-            BatchSize::PerIteration,
-        );
+    g.bench("fig7_bursty", || {
+        let mut sim = Simulation::new(SimConfig {
+            net: NetConfig::small(DeadlockMode::PAPER_RECOVERY),
+            workload: Workload::bursty(CYCLES / 6, 1_500, 15),
+            scheme: Scheme::tuned_paper(),
+            cycles: CYCLES,
+            warmup: CYCLES / 12,
+            seed: 7,
+        })
+        .expect("valid fig7 bench config");
+        sim.run_to_end();
+        black_box(sim.network().counters().delivered_flits)
     });
-
-    g.finish();
 }
-
-criterion_group!(benches, bench_group);
-criterion_main!(benches);

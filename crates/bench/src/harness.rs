@@ -1,0 +1,159 @@
+//! A minimal wall-clock benchmarking harness (hermetic replacement for the
+//! previous Criterion dependency, which cannot be fetched in the offline
+//! build environment).
+//!
+//! Methodology: warm up, then time `samples` batches of `iters_per_sample`
+//! iterations each and report the median, minimum and maximum per-iteration
+//! time. The median over batches is robust to scheduler noise; this is the
+//! same headline number Criterion prints, without its regression machinery.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Per-bench measurement knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Timed batches (median taken across them).
+    pub samples: usize,
+    /// Iterations per batch (amortizes timer overhead).
+    pub iters_per_sample: u64,
+    /// Untimed warm-up iterations.
+    pub warmup_iters: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            samples: 10,
+            iters_per_sample: 1,
+            warmup_iters: 1,
+        }
+    }
+}
+
+/// One bench's result, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Bench name as printed.
+    pub name: String,
+    /// Median per-iteration time across batches.
+    pub median_ns: f64,
+    /// Fastest batch.
+    pub min_ns: f64,
+    /// Slowest batch.
+    pub max_ns: f64,
+}
+
+/// A named group of benches, printed as a table as results come in.
+pub struct Group {
+    name: &'static str,
+    cfg: BenchConfig,
+    results: Vec<BenchResult>,
+}
+
+impl Group {
+    /// Starts a group with the given measurement configuration.
+    #[must_use]
+    pub fn new(name: &'static str, cfg: BenchConfig) -> Self {
+        println!("\n== {name} ==");
+        println!(
+            "{:<28} {:>12} {:>12} {:>12}",
+            "bench", "median", "min", "max"
+        );
+        Group {
+            name,
+            cfg,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f` (whose return value is black-boxed) and records the result.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        for _ in 0..self.cfg.warmup_iters {
+            black_box(f());
+        }
+        let mut per_iter = Vec::with_capacity(self.cfg.samples);
+        for _ in 0..self.cfg.samples {
+            let start = Instant::now();
+            for _ in 0..self.cfg.iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            per_iter.push(elapsed / self.cfg.iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let result = BenchResult {
+            name: name.to_owned(),
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+        };
+        println!(
+            "{:<28} {:>12} {:>12} {:>12}",
+            result.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.min_ns),
+            fmt_ns(result.max_ns)
+        );
+        self.results.push(result);
+    }
+
+    /// The group's name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Results recorded so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_plausible_timings() {
+        let mut g = Group::new(
+            "self-test",
+            BenchConfig {
+                samples: 3,
+                iters_per_sample: 10,
+                warmup_iters: 1,
+            },
+        );
+        let mut acc = 0u64;
+        g.bench("spin", || {
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        let r = &g.results()[0];
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.median_ns > 0.0);
+    }
+
+    #[test]
+    fn formatting_picks_sane_units() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.000 ms");
+        assert_eq!(fmt_ns(3e9), "3.000 s");
+    }
+}

@@ -1,9 +1,15 @@
-//! Shared helpers for the Criterion benches.
+//! Shared helpers for the benches.
 //!
 //! Each paper table/figure has a bench in `benches/paper_figures.rs` that
 //! runs a miniature (8-ary 2-cube, few-thousand-cycle) version of the same
 //! experiment — enough to regress the simulator's end-to-end cost per
 //! reproduced artifact. Component microbenches live in `benches/micro.rs`.
+//!
+//! The benches use the in-tree [`harness`] (wall-clock median over repeated
+//! runs) instead of an external benchmarking crate so the workspace builds
+//! with no network access; see README "Hermetic build".
+
+pub mod harness;
 
 use stcc::{Scheme, SimConfig, Simulation};
 use traffic::{Pattern, Process, Workload};

@@ -40,7 +40,7 @@
 //! };
 //! let mut sim = Simulation::new(cfg)?;
 //! sim.run_to_end();
-//! let s = sim.summary();
+//! let s = sim.summary().expect("run is past warm-up");
 //! assert!(s.delivered_packets > 0);
 //! # Ok::<(), stcc::SimError>(())
 //! ```
@@ -53,7 +53,7 @@ mod tuned;
 
 pub use alo::AloControl;
 pub use scheme::Scheme;
-pub use sim::{SimConfig, SimError, Simulation};
+pub use sim::{FaultReport, SimConfig, SimError, Simulation, SummaryError};
 pub use statik::StaticThreshold;
 pub use tuned::{decide, SelfTuned, TuneAction, TuneConfig};
 

@@ -1,5 +1,6 @@
 use crate::{AloControl, SelfTuned, StaticThreshold, TuneConfig};
-use sideband::SidebandConfig;
+use faults::FaultPlan;
+use sideband::{SidebandConfig, SidebandStats};
 use wormsim::{CongestionControl, Network, NoControl};
 
 /// A congestion-control scheme selector, covering every configuration the
@@ -45,9 +46,10 @@ impl Scheme {
         match self {
             Scheme::Base => Control::Base(NoControl),
             Scheme::Alo => Control::Alo(AloControl::new()),
-            Scheme::Static { threshold, sideband } => {
-                Control::Static(StaticThreshold::new(*threshold, sideband.clone()))
-            }
+            Scheme::Static {
+                threshold,
+                sideband,
+            } => Control::Static(StaticThreshold::new(*threshold, sideband.clone())),
             Scheme::Tuned(cfg) => Control::Tuned(SelfTuned::new(cfg.clone())),
         }
     }
@@ -55,6 +57,9 @@ impl Scheme {
 
 /// A constructed congestion controller (closed set, so simulations can still
 /// reach scheme-specific state such as the self-tuner's threshold).
+// One Control exists per simulation (never arrays of them), so the size
+// spread between `Base` and the stateful controllers costs nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Control {
     /// No control.
@@ -74,6 +79,26 @@ impl Control {
         match self {
             Control::Tuned(t) => Some(t),
             _ => None,
+        }
+    }
+
+    /// Installs a side-band fault plan. A no-op for the locally informed
+    /// schemes (`Base`, `Alo`), which have no side-band to fault.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        match self {
+            Control::Base(_) | Control::Alo(_) => {}
+            Control::Static(c) => c.set_faults(plan),
+            Control::Tuned(c) => c.set_faults(plan),
+        }
+    }
+
+    /// Side-band fault/rejection counters, if this scheme has a side-band.
+    #[must_use]
+    pub fn sideband_stats(&self) -> Option<SidebandStats> {
+        match self {
+            Control::Base(_) | Control::Alo(_) => None,
+            Control::Static(c) => Some(c.sideband().stats()),
+            Control::Tuned(c) => Some(c.sideband().stats()),
         }
     }
 }
@@ -125,7 +150,11 @@ mod tests {
         assert_eq!(Scheme::Base.label(), "base");
         assert_eq!(Scheme::Alo.label(), "alo");
         assert_eq!(
-            Scheme::Static { threshold: 250, sideband: SidebandConfig::paper() }.label(),
+            Scheme::Static {
+                threshold: 250,
+                sideband: SidebandConfig::paper()
+            }
+            .label(),
             "static-250"
         );
         assert_eq!(Scheme::tuned_paper().label(), "tune");

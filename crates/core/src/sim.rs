@@ -1,6 +1,8 @@
 use crate::scheme::{Control, Scheme};
 use crate::SelfTuned;
 use core::fmt;
+use faults::{FaultPlan, FaultPlanError};
+use sideband::SidebandStats;
 use simstats::{LatencyStats, RunSummary};
 use traffic::{TrafficError, Workload, WorkloadRunner};
 use wormsim::{ConfigError, NetConfig, Network};
@@ -38,6 +40,8 @@ pub enum SimError {
         /// Requested total cycles.
         cycles: u64,
     },
+    /// Invalid fault plan (only from [`Simulation::with_faults`]).
+    Faults(FaultPlanError),
 }
 
 impl fmt::Display for SimError {
@@ -46,8 +50,12 @@ impl fmt::Display for SimError {
             SimError::Net(e) => write!(f, "network configuration: {e}"),
             SimError::Traffic(e) => write!(f, "workload: {e}"),
             SimError::WarmupTooLong { warmup, cycles } => {
-                write!(f, "warm-up ({warmup}) must be shorter than the run ({cycles})")
+                write!(
+                    f,
+                    "warm-up ({warmup}) must be shorter than the run ({cycles})"
+                )
             }
+            SimError::Faults(e) => write!(f, "fault plan: {e}"),
         }
     }
 }
@@ -58,7 +66,14 @@ impl std::error::Error for SimError {
             SimError::Net(e) => Some(e),
             SimError::Traffic(e) => Some(e),
             SimError::WarmupTooLong { .. } => None,
+            SimError::Faults(e) => Some(e),
         }
+    }
+}
+
+impl From<FaultPlanError> for SimError {
+    fn from(e: FaultPlanError) -> Self {
+        SimError::Faults(e)
     }
 }
 
@@ -71,6 +86,65 @@ impl From<ConfigError> for SimError {
 impl From<TrafficError> for SimError {
     fn from(e: TrafficError) -> Self {
         SimError::Traffic(e)
+    }
+}
+
+/// Error producing a [`RunSummary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummaryError {
+    /// The run has not yet reached the end of its warm-up window, so there
+    /// is no measured window to summarize.
+    BeforeWarmup {
+        /// Current simulation cycle.
+        now: u64,
+        /// Configured warm-up length.
+        warmup: u64,
+    },
+}
+
+impl fmt::Display for SummaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SummaryError::BeforeWarmup { now, warmup } => write!(
+                f,
+                "summary requested at cycle {now}, before the warm-up window ({warmup} cycles) elapsed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SummaryError {}
+
+/// Fault-injection and degradation counters of one run, aggregated across
+/// the network and the controller. All zero when no fault plan is installed
+/// (and for fault-free plans).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Side-band loss/delay/corruption/rejection counters, when the scheme
+    /// has a side-band (`None` for `Base` and `Alo`).
+    pub sideband: Option<SidebandStats>,
+    /// Times the self-tuner's staleness watchdog tripped (froze tuning).
+    pub watchdog_trips: u64,
+    /// Times a valid aggregate re-armed the tripped watchdog.
+    pub watchdog_rearms: u64,
+    /// Whether the watchdog is tripped right now.
+    pub watchdog_active: bool,
+    /// Cycles flits stalled on faulted network links.
+    pub link_stall_cycles: u64,
+    /// Cycles flits stalled on hotspot-faulted delivery channels.
+    pub hotspot_stall_cycles: u64,
+}
+
+impl FaultReport {
+    /// True when no fault or degradation event was observed at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.sideband.unwrap_or_default() == SidebandStats::default()
+            && self.watchdog_trips == 0
+            && self.watchdog_rearms == 0
+            && !self.watchdog_active
+            && self.link_stall_cycles == 0
+            && self.hotspot_stall_cycles == 0
     }
 }
 
@@ -122,6 +196,24 @@ impl Simulation {
             base_throttled: 0,
             warmup_snapped: false,
         })
+    }
+
+    /// Builds the simulation with a fault plan installed on the network and
+    /// (when the scheme has one) the controller's side-band.
+    ///
+    /// A quiet plan leaves every fault-free fast path untouched, so the run
+    /// is bit-identical to [`Simulation::new`] with the same config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for invalid parameters, including a fault plan
+    /// that names nodes or ports outside the configured topology
+    /// ([`SimError::Faults`]).
+    pub fn with_faults(cfg: SimConfig, plan: FaultPlan) -> Result<Self, SimError> {
+        let mut sim = Simulation::new(cfg)?;
+        sim.net.install_faults(plan.clone())?;
+        sim.ctl.set_faults(plan);
+        Ok(sim)
     }
 
     /// Advances one cycle and folds deliveries into the statistics.
@@ -179,28 +271,46 @@ impl Simulation {
         self.ctl.as_tuned()
     }
 
+    /// Fault and degradation counters accumulated so far (all zero when no
+    /// faults are installed).
+    #[must_use]
+    pub fn fault_report(&self) -> FaultReport {
+        let c = self.net.counters();
+        let tuned = self.ctl.as_tuned();
+        FaultReport {
+            sideband: self.ctl.sideband_stats(),
+            watchdog_trips: tuned.map_or(0, SelfTuned::watchdog_trips),
+            watchdog_rearms: tuned.map_or(0, SelfTuned::watchdog_rearms),
+            watchdog_active: tuned.is_some_and(SelfTuned::watchdog_active),
+            link_stall_cycles: c.link_stall_cycles,
+            hotspot_stall_cycles: c.hotspot_stall_cycles,
+        }
+    }
+
     /// Summary over the measured window. Meaningful once the run is past
     /// warm-up; normally called after [`Simulation::run_to_end`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if called before the warm-up window has elapsed.
-    #[must_use]
-    pub fn summary(&self) -> RunSummary {
-        assert!(
-            self.warmup_snapped,
-            "summary requested before the warm-up window elapsed"
-        );
+    /// Returns [`SummaryError::BeforeWarmup`] if called before the warm-up
+    /// window has elapsed.
+    pub fn summary(&self) -> Result<RunSummary, SummaryError> {
+        if !self.warmup_snapped {
+            return Err(SummaryError::BeforeWarmup {
+                now: self.net.now(),
+                warmup: self.cfg.warmup,
+            });
+        }
         let c = self.net.counters();
         let measured_cycles = self.net.now() - self.cfg.warmup;
-        // Mean offered rate over the measured window (phases may vary).
-        let mut offered = 0.0;
-        let wl = &self.cfg.workload;
-        for t in (self.cfg.warmup..self.net.now()).step_by(256) {
-            offered += wl.offered_rate_at(t);
-        }
-        offered /= (measured_cycles as f64 / 256.0).max(1.0);
-        RunSummary {
+        // Mean offered rate over the measured window, integrated exactly
+        // over phase boundaries (sampling every k-th cycle mis-weights
+        // windows that are short or not a multiple of the stride).
+        let offered = self
+            .cfg
+            .workload
+            .mean_offered_rate(self.cfg.warmup, self.net.now());
+        Ok(RunSummary {
             measured_cycles,
             nodes: self.net.torus().node_count(),
             packet_len: self.cfg.net.packet_len,
@@ -211,7 +321,7 @@ impl Simulation {
             total_latency: self.total_latency.clone(),
             recovered_packets: c.recovered_packets - self.base_recovered,
             throttled_injections: c.throttled_injections - self.base_throttled,
-        }
+        })
     }
 }
 
@@ -232,7 +342,42 @@ mod tests {
         };
         let mut sim = Simulation::new(cfg).unwrap();
         sim.run_to_end();
-        sim.summary()
+        sim.summary().unwrap()
+    }
+
+    #[test]
+    fn summary_before_warmup_is_an_error() {
+        let cfg = SimConfig {
+            net: NetConfig::small(DeadlockMode::Avoidance),
+            workload: Workload::steady(Pattern::UniformRandom, Process::bernoulli(0.01)),
+            scheme: Scheme::Base,
+            cycles: 10_000,
+            warmup: 2_000,
+            seed: 0,
+        };
+        let mut sim = Simulation::new(cfg).unwrap();
+        for _ in 0..100 {
+            sim.step();
+        }
+        assert!(matches!(
+            sim.summary(),
+            Err(SummaryError::BeforeWarmup { warmup: 2_000, .. })
+        ));
+        sim.run_to_end();
+        assert!(sim.summary().is_ok());
+    }
+
+    #[test]
+    fn offered_rate_is_exact_for_odd_windows() {
+        // Measured window of 10 000 - 2 000 = 8 000 cycles on a steady
+        // workload: the reported offered rate must equal the configured
+        // rate exactly, regardless of window length or stride artifacts.
+        let s = quick(Scheme::Base, 0.013, DeadlockMode::Avoidance);
+        assert!(
+            (s.offered_rate - 0.013).abs() < 1e-12,
+            "offered rate {} drifted from configured 0.013",
+            s.offered_rate
+        );
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use faults::FaultPlan;
 use sideband::{Sideband, SidebandConfig};
 use wormsim::{CongestionControl, Network};
 
@@ -40,6 +41,18 @@ impl StaticThreshold {
     pub fn throttling(&self) -> bool {
         self.throttling_now
     }
+
+    /// Installs a fault plan on the underlying side-band (loss, delay and
+    /// corruption of every gather).
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.sideband.set_faults(plan);
+    }
+
+    /// Read access to the underlying side-band model.
+    #[must_use]
+    pub fn sideband(&self) -> &Sideband {
+        &self.sideband
+    }
 }
 
 impl CongestionControl for StaticThreshold {
@@ -73,10 +86,13 @@ mod tests {
         // throttle (fed the same cycles) would be gating.
         let cfg = NetConfig::small(DeadlockMode::PAPER_RECOVERY);
         let mut net = Network::new(cfg).unwrap();
-        let mut ctl = StaticThreshold::new(2, SidebandConfig {
-            radix: 8,
-            ..SidebandConfig::paper()
-        });
+        let mut ctl = StaticThreshold::new(
+            2,
+            SidebandConfig {
+                radix: 8,
+                ..SidebandConfig::paper()
+            },
+        );
         let nodes = net.torus().node_count();
         let mut i = 0usize;
         let mut source = move |_now: u64, node: usize| {
@@ -88,7 +104,10 @@ mod tests {
             net.cycle(&mut source, &mut ctl);
             ever_throttled |= ctl.throttling();
         }
-        assert!(ever_throttled, "threshold of 2 full buffers must trip under flood");
+        assert!(
+            ever_throttled,
+            "threshold of 2 full buffers must trip under flood"
+        );
         assert!(net.counters().throttled_injections > 0);
     }
 
@@ -96,10 +115,13 @@ mod tests {
     fn never_throttles_an_idle_network() {
         let cfg = NetConfig::small(DeadlockMode::Avoidance);
         let mut net = Network::new(cfg).unwrap();
-        let mut ctl = StaticThreshold::new(50, SidebandConfig {
-            radix: 8,
-            ..SidebandConfig::paper()
-        });
+        let mut ctl = StaticThreshold::new(
+            50,
+            SidebandConfig {
+                radix: 8,
+                ..SidebandConfig::paper()
+            },
+        );
         let mut source = |_now: u64, _node: usize| None;
         for _ in 0..2_000 {
             net.cycle(&mut source, &mut ctl);

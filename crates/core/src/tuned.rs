@@ -1,3 +1,4 @@
+use faults::FaultPlan;
 use sideband::{Sideband, SidebandConfig};
 use wormsim::{CongestionControl, Network};
 
@@ -65,6 +66,11 @@ pub struct TuneConfig {
     /// Enable the local-maximum-avoidance mechanism of §4.2 (disable to
     /// reproduce the "hill climbing only" curves of Figure 4).
     pub avoid_local_maxima: bool,
+    /// Staleness watchdog: after this many consecutive missed gathers the
+    /// controller freezes tuning, restores the last-known-good threshold
+    /// and stops throttling on the stale estimate, re-arming on the next
+    /// valid aggregate (0 disables the watchdog).
+    pub watchdog_gathers: u32,
 }
 
 impl TuneConfig {
@@ -81,6 +87,7 @@ impl TuneConfig {
             max_stale_resets: 5,
             initial_threshold_frac: 0.01,
             avoid_local_maxima: true,
+            watchdog_gathers: 8,
         }
     }
 
@@ -127,9 +134,21 @@ struct TunerState {
     n_max: f64,
     t_max: f64,
     consecutive_resets: u32,
+    // -- graceful degradation (staleness watchdog) --
+    /// Threshold after the most recent tuning period with no observed
+    /// side-band rejections: the value restored when the watchdog trips.
+    last_good_threshold: f64,
+    /// Watchdog tripped: tuning frozen, throttling suspended until a valid
+    /// aggregate arrives.
+    frozen: bool,
+    /// Side-band rejection count already accounted for (for per-period
+    /// cleanliness checks).
+    rejected_seen: u64,
     // -- instrumentation --
     tune_events: u64,
     resets: u64,
+    watchdog_trips: u64,
+    watchdog_rearms: u64,
 }
 
 impl SelfTuned {
@@ -181,6 +200,39 @@ impl SelfTuned {
         self.state.as_ref().map_or(0, |s| s.resets)
     }
 
+    /// Installs a fault plan on the underlying side-band (loss, delay and
+    /// corruption of every gather; see [`faults::SidebandFaults`]).
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.sideband.set_faults(plan);
+    }
+
+    /// Whether the staleness watchdog has currently frozen tuning (stale
+    /// estimate distrusted, throttling suspended, threshold at
+    /// last-known-good).
+    #[must_use]
+    pub fn watchdog_active(&self) -> bool {
+        self.state.as_ref().is_some_and(|s| s.frozen)
+    }
+
+    /// Number of times the staleness watchdog has tripped.
+    #[must_use]
+    pub fn watchdog_trips(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.watchdog_trips)
+    }
+
+    /// Number of times a valid aggregate re-armed a tripped watchdog.
+    #[must_use]
+    pub fn watchdog_rearms(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.watchdog_rearms)
+    }
+
+    /// The threshold the watchdog would restore: the value after the most
+    /// recent tuning period that observed no side-band rejections.
+    #[must_use]
+    pub fn last_good_threshold(&self) -> Option<f64> {
+        self.state.as_ref().map(|s| s.last_good_threshold)
+    }
+
     /// The configuration.
     #[must_use]
     pub fn config(&self) -> &TuneConfig {
@@ -211,8 +263,13 @@ impl SelfTuned {
             n_max: 0.0,
             t_max: 0.0,
             consecutive_resets: 0,
+            last_good_threshold: cfg.initial_threshold_frac * total_buffers,
+            frozen: false,
+            rejected_seen: 0,
             tune_events: 0,
             resets: 0,
+            watchdog_trips: 0,
+            watchdog_rearms: 0,
         }
     }
 
@@ -277,6 +334,11 @@ impl SelfTuned {
         }
         st.threshold = st.threshold.clamp(st.inc, st.total_buffers);
         st.prev_period_tput = Some(tput);
+        Self::reset_period(st);
+    }
+
+    /// Clears the per-tuning-period accumulators.
+    fn reset_period(st: &mut TunerState) {
         st.period_tput = 0;
         st.period_full_sum = 0.0;
         st.snaps_in_period = 0;
@@ -298,17 +360,50 @@ impl CongestionControl for SelfTuned {
         if let Some(snap) = self.sideband.latest() {
             if st.last_snapshot_seen != Some(snap.taken_at) {
                 st.last_snapshot_seen = Some(snap.taken_at);
+                if st.frozen {
+                    // A valid aggregate ends the outage: re-arm tuning from
+                    // scratch at the restored threshold. The pre-outage
+                    // period throughput is not comparable across the gap.
+                    st.frozen = false;
+                    st.watchdog_rearms += 1;
+                    st.prev_period_tput = None;
+                    st.rejected_seen = self.sideband.stats().rejected();
+                    Self::reset_period(st);
+                }
                 st.period_tput += u64::from(snap.delivered_flits);
                 st.period_full_sum += f64::from(snap.full_buffers);
                 st.snaps_in_period += 1;
                 if st.snaps_in_period >= self.cfg.tune_gathers {
                     let avg_full = st.period_full_sum / f64::from(st.snaps_in_period);
                     Self::tune(&self.cfg, st, avg_full);
+                    // A period during which receivers rejected nothing is
+                    // trustworthy: remember where it left the threshold as
+                    // the watchdog's fallback point.
+                    let rejected = self.sideband.stats().rejected();
+                    if rejected == st.rejected_seen {
+                        st.last_good_threshold = st.threshold;
+                    }
+                    st.rejected_seen = rejected;
                 }
             }
         }
 
-        st.throttling_now = self.sideband.estimate(now) > st.threshold;
+        // Staleness watchdog: when aggregates stop arriving for
+        // `watchdog_gathers` consecutive gathers, the estimate is fiction.
+        // Freeze tuning, fall back to the last-known-good threshold, and
+        // fail open (stop throttling) until real data returns.
+        if !st.frozen
+            && self.cfg.watchdog_gathers > 0
+            && self.sideband.gathers_overdue(now) >= u64::from(self.cfg.watchdog_gathers)
+        {
+            st.frozen = true;
+            st.watchdog_trips += 1;
+            st.threshold = st.last_good_threshold;
+            st.prev_period_tput = None;
+            Self::reset_period(st);
+        }
+
+        st.throttling_now = !st.frozen && self.sideband.estimate(now) > st.threshold;
         st.cycles_this_period += 1;
         if st.throttling_now {
             st.throttled_cycles_this_period += 1;
@@ -468,6 +563,92 @@ mod tests {
         st.cycles_this_period = 96;
         SelfTuned::tune(&c, &mut st, 0.0);
         assert_eq!(st.threshold, 3072.0, "ceiling holds");
+    }
+
+    // -- staleness watchdog (graceful degradation) --
+
+    use faults::SidebandFaults;
+    use wormsim::{DeadlockMode, NetConfig};
+
+    /// Drives `ctl` against a flooded small network for `cycles` cycles.
+    fn flood(ctl: &mut SelfTuned, cycles: u64) {
+        let mut net = Network::new(NetConfig::small(DeadlockMode::PAPER_RECOVERY)).unwrap();
+        let nodes = net.torus().node_count();
+        let mut i = 0usize;
+        let mut source = move |_now: u64, node: usize| {
+            i = i.wrapping_add(node + 1);
+            Some((node + 1 + i) % nodes)
+        };
+        for _ in 0..cycles {
+            net.cycle(&mut source, ctl);
+        }
+    }
+
+    fn small_tune_cfg() -> TuneConfig {
+        TuneConfig {
+            sideband: SidebandConfig {
+                radix: 8,
+                ..SidebandConfig::paper()
+            },
+            ..TuneConfig::paper()
+        }
+    }
+
+    #[test]
+    fn watchdog_trips_on_blackout_and_fails_open() {
+        let mut ctl = SelfTuned::new(small_tune_cfg());
+        ctl.set_faults(FaultPlan::sideband_only(
+            11,
+            SidebandFaults {
+                loss_rate: 1.0,
+                ..SidebandFaults::none()
+            },
+        ));
+        flood(&mut ctl, 5_000);
+        assert_eq!(ctl.watchdog_trips(), 1, "one outage, one trip");
+        assert!(ctl.watchdog_active(), "outage never ends");
+        assert_eq!(ctl.watchdog_rearms(), 0);
+        assert!(!ctl.throttling(), "a frozen controller fails open");
+        assert_eq!(ctl.tune_events(), 0, "no aggregates, no tuning");
+        // With no tuning ever observed, the fallback is the initial value.
+        assert_eq!(ctl.threshold(), ctl.last_good_threshold());
+        assert!(ctl.sideband().stats().lost_snapshots > 100);
+        assert!(ctl.sideband().latest().is_none(), "nothing ever arrived");
+    }
+
+    #[test]
+    fn watchdog_rearms_when_data_returns() {
+        // Every gather is delayed by up to 50 gather periods: long silences
+        // trip the watchdog, and each late arrival then re-arms it.
+        let mut ctl = SelfTuned::new(small_tune_cfg());
+        let period = ctl.config().sideband.gather_period();
+        ctl.set_faults(FaultPlan::sideband_only(
+            5,
+            SidebandFaults {
+                delay_rate: 1.0,
+                max_delay: 50 * period,
+                ..SidebandFaults::none()
+            },
+        ));
+        flood(&mut ctl, 20_000);
+        assert!(ctl.watchdog_trips() >= 1, "long delays look like outages");
+        assert!(
+            ctl.watchdog_rearms() >= 1,
+            "late aggregates must re-arm the watchdog ({} trips, {} re-arms)",
+            ctl.watchdog_trips(),
+            ctl.watchdog_rearms()
+        );
+        assert!(ctl.watchdog_rearms() <= ctl.watchdog_trips());
+    }
+
+    #[test]
+    fn fault_free_watchdog_stays_quiet() {
+        let mut ctl = SelfTuned::new(small_tune_cfg());
+        flood(&mut ctl, 10_000);
+        assert_eq!(ctl.watchdog_trips(), 0);
+        assert_eq!(ctl.watchdog_rearms(), 0);
+        assert!(!ctl.watchdog_active());
+        assert!(ctl.tune_events() > 0);
     }
 
     #[test]

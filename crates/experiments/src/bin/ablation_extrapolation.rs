@@ -3,5 +3,8 @@ use experiments::{figures::ablations, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit("ablation_extrapolation", &ablations::extrapolation(cli.scale));
+    cli.emit(
+        "ablation_extrapolation",
+        &ablations::extrapolation(cli.scale),
+    );
 }

@@ -3,5 +3,8 @@ use experiments::{figures::ablations, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit("ablation_sideband_bits", &ablations::sideband_bits(cli.scale));
+    cli.emit(
+        "ablation_sideband_bits",
+        &ablations::sideband_bits(cli.scale),
+    );
 }

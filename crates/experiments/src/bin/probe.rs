@@ -1,10 +1,10 @@
 //! Ad-hoc probe: windowed throughput over time for one configuration.
 //! Usage: `probe <scheme> <rate> <recovery|avoidance> <cycles>`
 use experiments::run_series;
+use stcc::Simulation;
 use stcc::{Scheme, SimConfig};
 use traffic::{Pattern, Process, Workload};
 use wormsim::{DeadlockMode, NetConfig};
-use stcc::Simulation;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,7 +36,7 @@ fn main() {
         let mut last = 0u64;
         while sim.now() < cfg.cycles {
             sim.step();
-            if sim.now() % 2000 == 0 {
+            if sim.now().is_multiple_of(2000) {
                 let cum = sim.network().delivered_flits_cum();
                 let tput = (cum - last) as f64 / (2000.0 * 256.0);
                 last = cum;
@@ -44,9 +44,14 @@ fn main() {
                     let (tm, nm) = t.max_anchor().unwrap_or((f64::NAN, f64::NAN));
                     println!(
                         "t={} tput={:.4} full={} thr={:.0} max={} tmax={:.0} nmax={:.0} resets={}",
-                        sim.now(), tput, sim.network().full_buffer_count(),
-                        t.threshold().unwrap_or(f64::NAN), t.max_throughput().unwrap_or(0),
-                        tm, nm, t.resets()
+                        sim.now(),
+                        tput,
+                        sim.network().full_buffer_count(),
+                        t.threshold().unwrap_or(f64::NAN),
+                        t.max_throughput().unwrap_or(0),
+                        tm,
+                        nm,
+                        t.resets()
                     );
                 }
             }
@@ -62,5 +67,8 @@ fn main() {
         let h = th.get(i).map_or(f64::NAN, |&(_, v)| v);
         println!("{t},{v:.4},{f},{h:.0}");
     }
-    println!("# latency={:.1} latency_total={:.1} recovered={}", r.latency, r.latency_total, r.recovered);
+    println!(
+        "# latency={:.1} latency_total={:.1} recovered={}",
+        r.latency, r.latency_total, r.recovered
+    );
 }

@@ -1,0 +1,9 @@
+//! Fault-injection resilience sweep (see DESIGN.md, "Fault model &
+//! degradation"): Base / Static / Tuned under rising side-band snapshot
+//! loss.
+use experiments::{figures::resilience, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    cli.emit("resilience", &resilience::generate(cli.scale));
+}

@@ -48,8 +48,9 @@ impl Cli {
                     cli.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
                 }
                 "--help" | "-h" => {
-                    return Err("usage: [--scale paper|reduced|smoke] [--out DIR] [--seed N]"
-                        .to_owned())
+                    return Err(
+                        "usage: [--scale paper|reduced|smoke] [--out DIR] [--seed N]".to_owned(),
+                    )
                 }
                 other => return Err(format!("unknown argument '{other}' (try --help)")),
             }
@@ -97,8 +98,10 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let cli = Cli::parse(args(&["--scale", "smoke", "--out", "/tmp/x", "--seed", "9"]))
-            .unwrap();
+        let cli = Cli::parse(args(&[
+            "--scale", "smoke", "--out", "/tmp/x", "--seed", "9",
+        ]))
+        .unwrap();
         assert_eq!(cli.scale, Scale::Smoke);
         assert_eq!(cli.out, PathBuf::from("/tmp/x"));
         assert_eq!(cli.seed, 9);

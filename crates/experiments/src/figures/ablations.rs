@@ -90,7 +90,13 @@ pub fn increments(scale: Scale) -> Table {
         "Ablation X3 — increment/decrement steps (tune @ 0.056, recovery)",
         &["inc_pct", "dec_pct", "tput_flits", "net_latency"],
     );
-    for (inc, dec) in [(0.01, 0.04), (0.01, 0.01), (0.02, 0.04), (0.04, 0.04), (0.04, 0.01)] {
+    for (inc, dec) in [
+        (0.01, 0.04),
+        (0.01, 0.01),
+        (0.02, 0.04),
+        (0.04, 0.04),
+        (0.04, 0.01),
+    ] {
         let tune = TuneConfig {
             increment_frac: inc,
             decrement_frac: dec,

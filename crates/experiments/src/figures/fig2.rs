@@ -41,11 +41,11 @@ pub fn generate(scale: Scale) -> Table {
         let mut occupancy = GaugeSeries::new();
         while sim.now() < cycles {
             sim.step();
-            if sim.now() >= warmup && sim.now() % 256 == 0 {
+            if sim.now() >= warmup && sim.now().is_multiple_of(256) {
                 occupancy.sample(sim.now(), f64::from(sim.network().full_buffer_count()));
             }
         }
-        let s = sim.summary();
+        let s = sim.summary().expect("run is past warm-up");
         let avg_full = occupancy.points().iter().map(|&(_, v)| v).sum::<f64>()
             / occupancy.points().len().max(1) as f64;
         let total = f64::from(sim.network().total_vc_buffers());

@@ -30,7 +30,10 @@ pub fn generate(scale: Scale) -> Table {
         "Figure 4 — self-tuning operation (threshold & throughput vs time, avoidance, interval 100)",
         &["variant", "t", "threshold", "tput_flits"],
     );
-    for (avoid, name) in [(false, "hill-climbing-only"), (true, "hill-climbing+avoid-max")] {
+    for (avoid, name) in [
+        (false, "hill-climbing-only"),
+        (true, "hill-climbing+avoid-max"),
+    ] {
         let tune = TuneConfig {
             avoid_local_maxima: avoid,
             ..TuneConfig::paper()

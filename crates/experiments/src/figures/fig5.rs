@@ -21,7 +21,14 @@ pub const STATIC_THRESHOLDS: [u32; 2] = [250, 50];
 pub fn generate(scale: Scale) -> Table {
     let mut t = Table::new(
         "Figure 5 — static thresholds vs self-tuning (deadlock recovery)",
-        &["pattern", "scheme", "offered_pkts", "tput_pkts", "tput_flits", "net_latency"],
+        &[
+            "pattern",
+            "scheme",
+            "offered_pkts",
+            "tput_pkts",
+            "tput_flits",
+            "net_latency",
+        ],
     );
     let schemes: Vec<Scheme> = [Scheme::Base]
         .into_iter()

@@ -36,7 +36,11 @@ pub fn generate(scale: Scale) -> Table {
         let end = start.saturating_add(phase.duration);
         t.push(vec![
             start.to_string(),
-            if end == u64::MAX { "...".to_owned() } else { end.to_string() },
+            if end == u64::MAX {
+                "...".to_owned()
+            } else {
+                end.to_string()
+            },
             phase.pattern.name().to_owned(),
             fnum(phase.process.offered_rate()),
         ]);

@@ -10,4 +10,5 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod resilience;
 pub mod table1;

@@ -1,0 +1,95 @@
+//! Resilience: graceful degradation under side-band faults.
+//!
+//! Not a figure of the paper — this reproduction's fault-injection
+//! experiment (DESIGN.md, "Fault model & degradation"). At a saturating
+//! uniform-random load, sweep the side-band snapshot **loss rate** and
+//! compare Base, Static and Tuned delivered bandwidth. The globally
+//! informed schemes must degrade gracefully: as snapshots disappear their
+//! estimates go quiet and both fall back towards uncontrolled (Base)
+//! behavior — the self-tuner additionally via its staleness watchdog, whose
+//! trip/re-arm counters the table reports. At 100% loss the Tuned scheme
+//! must neither panic nor collapse: it fails open and lands within a few
+//! percent of Static.
+
+use crate::table::fnum;
+use crate::{run_point_with_faults, steady_config, Scale, Table};
+use faults::{FaultPlan, SidebandFaults};
+use sideband::SidebandConfig;
+use stcc::Scheme;
+use traffic::Pattern;
+use wormsim::{DeadlockMode, NetConfig};
+
+/// The swept snapshot loss rates.
+#[must_use]
+pub fn loss_rates() -> Vec<f64> {
+    vec![0.0, 0.1, 0.5, 0.9, 1.0]
+}
+
+/// Offered load of every run: past the base network's saturation knee, so
+/// throttling (or its faulted absence) is what decides the outcome.
+pub const LOAD: f64 = 0.028;
+
+/// The three compared schemes.
+#[must_use]
+pub fn schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::Base,
+        Scheme::Static {
+            threshold: 250,
+            sideband: SidebandConfig::paper(),
+        },
+        Scheme::tuned_paper(),
+    ]
+}
+
+/// Runs the resilience sweep (deadlock recovery, uniform random).
+#[must_use]
+pub fn generate(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Resilience — delivered bandwidth under side-band snapshot loss (uniform random @ 0.028)",
+        &[
+            "loss_rate",
+            "scheme",
+            "tput_flits",
+            "latency",
+            "throttled",
+            "lost_snaps",
+            "rejected",
+            "wd_trips",
+            "wd_rearms",
+        ],
+    );
+    for &loss in &loss_rates() {
+        for scheme in schemes() {
+            let cfg = steady_config(
+                NetConfig::paper(DeadlockMode::PAPER_RECOVERY),
+                scheme.clone(),
+                Pattern::UniformRandom,
+                LOAD,
+                scale,
+                0xFA_0001,
+            );
+            let plan = FaultPlan::sideband_only(
+                0xFA17,
+                SidebandFaults {
+                    loss_rate: loss,
+                    ..SidebandFaults::none()
+                },
+            );
+            let (p, f) = run_point_with_faults(cfg, plan);
+            let sb = f.sideband.unwrap_or_default();
+            t.push(vec![
+                fnum(loss),
+                scheme.label(),
+                fnum(p.tput_flits),
+                fnum(p.latency),
+                p.throttled.to_string(),
+                sb.lost_snapshots.to_string(),
+                sb.rejected().to_string(),
+                f.watchdog_trips.to_string(),
+                f.watchdog_rearms.to_string(),
+            ]);
+        }
+    }
+    t
+}

@@ -14,6 +14,9 @@ mod scale;
 pub mod table;
 
 pub use cli::Cli;
-pub use run::{run_point, run_series, steady_config, sweep_rates, sweep_rates_for, PointResult, SeriesResult};
+pub use run::{
+    run_point, run_point_with_faults, run_series, steady_config, sweep_rates, sweep_rates_for,
+    PointResult, SeriesResult,
+};
 pub use scale::Scale;
 pub use table::Table;

@@ -1,6 +1,7 @@
 use crate::Scale;
-use simstats::{GaugeSeries, WindowSeries};
-use stcc::{Scheme, SimConfig, Simulation};
+use faults::FaultPlan;
+use simstats::{GaugeSeries, RunSummary, WindowSeries};
+use stcc::{FaultReport, Scheme, SimConfig, Simulation};
 use traffic::{Pattern, Process, Workload};
 use wormsim::NetConfig;
 
@@ -32,15 +33,43 @@ pub struct PointResult {
 /// ones; the error message names the offender).
 #[must_use]
 pub fn run_point(cfg: SimConfig) -> PointResult {
-    let label = format!(
+    let label = point_label(&cfg);
+    let mut sim = Simulation::new(cfg).unwrap_or_else(|e| panic!("bad experiment ({label}): {e}"));
+    sim.run_to_end();
+    // Infallible here: `Simulation::new` enforces warmup < cycles, and the
+    // run is complete.
+    let s = sim.summary().expect("run_to_end passes warm-up");
+    condense(&s)
+}
+
+/// Runs one simulation under an installed fault plan and condenses its
+/// summary together with the run's fault/degradation counters.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration or fault plan (the harness constructs
+/// only valid ones).
+#[must_use]
+pub fn run_point_with_faults(cfg: SimConfig, plan: FaultPlan) -> (PointResult, FaultReport) {
+    let label = point_label(&cfg);
+    let mut sim = Simulation::with_faults(cfg, plan)
+        .unwrap_or_else(|e| panic!("bad experiment ({label}): {e}"));
+    sim.run_to_end();
+    let report = sim.fault_report();
+    let s = sim.summary().expect("run_to_end passes warm-up");
+    (condense(&s), report)
+}
+
+fn point_label(cfg: &SimConfig) -> String {
+    format!(
         "{} {} @ {:.4}",
         cfg.scheme.label(),
         cfg.workload.phases()[0].pattern.name(),
         cfg.workload.offered_rate_at(cfg.warmup)
-    );
-    let mut sim = Simulation::new(cfg).unwrap_or_else(|e| panic!("bad experiment ({label}): {e}"));
-    sim.run_to_end();
-    let s = sim.summary();
+    )
+}
+
+fn condense(s: &RunSummary) -> PointResult {
     PointResult {
         offered: s.offered_rate,
         tput_packets: s.throughput_packets(),
@@ -95,7 +124,7 @@ pub fn run_series(cfg: SimConfig, window: u64) -> SeriesResult {
         let cum = sim.network().delivered_flits_cum();
         tput.add(now, cum - last_flits);
         last_flits = cum;
-        if now % window == 0 {
+        if now.is_multiple_of(window) {
             if let Some(t) = sim.tuned() {
                 if let Some(v) = t.threshold() {
                     threshold.sample(now, v);
@@ -104,7 +133,7 @@ pub fn run_series(cfg: SimConfig, window: u64) -> SeriesResult {
             full.sample(now, f64::from(sim.network().full_buffer_count()));
         }
     }
-    let s = sim.summary();
+    let s = sim.summary().expect("run_to_end passes warm-up");
     SeriesResult {
         window,
         nodes,
@@ -122,8 +151,8 @@ pub fn run_series(cfg: SimConfig, window: u64) -> SeriesResult {
 #[must_use]
 pub fn sweep_rates() -> Vec<f64> {
     vec![
-        0.001, 0.0015, 0.002, 0.003, 0.005, 0.007, 0.010, 0.014, 0.020, 0.028, 0.040, 0.056,
-        0.080, 0.100,
+        0.001, 0.0015, 0.002, 0.003, 0.005, 0.007, 0.010, 0.014, 0.020, 0.028, 0.040, 0.056, 0.080,
+        0.100,
     ]
 }
 
@@ -135,7 +164,9 @@ pub fn sweep_rates_for(scale: Scale) -> Vec<f64> {
     match scale {
         Scale::Paper => sweep_rates(),
         Scale::Reduced => {
-            vec![0.001, 0.002, 0.005, 0.010, 0.014, 0.020, 0.028, 0.056, 0.100]
+            vec![
+                0.001, 0.002, 0.005, 0.010, 0.014, 0.020, 0.028, 0.056, 0.100,
+            ]
         }
         Scale::Smoke => vec![0.001, 0.005, 0.014, 0.028, 0.056, 0.100],
     }

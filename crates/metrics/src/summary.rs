@@ -86,7 +86,10 @@ mod tests {
     fn acceptance_ratio() {
         let s = summary();
         assert!((s.acceptance() - 0.78125).abs() < 1e-9);
-        let idle = RunSummary { offered_rate: 0.0, ..summary() };
+        let idle = RunSummary {
+            offered_rate: 0.0,
+            ..summary()
+        };
         assert_eq!(idle.acceptance(), 1.0);
     }
 }

@@ -1,5 +1,5 @@
 use core::fmt;
-use kncube::{Torus, TopologyError};
+use kncube::{TopologyError, Torus};
 
 /// How the network deals with deadlock among fully adaptive channels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,7 +105,9 @@ impl NetConfig {
             return Err(ConfigError::ZeroBufferDepth);
         }
         if self.packet_len == 0 || self.packet_len > usize::from(u16::MAX) {
-            return Err(ConfigError::BadPacketLen { len: self.packet_len });
+            return Err(ConfigError::BadPacketLen {
+                len: self.packet_len,
+            });
         }
         if self.hop_latency == 0 {
             return Err(ConfigError::ZeroHopLatency);
@@ -190,7 +192,10 @@ impl fmt::Display for ConfigError {
                 f.write_str("deadlock avoidance needs at least 2 VCs (1 escape + 1 adaptive)")
             }
             ConfigError::TooManyFeeders { feeders } => {
-                write!(f, "router arbiter supports at most 64 feeders, got {feeders}")
+                write!(
+                    f,
+                    "router arbiter supports at most 64 feeders, got {feeders}"
+                )
             }
             ConfigError::ZeroBufferDepth => f.write_str("buffer depth must be nonzero"),
             ConfigError::BadPacketLen { len } => write!(f, "packet length {len} out of range"),
@@ -229,31 +234,58 @@ mod tests {
     fn validation_rejects_bad_configs() {
         let base = NetConfig::paper(DeadlockMode::Avoidance);
         assert!(matches!(
-            NetConfig { vcs: 0, ..base.clone() }.validate(),
+            NetConfig {
+                vcs: 0,
+                ..base.clone()
+            }
+            .validate(),
             Err(ConfigError::BadVcCount { vcs: 0 })
         ));
         assert!(matches!(
-            NetConfig { vcs: 1, ..base.clone() }.validate(),
+            NetConfig {
+                vcs: 1,
+                ..base.clone()
+            }
+            .validate(),
             Err(ConfigError::AvoidanceNeedsAdaptiveVc)
         ));
-        assert!(NetConfig { vcs: 1, deadlock: DeadlockMode::PAPER_RECOVERY, ..base.clone() }
-            .validate()
-            .is_ok());
+        assert!(NetConfig {
+            vcs: 1,
+            deadlock: DeadlockMode::PAPER_RECOVERY,
+            ..base.clone()
+        }
+        .validate()
+        .is_ok());
         assert!(matches!(
-            NetConfig { buf_depth: 0, ..base.clone() }.validate(),
+            NetConfig {
+                buf_depth: 0,
+                ..base.clone()
+            }
+            .validate(),
             Err(ConfigError::ZeroBufferDepth)
         ));
         assert!(matches!(
-            NetConfig { packet_len: 0, ..base.clone() }.validate(),
+            NetConfig {
+                packet_len: 0,
+                ..base.clone()
+            }
+            .validate(),
             Err(ConfigError::BadPacketLen { .. })
         ));
         assert!(matches!(
-            NetConfig { hop_latency: 0, ..base.clone() }.validate(),
+            NetConfig {
+                hop_latency: 0,
+                ..base.clone()
+            }
+            .validate(),
             Err(ConfigError::ZeroHopLatency)
         ));
         assert!(matches!(
-            NetConfig { deadlock: DeadlockMode::Recovery { timeout: 0 }, ..base.clone() }
-                .validate(),
+            NetConfig {
+                deadlock: DeadlockMode::Recovery { timeout: 0 },
+                ..base.clone()
+            }
+            .validate(),
             Err(ConfigError::ZeroTimeout)
         ));
         assert!(matches!(

@@ -21,6 +21,12 @@ pub struct Counters {
     pub escape_allocations: u64,
     /// Injection-gate denials (one per throttled packet-cycle).
     pub throttled_injections: u64,
+    /// Cycles a flit was ready to cross a network link that a fault plan
+    /// had stalled (zero without installed faults).
+    pub link_stall_cycles: u64,
+    /// Cycles a flit was ready for a delivery channel that a hotspot fault
+    /// had stalled (zero without installed faults).
+    pub hotspot_stall_cycles: u64,
 }
 
 impl Counters {

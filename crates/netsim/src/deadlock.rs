@@ -49,7 +49,11 @@ impl Network {
             }
         };
         let vc = &mut self.in_vcs[idx];
-        let pid = vc.buf.front().expect("candidate VC has a blocked header").packet;
+        let pid = vc
+            .buf
+            .front()
+            .expect("candidate VC has a blocked header")
+            .packet;
         vc.assign = Assign::Recovery;
         vc.blocked = 0;
         let node = idx / (self.torus().channels_per_node() * self.config().vcs);

@@ -2,6 +2,7 @@ use crate::config::{DeadlockMode, NetConfig};
 use crate::control::CongestionControl;
 use crate::counters::Counters;
 use crate::packet::{DeliveredRecord, Flit, PacketId, PacketInfo, PacketStore};
+use faults::{FaultPlan, FaultPlanError};
 use kncube::{Dir, NodeId, Torus};
 use std::collections::VecDeque;
 
@@ -135,6 +136,9 @@ pub struct Network {
     pub(crate) token_queue: VecDeque<usize>,
     /// Cycle of the most recent flit delivery (watchdog aid).
     last_delivery_at: u64,
+    /// Scheduled link/hotspot faults (`None` = fault-free network; the hot
+    /// path is untouched until a non-quiet plan is installed).
+    faults: Option<FaultPlan>,
 }
 
 impl Network {
@@ -155,13 +159,17 @@ impl Network {
             v,
             depth: cfg.buf_depth,
             packet_len: cfg.packet_len as u16,
-            in_vcs: (0..nodes * d * v).map(|_| InVc::new(cfg.buf_depth)).collect(),
+            in_vcs: (0..nodes * d * v)
+                .map(|_| InVc::new(cfg.buf_depth))
+                .collect(),
             out_alloc: vec![false; nodes * d * v],
             inj: vec![InjState::idle(); nodes],
             source_q: vec![VecDeque::new(); nodes],
             packets: PacketStore::new(),
             escaped: Vec::new(),
-            dl_buf: (0..nodes).map(|_| VecDeque::with_capacity(DL_DEPTH)).collect(),
+            dl_buf: (0..nodes)
+                .map(|_| VecDeque::with_capacity(DL_DEPTH))
+                .collect(),
             recovery: None,
             route_rr: vec![0; nodes],
             out_rr: vec![0; nodes * (d + 1)],
@@ -172,8 +180,23 @@ impl Network {
             allow: vec![true; nodes],
             token_queue: VecDeque::new(),
             last_delivery_at: 0,
+            faults: None,
             cfg,
         })
+    }
+
+    /// Installs the data-network portion of a fault plan: scheduled link
+    /// stalls and node hotspots. A plan with no network faults leaves the
+    /// fault-free fast path untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns the plan's first constraint violation against this network's
+    /// shape (node range, port range, empty windows, fault rates).
+    pub fn install_faults(&mut self, plan: FaultPlan) -> Result<(), FaultPlanError> {
+        plan.validate(self.torus.node_count(), self.d)?;
+        self.faults = (!plan.net_is_quiet()).then_some(plan);
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -321,8 +344,13 @@ impl Network {
     fn generate(&mut self, now: u64, source: &mut dyn FnMut(u64, NodeId) -> Option<NodeId>) {
         let nodes = self.torus.node_count();
         for node in 0..nodes {
-            let Some(dst) = source(now, node) else { continue };
-            assert!(dst < nodes, "traffic source produced destination {dst} out of range");
+            let Some(dst) = source(now, node) else {
+                continue;
+            };
+            assert!(
+                dst < nodes,
+                "traffic source produced destination {dst} out of range"
+            );
             if self.source_q[node].len() >= self.cfg.source_queue_cap {
                 self.counters.refused_generations += 1;
                 continue;
@@ -459,13 +487,17 @@ impl Network {
     fn detect_starved_heads(&mut self, now: u64, timeout: u64) {
         // Cheap gating: only sweep when the sweep could matter (every
         // `timeout` cycles).
-        if timeout == 0 || now % timeout != 0 {
+        if timeout == 0 || !now.is_multiple_of(timeout) {
             return;
         }
         for idx in 0..self.in_vcs.len() {
             let vc = &self.in_vcs[idx];
-            let Assign::Out { port, vc: ovc } = vc.assign else { continue };
-            let Some(front) = vc.buf.front() else { continue };
+            let Assign::Out { port, vc: ovc } = vc.assign else {
+                continue;
+            };
+            let Some(front) = vc.buf.front() else {
+                continue;
+            };
             if front.idx != 0 || front.ready_at > now {
                 continue;
             }
@@ -495,7 +527,14 @@ impl Network {
             (self.source_q[node][0], true)
         } else {
             let idx = self.vc_idx(node, 0, 0) + feeder;
-            (self.in_vcs[idx].buf.front().expect("requester has front").packet, false)
+            (
+                self.in_vcs[idx]
+                    .buf
+                    .front()
+                    .expect("requester has front")
+                    .packet,
+                false,
+            )
         };
         let dst = self.packets.get(pid).dst;
         let assign = if dst == node {
@@ -552,7 +591,9 @@ impl Network {
                     Assign::Delivery => self.d,
                     Assign::None | Assign::AwaitToken | Assign::Recovery => continue,
                 };
-                let Some(front) = vc.buf.front() else { continue };
+                let Some(front) = vc.buf.front() else {
+                    continue;
+                };
                 if front.ready_at > now || (front.idx == 0 && vc.routed_at >= now) {
                     continue;
                 }
@@ -593,6 +634,20 @@ impl Network {
             for port in 0..nports {
                 if counts[port] == 0 {
                     continue;
+                }
+                // A faulted output moves nothing this cycle: a stalled link
+                // (network port) or a hot, non-consuming node (delivery
+                // port). Stall-cycles count only when a flit was ready.
+                if let Some(plan) = &self.faults {
+                    if port == self.d {
+                        if plan.delivery_down(node, now) {
+                            self.counters.hotspot_stall_cycles += 1;
+                            continue;
+                        }
+                    } else if plan.link_down(node, port, now) {
+                        self.counters.link_stall_cycles += 1;
+                        continue;
+                    }
                 }
                 let cands = &buckets[port][..counts[port]];
                 let cursor = self.out_rr[node * nports + port] % self.feeders_per_node();
@@ -715,7 +770,14 @@ pub(crate) fn port_of(dim: usize, dir: Dir) -> usize {
 #[inline]
 #[must_use]
 pub(crate) fn dim_dir_of(port: usize) -> (usize, Dir) {
-    (port / 2, if port % 2 == 0 { Dir::Plus } else { Dir::Minus })
+    (
+        port / 2,
+        if port.is_multiple_of(2) {
+            Dir::Plus
+        } else {
+            Dir::Minus
+        },
+    )
 }
 
 #[cfg(test)]

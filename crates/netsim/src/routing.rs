@@ -23,12 +23,7 @@ impl Network {
     ///   channel-dependency graph acyclic on the torus.
     ///
     /// Returns `None` when no candidate channel is free this cycle.
-    pub(crate) fn choose_output(
-        &self,
-        node: NodeId,
-        dst: NodeId,
-        pid: PacketId,
-    ) -> Option<Assign> {
+    pub(crate) fn choose_output(&self, node: NodeId, dst: NodeId, pid: PacketId) -> Option<Assign> {
         debug_assert_ne!(node, dst);
         let escape_vcs = self.config().escape_vcs();
         let sticky_escaped = escape_vcs > 0 && self.escaped[pid as usize];
@@ -75,7 +70,11 @@ impl Network {
         let cb = self.torus().coords(dst);
         for dim in 0..self.torus().dimensions() {
             if ca[dim] != cb[dim] {
-                let dir = if cb[dim] > ca[dim] { Dir::Plus } else { Dir::Minus };
+                let dir = if cb[dim] > ca[dim] {
+                    Dir::Plus
+                } else {
+                    Dir::Minus
+                };
                 return Some((dim, dir));
             }
         }

@@ -31,7 +31,7 @@ fn delivery_channel_consumes_at_most_one_flit_per_cycle() {
     // Flood one destination from every other node; the sink's delivery
     // channel is the bottleneck: delivered flits <= elapsed cycles.
     let mut net = small(DeadlockMode::Avoidance);
-    let mut src = |now: u64, node: usize| (node != 0 && now % 8 == 0).then_some(0);
+    let mut src = |now: u64, node: usize| (node != 0 && now.is_multiple_of(8)).then_some(0);
     let cycles = 4_000u64;
     net.run(cycles, &mut src, &mut NoControl);
     let delivered = net.counters().delivered_flits;
@@ -56,7 +56,10 @@ fn source_queue_cap_refuses_generations() {
     let mut src = |_: u64, node: usize| (node == 0).then_some(36);
     net.run(2_000, &mut src, &mut NoControl);
     let c = net.counters();
-    assert!(c.refused_generations > 0, "cap of 2 must refuse under 1 pkt/cycle");
+    assert!(
+        c.refused_generations > 0,
+        "cap of 2 must refuse under 1 pkt/cycle"
+    );
     assert_eq!(c.generated_packets + c.refused_generations, 2_000);
 }
 
@@ -74,7 +77,11 @@ fn escape_channels_engage_under_avoidance_load() {
         net.counters().escape_allocations > 0,
         "heavy load must push some headers onto the escape VC"
     );
-    assert_eq!(net.counters().recovery_timeouts, 0, "no suspicion in avoidance mode");
+    assert_eq!(
+        net.counters().recovery_timeouts,
+        0,
+        "no suspicion in avoidance mode"
+    );
 }
 
 #[test]
@@ -88,13 +95,22 @@ fn recovery_suspicions_and_recoveries_fire_under_recovery_load() {
     };
     net.run(20_000, &mut src, &mut NoControl);
     let c = net.counters();
-    assert!(c.recovery_timeouts > 0, "flooded recovery network must suspect packets");
-    assert!(c.recovered_packets > 0, "the token must actually drain suspects");
+    assert!(
+        c.recovery_timeouts > 0,
+        "flooded recovery network must suspect packets"
+    );
+    assert!(
+        c.recovered_packets > 0,
+        "the token must actually drain suspects"
+    );
     assert!(
         c.recovered_packets <= c.delivered_packets,
         "recoveries are a subset of deliveries"
     );
-    assert_eq!(c.escape_allocations, 0, "no escape VCs exist in recovery mode");
+    assert_eq!(
+        c.escape_allocations, 0,
+        "no escape VCs exist in recovery mode"
+    );
 }
 
 #[test]
@@ -114,7 +130,10 @@ fn gate_denials_are_counted_and_block_injection() {
     let c = net.counters();
     assert_eq!(c.injected_packets, 0, "a closed gate must admit nothing");
     assert_eq!(c.delivered_packets, 0);
-    assert!(c.throttled_injections >= 99, "denial is counted every blocked cycle");
+    assert!(
+        c.throttled_injections >= 99,
+        "denial is counted every blocked cycle"
+    );
     assert_eq!(c.undelivered(), 1);
     assert_eq!(net.source_queue_len(0), 1);
 }
@@ -128,7 +147,7 @@ fn single_flit_packets_work_end_to_end() {
     let mut x = 3usize;
     let mut src = move |now: u64, node: usize| {
         x = x.wrapping_mul(48271).wrapping_add(node);
-        (now < 2_000 && x % 4 == 0).then_some(x % nodes)
+        (now < 2_000 && x.is_multiple_of(4)).then_some(x % nodes)
     };
     net.run(2_000, &mut src, &mut NoControl);
     let mut silent = |_: u64, _: usize| None;
@@ -150,7 +169,7 @@ fn deep_buffers_and_many_vcs_also_work() {
     let mut x = 11usize;
     let mut src = move |now: u64, node: usize| {
         x = x.wrapping_mul(48271).wrapping_add(node);
-        (now < 3_000 && x % 3 == 0).then_some(x % nodes)
+        (now < 3_000 && x.is_multiple_of(3)).then_some(x % nodes)
     };
     net.run(3_000, &mut src, &mut NoControl);
     let mut silent = |_: u64, _: usize| None;

@@ -47,5 +47,5 @@ mod gather;
 mod quantize;
 pub mod width;
 
-pub use gather::{Estimator, Sideband, SidebandConfig, Snapshot};
+pub use gather::{Estimator, Sideband, SidebandConfig, SidebandStats, Snapshot};
 pub use quantize::Quantizer;

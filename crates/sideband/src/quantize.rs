@@ -30,7 +30,10 @@ impl Quantizer {
     /// Panics if `bits` is 0 or greater than 32.
     #[must_use]
     pub fn new(bits: u32) -> Self {
-        assert!((1..=32).contains(&bits), "quantizer width must be 1..=32 bits");
+        assert!(
+            (1..=32).contains(&bits),
+            "quantizer width must be 1..=32 bits"
+        );
         Quantizer { bits }
     }
 

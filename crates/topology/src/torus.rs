@@ -189,7 +189,10 @@ impl Torus {
         assert_eq!(coords.len(), self.n, "dimension count mismatch");
         let mut id = 0usize;
         for (dim, &v) in coords.as_slice().iter().enumerate().rev() {
-            assert!(usize::from(v) < self.k, "coordinate {v} out of range in dim {dim}");
+            assert!(
+                usize::from(v) < self.k,
+                "coordinate {v} out of range in dim {dim}"
+            );
             id = id * self.k + usize::from(v);
         }
         id

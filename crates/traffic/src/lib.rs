@@ -37,10 +37,12 @@
 
 mod pattern;
 mod process;
+mod rng;
 mod workload;
 
 pub use pattern::{bits_for_nodes, Pattern};
 pub use process::Process;
+pub use rng::{splitmix64, SimRng};
 pub use workload::{Phase, Workload, WorkloadRunner};
 
 use core::fmt;
@@ -74,7 +76,10 @@ impl fmt::Display for TrafficError {
                 "bit-permutation patterns require a power-of-two node count, got {nodes}"
             ),
             TrafficError::BadRate { rate } => {
-                write!(f, "injection rate must be in [0, 1] packets/node/cycle, got {rate}")
+                write!(
+                    f,
+                    "injection rate must be in [0, 1] packets/node/cycle, got {rate}"
+                )
             }
             TrafficError::ZeroInterval => f.write_str("periodic interval must be nonzero"),
             TrafficError::EmptyWorkload => f.write_str("workload must contain at least one phase"),

@@ -1,6 +1,5 @@
-use crate::TrafficError;
+use crate::{SimRng, TrafficError};
 use kncube::NodeId;
-use rand::Rng;
 
 /// Number of address bits for a power-of-two node count.
 ///
@@ -104,7 +103,7 @@ impl Pattern {
     ///
     /// Panics in debug builds if the pattern was not validated for `nodes`.
     #[must_use]
-    pub fn destination<R: Rng + ?Sized>(&self, src: NodeId, nodes: usize, rng: &mut R) -> NodeId {
+    pub fn destination(&self, src: NodeId, nodes: usize, rng: &mut SimRng) -> NodeId {
         debug_assert!(self.validate(nodes).is_ok());
         match self {
             Pattern::UniformRandom => {
@@ -112,7 +111,7 @@ impl Pattern {
                     return src;
                 }
                 // Uniform among all nodes except the source.
-                let d = rng.random_range(0..nodes - 1);
+                let d = rng.random_index(0..nodes - 1);
                 if d >= src {
                     d + 1
                 } else {
@@ -148,7 +147,7 @@ impl Pattern {
                 mid | (lo << (b - half)) | hi
             }
             Pattern::Hotspot { target, fraction } => {
-                if rng.random::<f64>() < *fraction {
+                if rng.random() < *fraction {
                     *target
                 } else {
                     Pattern::UniformRandom.destination(src, nodes, rng)
@@ -161,11 +160,9 @@ impl Pattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(7)
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(7)
     }
 
     #[test]
@@ -206,33 +203,60 @@ mod tests {
         let mut r = rng();
         // 256 nodes, 8 bits: 0b0000_0001 -> 0b1000_0000.
         assert_eq!(Pattern::BitReversal.destination(0x01, 256, &mut r), 0x80);
-        assert_eq!(Pattern::BitReversal.destination(0b1011_0010, 256, &mut r), 0b0100_1101);
+        assert_eq!(
+            Pattern::BitReversal.destination(0b1011_0010, 256, &mut r),
+            0b0100_1101
+        );
         // Palindrome maps to itself.
-        assert_eq!(Pattern::BitReversal.destination(0b1000_0001, 256, &mut r), 0b1000_0001);
+        assert_eq!(
+            Pattern::BitReversal.destination(0b1000_0001, 256, &mut r),
+            0b1000_0001
+        );
     }
 
     #[test]
     fn perfect_shuffle_rotates_left() {
         let mut r = rng();
-        assert_eq!(Pattern::PerfectShuffle.destination(0b1000_0000, 256, &mut r), 0b0000_0001);
-        assert_eq!(Pattern::PerfectShuffle.destination(0b0100_1101, 256, &mut r), 0b1001_1010);
+        assert_eq!(
+            Pattern::PerfectShuffle.destination(0b1000_0000, 256, &mut r),
+            0b0000_0001
+        );
+        assert_eq!(
+            Pattern::PerfectShuffle.destination(0b0100_1101, 256, &mut r),
+            0b1001_1010
+        );
     }
 
     #[test]
     fn butterfly_swaps_msb_and_lsb() {
         let mut r = rng();
-        assert_eq!(Pattern::Butterfly.destination(0b1000_0000, 256, &mut r), 0b0000_0001);
-        assert_eq!(Pattern::Butterfly.destination(0b0000_0001, 256, &mut r), 0b1000_0000);
-        assert_eq!(Pattern::Butterfly.destination(0b1011_0010, 256, &mut r), 0b0011_0011);
+        assert_eq!(
+            Pattern::Butterfly.destination(0b1000_0000, 256, &mut r),
+            0b0000_0001
+        );
+        assert_eq!(
+            Pattern::Butterfly.destination(0b0000_0001, 256, &mut r),
+            0b1000_0000
+        );
+        assert_eq!(
+            Pattern::Butterfly.destination(0b1011_0010, 256, &mut r),
+            0b0011_0011
+        );
         // MSB == LSB: fixed point.
-        assert_eq!(Pattern::Butterfly.destination(0b1011_0011, 256, &mut r), 0b1011_0011);
+        assert_eq!(
+            Pattern::Butterfly.destination(0b1011_0011, 256, &mut r),
+            0b1011_0011
+        );
     }
 
     #[test]
     fn bit_complement_flips_all_bits() {
         let mut r = rng();
         assert_eq!(Pattern::BitComplement.destination(0, 256, &mut r), 255);
-        assert_eq!(Pattern::BitComplement.destination(0b1010_1010, 256, &mut r), 0b0101_0101);
+        assert_eq!(
+            Pattern::BitComplement.destination(0b1010_1010, 256, &mut r),
+            0b0101_0101
+        );
     }
 
     #[test]
@@ -265,7 +289,10 @@ mod tests {
     #[test]
     fn hotspot_sends_requested_fraction() {
         let mut r = rng();
-        let p = Pattern::Hotspot { target: 5, fraction: 0.3 };
+        let p = Pattern::Hotspot {
+            target: 5,
+            fraction: 0.3,
+        };
         let hits = (0..10_000)
             .filter(|_| p.destination(9, 64, &mut r) == 5)
             .count();
@@ -277,7 +304,17 @@ mod tests {
     fn validate_rejects_bad_configs() {
         assert!(Pattern::BitReversal.validate(100).is_err());
         assert!(Pattern::UniformRandom.validate(100).is_ok());
-        assert!(Pattern::Hotspot { target: 99, fraction: 0.5 }.validate(64).is_err());
-        assert!(Pattern::Hotspot { target: 3, fraction: 1.5 }.validate(64).is_err());
+        assert!(Pattern::Hotspot {
+            target: 99,
+            fraction: 0.5
+        }
+        .validate(64)
+        .is_err());
+        assert!(Pattern::Hotspot {
+            target: 3,
+            fraction: 1.5
+        }
+        .validate(64)
+        .is_err());
     }
 }

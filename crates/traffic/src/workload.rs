@@ -1,7 +1,5 @@
-use crate::{Pattern, Process, TrafficError};
+use crate::{Pattern, Process, SimRng, TrafficError};
 use kncube::NodeId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One phase of a workload: a pattern and process active for `duration`
 /// cycles.
@@ -130,6 +128,36 @@ impl Workload {
         let (i, _) = self.phase_at(cycle);
         self.phases[i].process.offered_rate()
     }
+
+    /// Exact mean offered load over the half-open window `[start, end)`, in
+    /// packets/node/cycle: integrates each phase's rate over its overlap
+    /// with the window (the final phase persists indefinitely). Returns 0
+    /// for an empty window.
+    #[must_use]
+    pub fn mean_offered_rate(&self, start: u64, end: u64) -> f64 {
+        if end <= start || self.phases.is_empty() {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut phase_start = 0u64;
+        for (i, p) in self.phases.iter().enumerate() {
+            let phase_end = if i + 1 == self.phases.len() {
+                u64::MAX
+            } else {
+                phase_start.saturating_add(p.duration)
+            };
+            let lo = start.max(phase_start);
+            let hi = end.min(phase_end);
+            if hi > lo {
+                acc += (hi - lo) as f64 * p.process.offered_rate();
+            }
+            if phase_end >= end {
+                break;
+            }
+            phase_start = phase_end;
+        }
+        acc / (end - start) as f64
+    }
 }
 
 /// Runtime state of a [`Workload`] over all nodes: polled once per node per
@@ -138,7 +166,7 @@ impl Workload {
 pub struct WorkloadRunner {
     workload: Workload,
     nodes: usize,
-    rng: StdRng,
+    rng: SimRng,
     /// Per-node next generation time for periodic processes.
     next_gen: Vec<u64>,
     /// Phase index the per-node state was initialized for.
@@ -159,7 +187,7 @@ impl WorkloadRunner {
         let mut runner = WorkloadRunner {
             workload: workload.clone(),
             nodes,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             next_gen: vec![0; nodes],
             cur_phase: usize::MAX,
             phase_start: 0,
@@ -203,7 +231,7 @@ impl WorkloadRunner {
         }
         let phase = &self.workload.phases[self.cur_phase];
         let generate = match phase.process {
-            Process::Bernoulli { rate } => self.rng.random::<f64>() < rate,
+            Process::Bernoulli { rate } => self.rng.random() < rate,
             Process::Periodic { interval } => {
                 if now >= self.next_gen[node] {
                     self.next_gen[node] += interval;
@@ -259,9 +287,9 @@ mod tests {
         let mut r = WorkloadRunner::new(&wl, 4, 1).unwrap();
         let mut per_node = [0u64; 4];
         for now in 0..100 {
-            for node in 0..4 {
+            for (node, count) in per_node.iter_mut().enumerate() {
                 if r.poll(now, node).is_some() {
-                    per_node[node] += 1;
+                    *count += 1;
                 }
             }
         }
@@ -323,7 +351,48 @@ mod tests {
                 }
             }
         }
-        assert!(high > low * 5, "high phase ({high}) should dwarf low phase ({low})");
+        assert!(
+            high > low * 5,
+            "high phase ({high}) should dwarf low phase ({low})"
+        );
+    }
+
+    #[test]
+    fn mean_offered_rate_integrates_phases_exactly() {
+        // Two phases: 100 cycles at 0.5, then a persistent tail at 0.1.
+        let wl = Workload::phased(vec![
+            Phase {
+                duration: 100,
+                pattern: Pattern::UniformRandom,
+                process: Process::bernoulli(0.5),
+            },
+            Phase {
+                duration: u64::MAX,
+                pattern: Pattern::UniformRandom,
+                process: Process::bernoulli(0.1),
+            },
+        ]);
+        // Entirely inside one phase.
+        assert!((wl.mean_offered_rate(0, 100) - 0.5).abs() < 1e-12);
+        assert!((wl.mean_offered_rate(100, 350) - 0.1).abs() < 1e-12);
+        // Straddling the boundary: 50 cycles of each.
+        assert!((wl.mean_offered_rate(50, 150) - 0.3).abs() < 1e-12);
+        // Windows that are NOT multiples of any sampling stride still
+        // integrate exactly: 10 cycles at 0.5 + 3 at 0.1.
+        let want = (10.0 * 0.5 + 3.0 * 0.1) / 13.0;
+        assert!((wl.mean_offered_rate(90, 103) - want).abs() < 1e-12);
+        // Empty windows contribute nothing.
+        assert_eq!(wl.mean_offered_rate(40, 40), 0.0);
+        assert_eq!(wl.mean_offered_rate(50, 40), 0.0);
+        // The tail phase persists arbitrarily far out.
+        assert!((wl.mean_offered_rate(1_000_000, 2_000_000) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_offered_rate_matches_pointwise_sampling_on_steady() {
+        let wl = Workload::steady(Pattern::Transpose, Process::periodic(20));
+        let mean = wl.mean_offered_rate(123, 4_567);
+        assert!((mean - wl.offered_rate_at(123)).abs() < 1e-12);
     }
 
     #[test]

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    let s = sim.summary();
+    let s = sim.summary()?;
     println!(
         "\nmean latency {:.1} cycles over {} delivered packets",
         s.network_latency.mean().unwrap_or(f64::NAN),

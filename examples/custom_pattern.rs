@@ -10,30 +10,29 @@
 //! cargo run --release --example custom_pattern
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use stcc::{AloControl, SelfTuned, TuneConfig};
+use traffic::SimRng;
 use wormsim::{CongestionControl, DeadlockMode, NetConfig, Network, NoControl};
 
 /// 30% of packets target node 0; the rest go to uniformly random nodes.
-fn hotspot_source(rng: &mut StdRng, nodes: usize, node: usize) -> Option<usize> {
+fn hotspot_source(rng: &mut SimRng, nodes: usize, node: usize) -> Option<usize> {
     // ~0.03 packets/node/cycle offered.
-    if rng.random::<f64>() >= 0.03 {
+    if rng.random() >= 0.03 {
         return None;
     }
-    if rng.random::<f64>() < 0.3 {
+    if rng.random() < 0.3 {
         Some(0)
     } else {
-        let d = rng.random_range(0..nodes - 1);
+        let d = rng.random_index(0..nodes - 1);
         Some(if d >= node { d + 1 } else { d })
     }
 }
 
 fn run(ctl: &mut dyn CongestionControl) -> (f64, u64) {
-    let mut net = Network::new(NetConfig::small(DeadlockMode::PAPER_RECOVERY))
-        .expect("valid small network");
+    let mut net =
+        Network::new(NetConfig::small(DeadlockMode::PAPER_RECOVERY)).expect("valid small network");
     let nodes = net.torus().node_count();
-    let mut rng = StdRng::seed_from_u64(0x407);
+    let mut rng = SimRng::seed_from_u64(0x407);
     let cycles = 30_000u64;
     let mut source = move |_now: u64, node: usize| hotspot_source(&mut rng, nodes, node);
     net.run(cycles, &mut source, ctl);
@@ -43,7 +42,10 @@ fn run(ctl: &mut dyn CongestionControl) -> (f64, u64) {
 
 fn main() {
     println!("hotspot workload (30% of traffic to node 0), 8-ary 2-cube, recovery");
-    println!("{:<10} {:>14} {:>12}", "scheme", "tput (flits)", "throttled");
+    println!(
+        "{:<10} {:>14} {:>12}",
+        "scheme", "tput (flits)", "throttled"
+    );
     let (tput, thr) = run(&mut NoControl);
     println!("{:<10} {tput:>14.4} {thr:>12}", "base");
     let (tput, thr) = run(&mut AloControl::new());

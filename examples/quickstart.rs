@@ -23,10 +23,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = Simulation::new(cfg)?;
     sim.run_to_end();
 
-    let s = sim.summary();
+    let s = sim.summary()?;
     println!("nodes                : {}", s.nodes);
-    println!("offered load         : {:.4} packets/node/cycle", s.offered_rate);
-    println!("delivered bandwidth  : {:.4} flits/node/cycle", s.throughput_flits());
+    println!(
+        "offered load         : {:.4} packets/node/cycle",
+        s.offered_rate
+    );
+    println!(
+        "delivered bandwidth  : {:.4} flits/node/cycle",
+        s.throughput_flits()
+    );
     println!("delivered packets    : {}", s.delivered_packets);
     println!(
         "mean network latency : {:.1} cycles",

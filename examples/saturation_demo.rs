@@ -14,7 +14,7 @@
 use stcc::prelude::*;
 use stcc::Simulation;
 
-fn run(scheme: Scheme, rate: f64) -> Result<(f64, f64), stcc::SimError> {
+fn run(scheme: Scheme, rate: f64) -> Result<(f64, f64), Box<dyn std::error::Error>> {
     // The avalanche needs the paper's full-size 16-ary 2-cube — smaller
     // tori saturate gracefully (see DESIGN.md §5b).
     let cfg = SimConfig {
@@ -27,7 +27,7 @@ fn run(scheme: Scheme, rate: f64) -> Result<(f64, f64), stcc::SimError> {
     };
     let mut sim = Simulation::new(cfg)?;
     sim.run_to_end();
-    let s = sim.summary();
+    let s = sim.summary()?;
     Ok((
         s.throughput_flits(),
         s.network_latency.mean().unwrap_or(f64::NAN),
@@ -36,7 +36,10 @@ fn run(scheme: Scheme, rate: f64) -> Result<(f64, f64), stcc::SimError> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("16-ary 2-cube, deadlock recovery, uniform random (takes ~1 min)");
-    println!("{:<10} {:>8} {:>14} {:>12}", "scheme", "offered", "tput (flits)", "latency");
+    println!(
+        "{:<10} {:>8} {:>14} {:>12}",
+        "scheme", "offered", "tput (flits)", "latency"
+    );
     for rate in [0.01, 0.06] {
         for scheme in [Scheme::Base, Scheme::Alo, Scheme::tuned_paper()] {
             let label = scheme.label();

@@ -1,0 +1,26 @@
+#!/bin/bash
+# The repository's CI gate, runnable locally and fully offline:
+#   1. formatting        (cargo fmt --check)
+#   2. lints             (cargo clippy, warnings are errors)
+#   3. tier-1 verify     (cargo build --release && cargo test -q)
+# Everything is hermetic — no network access is required (see README,
+# "Hermetic build").
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "=== fmt"
+cargo fmt --all --check
+
+echo "=== clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== tier-1: build"
+cargo build --release
+
+echo "=== tier-1: test"
+cargo test -q
+
+echo "=== workspace tests"
+cargo test --workspace -q
+
+echo "CI green."

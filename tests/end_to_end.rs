@@ -4,13 +4,7 @@
 use stcc::prelude::*;
 use stcc::Simulation;
 
-fn sim(
-    scheme: Scheme,
-    deadlock: DeadlockMode,
-    rate: f64,
-    cycles: u64,
-    seed: u64,
-) -> Simulation {
+fn sim(scheme: Scheme, deadlock: DeadlockMode, rate: f64, cycles: u64, seed: u64) -> Simulation {
     Simulation::new(SimConfig {
         net: NetConfig::small(deadlock),
         workload: Workload::steady(Pattern::UniformRandom, Process::bernoulli(rate)),
@@ -28,7 +22,7 @@ fn light_load_is_fully_accepted_under_all_schemes_and_modes() {
         for scheme in [Scheme::Base, Scheme::Alo, Scheme::tuned_paper()] {
             let mut s = sim(scheme.clone(), deadlock, 0.002, 15_000, 1);
             s.run_to_end();
-            let sum = s.summary();
+            let sum = s.summary().unwrap();
             assert!(
                 sum.acceptance() > 0.9,
                 "{} under {deadlock:?}: acceptance {}",
@@ -65,7 +59,11 @@ fn flits_are_conserved_after_drain() {
         c.delivered_packets * 16,
         "every flit of every packet must arrive"
     );
-    assert_eq!(net.full_buffer_count(), 0, "drained network has no full buffers");
+    assert_eq!(
+        net.full_buffer_count(),
+        0,
+        "drained network has no full buffers"
+    );
 }
 
 #[test]
@@ -133,8 +131,8 @@ fn tuned_beats_base_at_overload_under_recovery() {
     base.run_to_end();
     let mut tuned = paper_sim(Scheme::tuned_paper(), 0.06, 2);
     tuned.run_to_end();
-    let b = base.summary().throughput_flits();
-    let t = tuned.summary().throughput_flits();
+    let b = base.summary().unwrap().throughput_flits();
+    let t = tuned.summary().unwrap().throughput_flits();
     assert!(
         t > 2.0 * b,
         "self-tuning should far outperform the collapsed base network: tune {t} vs base {b}"
@@ -147,8 +145,8 @@ fn base_collapses_past_saturation_under_recovery() {
     below.run_to_end();
     let mut beyond = paper_sim(Scheme::Base, 0.08, 3);
     beyond.run_to_end();
-    let pre = below.summary().throughput_flits();
-    let post = beyond.summary().throughput_flits();
+    let pre = below.summary().unwrap().throughput_flits();
+    let post = beyond.summary().unwrap().throughput_flits();
     assert!(
         post < 0.7 * pre,
         "8x the offered load should deliver *less* than moderate load: {post} vs {pre}"
@@ -176,13 +174,21 @@ fn self_addressed_packets_are_delivered_locally() {
 #[test]
 fn whole_stack_is_deterministic() {
     let run = || {
-        let mut s = sim(Scheme::tuned_paper(), DeadlockMode::PAPER_RECOVERY, 0.03, 20_000, 11);
+        let mut s = sim(
+            Scheme::tuned_paper(),
+            DeadlockMode::PAPER_RECOVERY,
+            0.03,
+            20_000,
+            11,
+        );
         s.run_to_end();
-        let sum = s.summary();
+        let sum = s.summary().unwrap();
         (
             sum.delivered_flits,
             sum.network_latency.mean(),
-            s.tuned().and_then(stcc::SelfTuned::threshold).map(f64::to_bits),
+            s.tuned()
+                .and_then(stcc::SelfTuned::threshold)
+                .map(f64::to_bits),
         )
     };
     assert_eq!(run(), run());

@@ -1,43 +1,52 @@
-//! Property-based invariants of the full simulator, driven through the
-//! public API with randomized workloads and configurations.
+//! Randomized invariants of the full simulator, driven through the public
+//! API with seeded workloads and configurations.
+//!
+//! Formerly written with `proptest`; rewritten as seeded in-tree sweeps so
+//! the workspace builds with no network access (see README "Hermetic
+//! build"). Enable the root `slow-proptests` feature for a wider sweep.
 
-use proptest::prelude::*;
 use stcc::prelude::*;
-use traffic::WorkloadRunner;
+use stcc::Simulation;
+use traffic::{splitmix64, WorkloadRunner};
 use wormsim::{Network, NoControl};
 
-fn pattern_strategy() -> impl Strategy<Value = Pattern> {
-    prop_oneof![
-        Just(Pattern::UniformRandom),
-        Just(Pattern::BitReversal),
-        Just(Pattern::PerfectShuffle),
-        Just(Pattern::Butterfly),
-        Just(Pattern::BitComplement),
-        Just(Pattern::Transpose),
-    ]
+const CASES: u64 = if cfg!(feature = "slow-proptests") {
+    24
+} else {
+    6
+};
+
+fn pattern_for(idx: u64) -> Pattern {
+    match idx % 6 {
+        0 => Pattern::UniformRandom,
+        1 => Pattern::BitReversal,
+        2 => Pattern::PerfectShuffle,
+        3 => Pattern::Butterfly,
+        4 => Pattern::BitComplement,
+        _ => Pattern::Transpose,
+    }
 }
 
-fn mode_strategy() -> impl Strategy<Value = DeadlockMode> {
-    prop_oneof![
-        Just(DeadlockMode::Avoidance),
-        Just(DeadlockMode::Recovery { timeout: 8 }),
-        Just(DeadlockMode::Recovery { timeout: 64 }),
-    ]
+fn mode_for(idx: u64) -> DeadlockMode {
+    match idx % 3 {
+        0 => DeadlockMode::Avoidance,
+        1 => DeadlockMode::Recovery { timeout: 8 },
+        _ => DeadlockMode::Recovery { timeout: 64 },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
+/// Every delivered packet obeys basic causality and its latency is at least
+/// the minimal pipeline time for its path; flit accounting is exact after a
+/// full drain.
+#[test]
+fn delivery_records_are_causal_and_conserved() {
+    for case in 0..CASES {
+        let mut s = 0xCA5E_0000 + case;
+        let pattern = pattern_for(splitmix64(&mut s));
+        let mode = mode_for(splitmix64(&mut s));
+        let rate = 0.001 + (splitmix64(&mut s) % 1000) as f64 / 1000.0 * 0.039;
+        let seed = splitmix64(&mut s);
 
-    /// Every delivered packet obeys basic causality and its latency is at
-    /// least the minimal pipeline time for its path; flit accounting is
-    /// exact after a full drain.
-    #[test]
-    fn delivery_records_are_causal_and_conserved(
-        pattern in pattern_strategy(),
-        mode in mode_strategy(),
-        rate in 0.001f64..0.04,
-        seed in any::<u64>(),
-    ) {
         let mut net = Network::new(NetConfig::small(mode)).unwrap();
         let nodes = net.torus().node_count();
         let wl = Workload::steady(pattern, Process::bernoulli(rate));
@@ -49,37 +58,47 @@ proptest! {
             records.extend(net.drain_deliveries());
         }
         let mut silent = |_: u64, _: usize| None;
-        net.run(300_000, &mut silent, &mut ctl);
+        for _ in 0..30 {
+            if net.live_packets() == 0 {
+                break;
+            }
+            net.run(10_000, &mut silent, &mut ctl);
+        }
         records.extend(net.drain_deliveries());
 
         let c = net.counters();
-        prop_assert_eq!(c.generated_packets, c.delivered_packets, "full drain");
-        prop_assert_eq!(net.live_packets(), 0);
-        prop_assert_eq!(records.len() as u64, c.delivered_packets);
+        assert_eq!(
+            c.generated_packets, c.delivered_packets,
+            "full drain (case {case})"
+        );
+        assert_eq!(net.live_packets(), 0);
+        assert_eq!(records.len() as u64, c.delivered_packets);
         let torus = net.torus();
         for r in &records {
-            prop_assert!(r.generated_at <= r.injected_at);
-            prop_assert!(r.injected_at < r.delivered_at);
+            assert!(r.generated_at <= r.injected_at);
+            assert!(r.injected_at < r.delivered_at);
             let dist = torus.distance(r.src, r.dst) as u64;
             // Header: >= 2 cycles/hop of wire+crossbar; body: 1 flit/cycle.
             let floor = 2 * dist + u64::from(r.len) - 1;
-            prop_assert!(
+            assert!(
                 r.network_latency() >= floor,
-                "latency {} under physical floor {} (dist {})",
-                r.network_latency(), floor, dist
+                "latency {} under physical floor {floor} (dist {dist}, case {case})",
+                r.network_latency(),
             );
         }
     }
+}
 
-    /// The throttle only ever delays packets — with the same workload, the
-    /// set of generated packets is identical under any controller, and
-    /// nothing is lost.
-    #[test]
-    fn controllers_never_lose_packets(
-        mode in mode_strategy(),
-        rate in 0.005f64..0.08,
-        seed in any::<u64>(),
-    ) {
+/// The throttle only ever delays packets — with the same workload, the set
+/// of generated packets is identical under any controller, and nothing is
+/// lost.
+#[test]
+fn controllers_never_lose_packets() {
+    for case in 0..CASES {
+        let mut s = 0x10CC_0000 + case;
+        let mode = mode_for(splitmix64(&mut s));
+        let rate = 0.005 + (splitmix64(&mut s) % 1000) as f64 / 1000.0 * 0.075;
+        let seed = splitmix64(&mut s);
         for scheme in [Scheme::Alo, Scheme::tuned_paper()] {
             let mut sim = Simulation::new(SimConfig {
                 net: NetConfig::small(mode),
@@ -88,26 +107,30 @@ proptest! {
                 cycles: 6_000,
                 warmup: 1_000,
                 seed,
-            }).unwrap();
+            })
+            .unwrap();
             sim.run_to_end();
             let c = sim.network().counters();
-            prop_assert!(c.delivered_packets <= c.generated_packets);
-            prop_assert_eq!(
+            assert!(c.delivered_packets <= c.generated_packets);
+            assert_eq!(
                 c.generated_packets - c.delivered_packets,
-                net_undelivered(sim.network()),
-                "undelivered packets are all accounted for in queues/flight"
+                sim.network().live_packets() as u64,
+                "undelivered packets are all accounted for in queues/flight (case {case})"
             );
         }
     }
+}
 
-    /// The full-buffer census used by the side-band never exceeds the
-    /// number of buffers that exist.
-    #[test]
-    fn census_is_bounded(
-        mode in mode_strategy(),
-        rate in 0.02f64..0.1,
-        seed in any::<u64>(),
-    ) {
+/// The full-buffer census used by the side-band never exceeds the number of
+/// buffers that exist.
+#[test]
+fn census_is_bounded() {
+    for case in 0..CASES {
+        let mut s = 0xCE45_0000 + case;
+        let mode = mode_for(splitmix64(&mut s));
+        let rate = 0.02 + (splitmix64(&mut s) % 1000) as f64 / 1000.0 * 0.08;
+        let seed = splitmix64(&mut s);
+
         let mut net = Network::new(NetConfig::small(mode)).unwrap();
         let nodes = net.torus().node_count();
         let wl = Workload::steady(Pattern::UniformRandom, Process::bernoulli(rate));
@@ -115,13 +138,7 @@ proptest! {
         let mut ctl = NoControl;
         for _ in 0..30 {
             net.run(200, &mut |now, node| runner.poll(now, node), &mut ctl);
-            prop_assert!(net.full_buffer_count() <= net.total_vc_buffers());
+            assert!(net.full_buffer_count() <= net.total_vc_buffers());
         }
     }
-}
-
-use stcc::Simulation;
-
-fn net_undelivered(net: &Network) -> u64 {
-    net.live_packets() as u64
 }
