@@ -23,7 +23,7 @@ fn network_cycles() {
     {
         let mut net = Network::new(NetConfig::paper(DeadlockMode::PAPER_RECOVERY)).unwrap();
         let mut src = |_: u64, _: usize| None;
-        g.bench("idle_256_nodes", || {
+        g.bench_units("idle_256_nodes", cycles_per_iter as f64, || {
             net.run(cycles_per_iter, &mut src, &mut NoControl);
             black_box(net.now())
         });
@@ -41,7 +41,7 @@ fn network_cycles() {
             Some((x >> 33) % nodes)
         };
         net.run(5_000, &mut src, &mut NoControl); // warm into saturation
-        g.bench("saturated_256_nodes", || {
+        g.bench_units("saturated_256_nodes", cycles_per_iter as f64, || {
             net.run(cycles_per_iter, &mut src, &mut NoControl);
             black_box(net.counters().delivered_flits)
         });

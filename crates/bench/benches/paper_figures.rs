@@ -5,6 +5,9 @@
 
 use bench::harness::{BenchConfig, Group};
 use bench::run_mini;
+use experiments::figures::fig2;
+use experiments::runner::Pool;
+use experiments::{NetPreset, Scale};
 use sideband::SidebandConfig;
 use stcc::{Scheme, SimConfig, Simulation};
 use std::hint::black_box;
@@ -12,6 +15,38 @@ use traffic::{Pattern, Process, Workload};
 use wormsim::{DeadlockMode, NetConfig};
 
 const CYCLES: u64 = 6_000;
+
+/// The same sweep the runner parallelizes, timed at 1 worker and at the
+/// host's available parallelism: on a multi-core machine the ratio is the
+/// wall-clock speedup the `--jobs` knob buys; on a single-core host the
+/// two land within noise of each other (the runner adds no real overhead).
+fn parallel_sweep() {
+    let mut g = Group::new(
+        "parallel_sweep (fig2, tiny, small net)",
+        BenchConfig {
+            samples: 3,
+            iters_per_sample: 1,
+            warmup_iters: 1,
+        },
+    );
+    let host_jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let counts = if host_jobs > 1 {
+        vec![1, host_jobs]
+    } else {
+        vec![1]
+    };
+    for jobs in counts {
+        let pool = Pool::new(jobs);
+        g.bench(&format!("fig2_tiny_jobs_{jobs}"), || {
+            black_box(
+                fig2::generate_on(NetPreset::Small, Scale::Tiny, &pool)
+                    .expect("tiny fig2 sweep")
+                    .to_csv()
+                    .len(),
+            )
+        });
+    }
+}
 
 fn main() {
     let mut g = Group::new(
@@ -112,4 +147,6 @@ fn main() {
         sim.run_to_end();
         black_box(sim.network().counters().delivered_flits)
     });
+
+    parallel_sweep();
 }

@@ -42,6 +42,19 @@ pub struct BenchResult {
     pub min_ns: f64,
     /// Slowest batch.
     pub max_ns: f64,
+    /// Work units (e.g. simulated cycles) per iteration, when the bench
+    /// declared them via [`Group::bench_units`]; drives the throughput
+    /// column.
+    pub units_per_iter: Option<f64>,
+}
+
+impl BenchResult {
+    /// Median throughput in units per second (e.g. simulated cycles/sec),
+    /// if the bench declared its units per iteration.
+    #[must_use]
+    pub fn units_per_second(&self) -> Option<f64> {
+        self.units_per_iter.map(|u| u / (self.median_ns * 1e-9))
+    }
 }
 
 /// A named group of benches, printed as a table as results come in.
@@ -57,8 +70,8 @@ impl Group {
     pub fn new(name: &'static str, cfg: BenchConfig) -> Self {
         println!("\n== {name} ==");
         println!(
-            "{:<28} {:>12} {:>12} {:>12}",
-            "bench", "median", "min", "max"
+            "{:<28} {:>12} {:>12} {:>12} {:>14}",
+            "bench", "median", "min", "max", "thrpt"
         );
         Group {
             name,
@@ -68,7 +81,18 @@ impl Group {
     }
 
     /// Times `f` (whose return value is black-boxed) and records the result.
-    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+    pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) {
+        self.run(name, None, f);
+    }
+
+    /// Like [`Group::bench`], but declares how many work units (e.g.
+    /// simulated cycles) one iteration performs, so the result also
+    /// reports a units-per-second throughput.
+    pub fn bench_units<T>(&mut self, name: &str, units_per_iter: f64, f: impl FnMut() -> T) {
+        self.run(name, Some(units_per_iter), f);
+    }
+
+    fn run<T>(&mut self, name: &str, units_per_iter: Option<f64>, mut f: impl FnMut() -> T) {
         for _ in 0..self.cfg.warmup_iters {
             black_box(f());
         }
@@ -87,13 +111,15 @@ impl Group {
             median_ns: per_iter[per_iter.len() / 2],
             min_ns: per_iter[0],
             max_ns: per_iter[per_iter.len() - 1],
+            units_per_iter,
         };
         println!(
-            "{:<28} {:>12} {:>12} {:>12}",
+            "{:<28} {:>12} {:>12} {:>12} {:>14}",
             result.name,
             fmt_ns(result.median_ns),
             fmt_ns(result.min_ns),
-            fmt_ns(result.max_ns)
+            fmt_ns(result.max_ns),
+            result.units_per_second().map_or(String::new(), fmt_rate),
         );
         self.results.push(result);
     }
@@ -108,6 +134,18 @@ impl Group {
     #[must_use]
     pub fn results(&self) -> &[BenchResult] {
         &self.results
+    }
+}
+
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} /s")
     }
 }
 
@@ -147,6 +185,24 @@ mod tests {
         let r = &g.results()[0];
         assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
         assert!(r.median_ns > 0.0);
+        assert_eq!(r.units_per_second(), None);
+    }
+
+    #[test]
+    fn declared_units_yield_a_throughput() {
+        let mut g = Group::new(
+            "self-test-units",
+            BenchConfig {
+                samples: 3,
+                iters_per_sample: 5,
+                warmup_iters: 1,
+            },
+        );
+        g.bench_units("noop_1000_units", 1000.0, || black_box(0u64));
+        let r = &g.results()[0];
+        let rate = r.units_per_second().expect("units were declared");
+        assert!((rate - 1000.0 / (r.median_ns * 1e-9)).abs() < 1e-6);
+        assert!(rate > 0.0);
     }
 
     #[test]
@@ -155,5 +211,9 @@ mod tests {
         assert_eq!(fmt_ns(1_500.0), "1.500 µs");
         assert_eq!(fmt_ns(2_000_000.0), "2.000 ms");
         assert_eq!(fmt_ns(3e9), "3.000 s");
+        assert_eq!(fmt_rate(950.0), "950.0 /s");
+        assert_eq!(fmt_rate(650_000.0), "650.00 K/s");
+        assert_eq!(fmt_rate(2.5e6), "2.50 M/s");
+        assert_eq!(fmt_rate(3e9), "3.00 G/s");
     }
 }

@@ -454,6 +454,106 @@ mod tests {
         assert_eq!(decide(false, false), TuneAction::NoChange);
     }
 
+    /// All four Table 1 rows exercised through `tune` itself on the
+    /// paper's 3072-buffer network: the threshold must move by exactly
+    /// ±1% / ±4% of 3072 (30.72 / 122.88 full buffers) per row.
+    #[test]
+    fn tune_applies_exact_table_1_deltas() {
+        const INC: f64 = 0.01 * 3072.0; // 30.72
+        const DEC: f64 = 0.04 * 3072.0; // 122.88
+        let rows: [(bool, bool, f64); 4] = [
+            (true, true, -DEC),  // drop + throttling  -> decrement
+            (true, false, -DEC), // drop, no throttling -> decrement
+            (false, true, INC),  // no drop, throttling -> increment
+            (false, false, 0.0), // steady, open gate   -> no change
+        ];
+        for (drop, throttling, delta) in rows {
+            let c = cfg();
+            let mut st = state(3072.0);
+            st.threshold = 1000.0;
+            let prev = 1000u64;
+            st.prev_period_tput = Some(prev);
+            // 74% of the previous period is a drop; 100% is not.
+            st.period_tput = if drop { prev * 74 / 100 } else { prev };
+            // Keep the avoidance path quiet: the remembered max equals the
+            // period, so the reset condition can't fire.
+            st.max_tput = st.period_tput;
+            st.cycles_this_period = 96;
+            st.throttled_cycles_this_period = if throttling { 96 } else { 0 };
+            SelfTuned::tune(&c, &mut st, 100.0);
+            assert!(
+                (st.threshold - (1000.0 + delta)).abs() < 1e-9,
+                "row (drop={drop}, throttling={throttling}): expected delta {delta}, \
+                 got {}",
+                st.threshold - 1000.0
+            );
+        }
+    }
+
+    /// The bandwidth-drop predicate is strict: only a fall *below* 75% of
+    /// the previous period counts (at exactly 75% the row is "no drop").
+    #[test]
+    fn drop_boundary_is_strict() {
+        for (tput, is_drop) in [(750u64, false), (749, true)] {
+            let c = cfg();
+            let mut st = state(3072.0);
+            st.threshold = 1000.0;
+            st.prev_period_tput = Some(1000);
+            st.period_tput = tput;
+            st.max_tput = 1000;
+            st.n_max = 2000.0; // anchor above threshold: reset can't lower it
+            st.t_max = 2000.0;
+            SelfTuned::tune(&c, &mut st, 100.0);
+            let moved = (st.threshold - 1000.0).abs() > 1e-9;
+            assert_eq!(moved, is_drop, "tput={tput}: drop must be strict <");
+        }
+    }
+
+    /// The throttling predicate needs the gate closed for at least half
+    /// the period's cycles.
+    #[test]
+    fn throttling_needs_majority_of_period() {
+        for (throttled, expects_increment) in [(48u64, true), (47, false)] {
+            let c = cfg();
+            let mut st = state(3072.0);
+            st.threshold = 1000.0;
+            st.prev_period_tput = Some(1000);
+            st.period_tput = 1000;
+            st.max_tput = 1000;
+            st.cycles_this_period = 96;
+            st.throttled_cycles_this_period = throttled;
+            SelfTuned::tune(&c, &mut st, 100.0);
+            let incremented = st.threshold > 1000.0;
+            assert_eq!(
+                incremented, expects_increment,
+                "throttled {throttled}/96 cycles"
+            );
+        }
+    }
+
+    /// The local-maximum-avoidance trigger is strict: a period at exactly
+    /// `reset_fraction` of the remembered max does not reset; one flit
+    /// less does.
+    #[test]
+    fn reset_trigger_boundary_is_strict() {
+        for (tput, expects_reset) in [(500u64, false), (499, true)] {
+            let c = cfg();
+            let mut st = state(3072.0);
+            st.threshold = 900.0;
+            st.max_tput = 1000;
+            st.t_max = 500.0;
+            st.n_max = 400.0;
+            st.period_tput = tput;
+            // No prev period: the decision table sees "no drop" either way.
+            st.prev_period_tput = None;
+            SelfTuned::tune(&c, &mut st, 100.0);
+            assert_eq!(st.resets, u64::from(expects_reset), "tput={tput}");
+            if expects_reset {
+                assert_eq!(st.threshold, 400.0, "reset to min(t_max, n_max)");
+            }
+        }
+    }
+
     #[test]
     fn increment_when_throttling_without_drop() {
         let c = cfg();

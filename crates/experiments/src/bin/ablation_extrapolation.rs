@@ -3,8 +3,8 @@ use experiments::{figures::ablations, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit(
+    cli.emit_or_exit(
         "ablation_extrapolation",
-        &ablations::extrapolation(cli.scale),
+        ablations::extrapolation(cli.scale, &cli.pool()),
     );
 }

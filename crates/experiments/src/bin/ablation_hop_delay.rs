@@ -3,5 +3,8 @@ use experiments::{figures::ablations, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit("ablation_hop_delay", &ablations::hop_delay(cli.scale));
+    cli.emit_or_exit(
+        "ablation_hop_delay",
+        ablations::hop_delay(cli.scale, &cli.pool()),
+    );
 }

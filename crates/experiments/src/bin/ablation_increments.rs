@@ -3,5 +3,8 @@ use experiments::{figures::ablations, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit("ablation_increments", &ablations::increments(cli.scale));
+    cli.emit_or_exit(
+        "ablation_increments",
+        ablations::increments(cli.scale, &cli.pool()),
+    );
 }

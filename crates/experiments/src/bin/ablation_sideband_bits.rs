@@ -3,8 +3,8 @@ use experiments::{figures::ablations, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit(
+    cli.emit_or_exit(
         "ablation_sideband_bits",
-        &ablations::sideband_bits(cli.scale),
+        ablations::sideband_bits(cli.scale, &cli.pool()),
     );
 }

@@ -3,8 +3,8 @@ use experiments::{figures::ablations, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit(
+    cli.emit_or_exit(
         "ablation_tuning_period",
-        &ablations::tuning_period(cli.scale),
+        ablations::tuning_period(cli.scale, &cli.pool()),
     );
 }

@@ -3,5 +3,5 @@ use experiments::{figures::fig1, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit("fig1", &fig1::generate(cli.scale));
+    cli.emit_or_exit("fig1", fig1::generate(cli.scale, &cli.pool()));
 }

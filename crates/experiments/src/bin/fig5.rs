@@ -3,5 +3,5 @@ use experiments::{figures::fig5, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit("fig5", &fig5::generate(cli.scale));
+    cli.emit_or_exit("fig5", fig5::generate_on(cli.net, cli.scale, &cli.pool()));
 }

@@ -3,5 +3,8 @@ use experiments::{figures::fig7, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit("fig7_latency", &fig7::latency_summary(cli.scale));
+    cli.emit_or_exit(
+        "fig7_latency",
+        fig7::latency_summary(cli.scale, &cli.pool()),
+    );
 }

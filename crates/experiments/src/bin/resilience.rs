@@ -5,5 +5,5 @@ use experiments::{figures::resilience, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit("resilience", &resilience::generate(cli.scale));
+    cli.emit_or_exit("resilience", resilience::generate(cli.scale, &cli.pool()));
 }

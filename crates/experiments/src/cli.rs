@@ -1,13 +1,19 @@
-use crate::{Scale, Table};
+use crate::runner::{Pool, SweepError};
+use crate::{NetPreset, Scale, Table};
 use std::path::PathBuf;
 
 /// Shared command-line options of the figure binaries.
 ///
-/// Usage: `figN [--scale paper|reduced|smoke] [--out DIR] [--seed N]`.
+/// Usage: `figN [--scale paper|reduced|smoke|tiny] [--net paper|small]
+/// [--jobs N] [--out DIR] [--seed N]`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cli {
     /// Simulation length preset (default: `reduced`).
     pub scale: Scale,
+    /// Network preset (default: the paper's 16-ary 2-cube).
+    pub net: NetPreset,
+    /// Worker count (default: `STCC_JOBS`, else available parallelism).
+    pub jobs: Option<usize>,
     /// Output directory for CSV files (default: `results/`).
     pub out: PathBuf,
     /// Base seed override.
@@ -18,6 +24,8 @@ impl Default for Cli {
     fn default() -> Self {
         Cli {
             scale: Scale::Reduced,
+            net: NetPreset::Paper,
+            jobs: None,
             out: PathBuf::from("results"),
             seed: 1,
         }
@@ -38,7 +46,20 @@ impl Cli {
                 "--scale" => {
                     let v = it.next().ok_or("--scale needs a value")?;
                     cli.scale = Scale::parse(&v)
-                        .ok_or_else(|| format!("unknown scale '{v}' (paper|reduced|smoke)"))?;
+                        .ok_or_else(|| format!("unknown scale '{v}' (paper|reduced|smoke|tiny)"))?;
+                }
+                "--net" => {
+                    let v = it.next().ok_or("--net needs a value")?;
+                    cli.net = NetPreset::parse(&v)
+                        .ok_or_else(|| format!("unknown net preset '{v}' (paper|small)"))?;
+                }
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs needs a value")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad job count '{v}'"))?;
+                    if n == 0 {
+                        return Err("--jobs must be at least 1".to_owned());
+                    }
+                    cli.jobs = Some(n);
                 }
                 "--out" => {
                     cli.out = PathBuf::from(it.next().ok_or("--out needs a value")?);
@@ -49,7 +70,9 @@ impl Cli {
                 }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--scale paper|reduced|smoke] [--out DIR] [--seed N]".to_owned(),
+                        "usage: [--scale paper|reduced|smoke|tiny] [--net paper|small] \
+                         [--jobs N] [--out DIR] [--seed N]"
+                            .to_owned(),
                     )
                 }
                 other => return Err(format!("unknown argument '{other}' (try --help)")),
@@ -70,6 +93,15 @@ impl Cli {
         }
     }
 
+    /// The worker pool this invocation asked for: `--jobs` if given, else
+    /// `STCC_JOBS`/available parallelism. Progress lines go to stderr.
+    #[must_use]
+    pub fn pool(&self) -> Pool {
+        self.jobs
+            .map_or_else(Pool::from_env, Pool::new)
+            .with_progress(true)
+    }
+
     /// Prints `table` and writes it to `<out>/<stem>.<scale>.csv`.
     pub fn emit(&self, stem: &str, table: &Table) {
         print!("{}", table.to_text());
@@ -77,6 +109,18 @@ impl Cli {
         match table.write_csv(&path) {
             Ok(()) => eprintln!("[wrote {}]", path.display()),
             Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
+        }
+    }
+
+    /// [`Cli::emit`] for a sweep outcome: emits the table, or reports the
+    /// failing point and exits 1.
+    pub fn emit_or_exit(&self, stem: &str, table: Result<Table, SweepError>) {
+        match table {
+            Ok(t) => self.emit(stem, &t),
+            Err(e) => {
+                eprintln!("{stem}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -93,18 +137,23 @@ mod tests {
     fn defaults() {
         let cli = Cli::parse(args(&[])).unwrap();
         assert_eq!(cli.scale, Scale::Reduced);
+        assert_eq!(cli.net, NetPreset::Paper);
+        assert_eq!(cli.jobs, None);
         assert_eq!(cli.out, PathBuf::from("results"));
     }
 
     #[test]
     fn parses_flags() {
         let cli = Cli::parse(args(&[
-            "--scale", "smoke", "--out", "/tmp/x", "--seed", "9",
+            "--scale", "smoke", "--out", "/tmp/x", "--seed", "9", "--jobs", "4", "--net", "small",
         ]))
         .unwrap();
         assert_eq!(cli.scale, Scale::Smoke);
         assert_eq!(cli.out, PathBuf::from("/tmp/x"));
         assert_eq!(cli.seed, 9);
+        assert_eq!(cli.jobs, Some(4));
+        assert_eq!(cli.net, NetPreset::Small);
+        assert_eq!(cli.pool().jobs(), 4);
     }
 
     #[test]
@@ -112,5 +161,8 @@ mod tests {
         assert!(Cli::parse(args(&["--bogus"])).is_err());
         assert!(Cli::parse(args(&["--scale", "huge"])).is_err());
         assert!(Cli::parse(args(&["--scale"])).is_err());
+        assert!(Cli::parse(args(&["--jobs", "0"])).is_err());
+        assert!(Cli::parse(args(&["--jobs", "many"])).is_err());
+        assert!(Cli::parse(args(&["--net", "huge"])).is_err());
     }
 }

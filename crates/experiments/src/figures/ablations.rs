@@ -11,8 +11,9 @@
 //! All run the self-tuned scheme at a heavily oversaturated uniform-random
 //! load, where the throttle does all the work.
 
+use crate::runner::{Pool, SweepError};
 use crate::table::fnum;
-use crate::{run_point, Scale, Table};
+use crate::{try_run_point, Scale, Table};
 use sideband::{Estimator, Quantizer, SidebandConfig};
 use stcc::{Scheme, SimConfig, TuneConfig};
 use traffic::{Pattern, Process, Workload};
@@ -21,7 +22,12 @@ use wormsim::{DeadlockMode, NetConfig};
 /// The overload at which the ablations run (packets/node/cycle).
 const RATE: f64 = 0.056;
 
-fn run_tuned(tune: TuneConfig, mode: DeadlockMode, scale: Scale, seed: u64) -> (f64, f64) {
+fn run_tuned(
+    tune: TuneConfig,
+    mode: DeadlockMode,
+    scale: Scale,
+    seed: u64,
+) -> Result<(f64, f64), String> {
     let cfg = SimConfig {
         net: NetConfig::paper(mode),
         workload: Workload::steady(Pattern::UniformRandom, Process::bernoulli(RATE)),
@@ -30,17 +36,20 @@ fn run_tuned(tune: TuneConfig, mode: DeadlockMode, scale: Scale, seed: u64) -> (
         warmup: scale.warmup(),
         seed,
     };
-    let r = run_point(cfg);
-    (r.tput_flits, r.latency)
+    try_run_point(cfg).map(|r| (r.tput_flits, r.latency))
 }
 
 /// X1 — estimator comparison, both deadlock modes.
-#[must_use]
-pub fn extrapolation(scale: Scale) -> Table {
+///
+/// # Errors
+///
+/// Returns the first failing run.
+pub fn extrapolation(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Ablation X1 — congestion estimator (tune @ 0.056, uniform random)",
         &["deadlock", "estimator", "tput_flits", "net_latency"],
     );
+    let mut jobs = Vec::new();
     for (mode, mode_name) in [
         (DeadlockMode::PAPER_RECOVERY, "recovery"),
         (DeadlockMode::Avoidance, "avoidance"),
@@ -50,59 +59,86 @@ pub fn extrapolation(scale: Scale) -> Table {
             (Estimator::LinearExtrapolation, "linear-extrapolation"),
             (Estimator::Ewma { alpha: 0.5 }, "ewma-0.5"),
         ] {
-            let mut tune = TuneConfig::paper();
-            tune.sideband.estimator = est;
-            let (tput, lat) = run_tuned(tune, mode, scale, 0xAB1);
-            t.push(vec![
-                mode_name.to_owned(),
-                est_name.to_owned(),
-                fnum(tput),
-                fnum(lat),
-            ]);
+            jobs.push((mode, mode_name, est, est_name));
         }
     }
-    t
+    let results = pool.try_run(
+        jobs,
+        |(_, mode_name, _, est_name)| format!("X1 {mode_name} {est_name}"),
+        |(mode, mode_name, est, est_name)| {
+            let mut tune = TuneConfig::paper();
+            tune.sideband.estimator = est;
+            run_tuned(tune, mode, scale, 0xAB1).map(|r| (mode_name, est_name, r))
+        },
+    )?;
+    for (mode_name, est_name, (tput, lat)) in results {
+        t.push(vec![
+            mode_name.to_owned(),
+            est_name.to_owned(),
+            fnum(tput),
+            fnum(lat),
+        ]);
+    }
+    Ok(t)
 }
 
 /// X2 — tuning period sweep (1–6 gathers = 32–192 cycles).
-#[must_use]
-pub fn tuning_period(scale: Scale) -> Table {
+///
+/// # Errors
+///
+/// Returns the first failing run.
+pub fn tuning_period(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Ablation X2 — tuning period (tune @ 0.056, recovery)",
         &["tune_period_cycles", "tput_flits", "net_latency"],
     );
-    for gathers in [1u32, 2, 3, 4, 6] {
-        let tune = TuneConfig {
-            tune_gathers: gathers,
-            ..TuneConfig::paper()
-        };
-        let period = tune.tune_period();
-        let (tput, lat) = run_tuned(tune, DeadlockMode::PAPER_RECOVERY, scale, 0xAB2);
+    let results = pool.try_run(
+        vec![1u32, 2, 3, 4, 6],
+        |gathers| format!("X2 gathers={gathers}"),
+        |gathers| {
+            let tune = TuneConfig {
+                tune_gathers: gathers,
+                ..TuneConfig::paper()
+            };
+            let period = tune.tune_period();
+            run_tuned(tune, DeadlockMode::PAPER_RECOVERY, scale, 0xAB2).map(|r| (period, r))
+        },
+    )?;
+    for (period, (tput, lat)) in results {
         t.push(vec![period.to_string(), fnum(tput), fnum(lat)]);
     }
-    t
+    Ok(t)
 }
 
 /// X3 — increment/decrement step sweep (1%–4% of all buffers).
-#[must_use]
-pub fn increments(scale: Scale) -> Table {
+///
+/// # Errors
+///
+/// Returns the first failing run.
+pub fn increments(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Ablation X3 — increment/decrement steps (tune @ 0.056, recovery)",
         &["inc_pct", "dec_pct", "tput_flits", "net_latency"],
     );
-    for (inc, dec) in [
-        (0.01, 0.04),
-        (0.01, 0.01),
-        (0.02, 0.04),
-        (0.04, 0.04),
-        (0.04, 0.01),
-    ] {
-        let tune = TuneConfig {
-            increment_frac: inc,
-            decrement_frac: dec,
-            ..TuneConfig::paper()
-        };
-        let (tput, lat) = run_tuned(tune, DeadlockMode::PAPER_RECOVERY, scale, 0xAB3);
+    let results = pool.try_run(
+        vec![
+            (0.01, 0.04),
+            (0.01, 0.01),
+            (0.02, 0.04),
+            (0.04, 0.04),
+            (0.04, 0.01),
+        ],
+        |&(inc, dec)| format!("X3 inc={inc} dec={dec}"),
+        |(inc, dec)| {
+            let tune = TuneConfig {
+                increment_frac: inc,
+                decrement_frac: dec,
+                ..TuneConfig::paper()
+            };
+            run_tuned(tune, DeadlockMode::PAPER_RECOVERY, scale, 0xAB3).map(|r| (inc, dec, r))
+        },
+    )?;
+    for (inc, dec, (tput, lat)) in results {
         t.push(vec![
             fnum(inc * 100.0),
             fnum(dec * 100.0),
@@ -110,44 +146,62 @@ pub fn increments(scale: Scale) -> Table {
             fnum(lat),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// X4 — side-band width: full 25-bit counts vs 9-bit quantized channels.
-#[must_use]
-pub fn sideband_bits(scale: Scale) -> Table {
+///
+/// # Errors
+///
+/// Returns the first failing run.
+pub fn sideband_bits(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Ablation X4 — side-band width (tune @ 0.056, recovery)",
         &["sideband_bits", "tput_flits", "net_latency"],
     );
-    for (bits, quant) in [(25u32, None), (9, Some(Quantizer::new(9)))] {
-        let mut tune = TuneConfig::paper();
-        tune.sideband.quantizer = quant;
-        let (tput, lat) = run_tuned(tune, DeadlockMode::PAPER_RECOVERY, scale, 0xAB4);
+    let results = pool.try_run(
+        vec![(25u32, None), (9, Some(Quantizer::new(9)))],
+        |&(bits, _)| format!("X4 bits={bits}"),
+        |(bits, quant)| {
+            let mut tune = TuneConfig::paper();
+            tune.sideband.quantizer = quant;
+            run_tuned(tune, DeadlockMode::PAPER_RECOVERY, scale, 0xAB4).map(|r| (bits, r))
+        },
+    )?;
+    for (bits, (tput, lat)) in results {
         t.push(vec![bits.to_string(), fnum(tput), fnum(lat)]);
     }
-    t
+    Ok(t)
 }
 
 /// X5 — side-band hop delay sweep (`h` in cycles; `g = 16 h`).
-#[must_use]
-pub fn hop_delay(scale: Scale) -> Table {
+///
+/// # Errors
+///
+/// Returns the first failing run.
+pub fn hop_delay(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Ablation X5 — side-band hop delay (tune @ 0.056, recovery)",
         &["hop_delay", "gather_period", "tput_flits", "net_latency"],
     );
-    for h in [1u64, 2, 4, 8] {
-        let sideband = SidebandConfig {
-            hop_delay: h,
-            ..SidebandConfig::paper()
-        };
-        let g = sideband.gather_period();
-        let tune = TuneConfig {
-            sideband,
-            ..TuneConfig::paper()
-        };
-        let (tput, lat) = run_tuned(tune, DeadlockMode::PAPER_RECOVERY, scale, 0xAB5);
+    let results = pool.try_run(
+        vec![1u64, 2, 4, 8],
+        |h| format!("X5 h={h}"),
+        |h| {
+            let sideband = SidebandConfig {
+                hop_delay: h,
+                ..SidebandConfig::paper()
+            };
+            let g = sideband.gather_period();
+            let tune = TuneConfig {
+                sideband,
+                ..TuneConfig::paper()
+            };
+            run_tuned(tune, DeadlockMode::PAPER_RECOVERY, scale, 0xAB5).map(|r| (h, g, r))
+        },
+    )?;
+    for (h, g, (tput, lat)) in results {
         t.push(vec![h.to_string(), g.to_string(), fnum(tput), fnum(lat)]);
     }
-    t
+    Ok(t)
 }

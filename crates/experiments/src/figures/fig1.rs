@@ -6,15 +6,19 @@
 //! patterns collapse dramatically at saturation, and (2) they saturate at
 //! *different* offered loads.
 
+use crate::runner::{Pool, SweepError};
 use crate::table::fnum;
-use crate::{run_point, steady_config, sweep_rates_for, Scale, Table};
+use crate::{steady_config, sweep_rates_for, try_run_point, Scale, Table};
 use stcc::Scheme;
 use traffic::Pattern;
 use wormsim::{DeadlockMode, NetConfig};
 
-/// Runs the Figure 1 sweep.
-#[must_use]
-pub fn generate(scale: Scale) -> Table {
+/// Runs the Figure 1 sweep, fanned across `pool`.
+///
+/// # Errors
+///
+/// Returns the first failing sweep point.
+pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Figure 1 — saturation breakdown (base, deadlock recovery, 16-ary 2-cube)",
         &[
@@ -26,8 +30,16 @@ pub fn generate(scale: Scale) -> Table {
             "recovered",
         ],
     );
+    let mut jobs = Vec::new();
     for pattern in [Pattern::UniformRandom, Pattern::Butterfly] {
         for (i, &rate) in sweep_rates_for(scale).iter().enumerate() {
+            jobs.push((pattern.clone(), rate, i));
+        }
+    }
+    let results = pool.try_run(
+        jobs,
+        |(pattern, rate, _)| format!("fig1 {} @ {rate}", pattern.name()),
+        |(pattern, rate, i)| {
             let cfg = steady_config(
                 NetConfig::paper(DeadlockMode::PAPER_RECOVERY),
                 Scheme::Base,
@@ -36,16 +48,18 @@ pub fn generate(scale: Scale) -> Table {
                 scale,
                 0xF16_0001 + i as u64,
             );
-            let r = run_point(cfg);
-            t.push(vec![
-                pattern.name().to_owned(),
-                fnum(rate),
-                fnum(r.tput_packets),
-                fnum(r.tput_flits),
-                fnum(r.latency),
-                r.recovered.to_string(),
-            ]);
-        }
+            try_run_point(cfg).map(|r| (pattern, rate, r))
+        },
+    )?;
+    for (pattern, rate, r) in results {
+        t.push(vec![
+            pattern.name().to_owned(),
+            fnum(rate),
+            fnum(r.tput_packets),
+            fnum(r.tput_flits),
+            fnum(r.latency),
+            r.recovered.to_string(),
+        ]);
     }
-    t
+    Ok(t)
 }

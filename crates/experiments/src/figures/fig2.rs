@@ -7,16 +7,30 @@
 //! We regenerate it with data: sweep offered load on the base network and
 //! report measured (full-buffer occupancy, delivered bandwidth) pairs.
 
+use crate::runner::{Pool, SweepError};
 use crate::table::fnum;
-use crate::{steady_config, sweep_rates_for, Scale, Table};
+use crate::{steady_config, sweep_rates_for, NetPreset, Scale, Table};
 use simstats::GaugeSeries;
 use stcc::{Scheme, Simulation};
 use traffic::Pattern;
-use wormsim::{DeadlockMode, NetConfig};
+use wormsim::DeadlockMode;
 
-/// Runs the Figure 2 sweep (deadlock recovery, uniform random, base).
-#[must_use]
-pub fn generate(scale: Scale) -> Table {
+/// Runs the Figure 2 sweep (deadlock recovery, uniform random, base) on
+/// the paper network.
+///
+/// # Errors
+///
+/// Returns the first failing sweep point.
+pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
+    generate_on(NetPreset::Paper, scale, pool)
+}
+
+/// Runs the Figure 2 sweep on a chosen network preset.
+///
+/// # Errors
+///
+/// Returns the first failing sweep point.
+pub fn generate_on(net: NetPreset, scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Figure 2 — delivered bandwidth vs full-buffer occupancy (base, deadlock recovery)",
         &[
@@ -26,35 +40,43 @@ pub fn generate(scale: Scale) -> Table {
             "tput_flits",
         ],
     );
-    for (i, &rate) in sweep_rates_for(scale).iter().enumerate() {
-        let cfg = steady_config(
-            NetConfig::paper(DeadlockMode::PAPER_RECOVERY),
-            Scheme::Base,
-            Pattern::UniformRandom,
-            rate,
-            scale,
-            0xF16_0002 + i as u64,
-        );
-        let warmup = cfg.warmup;
-        let cycles = cfg.cycles;
-        let mut sim = Simulation::new(cfg).expect("valid fig2 config");
-        let mut occupancy = GaugeSeries::new();
-        while sim.now() < cycles {
-            sim.step();
-            if sim.now() >= warmup && sim.now().is_multiple_of(256) {
-                occupancy.sample(sim.now(), f64::from(sim.network().full_buffer_count()));
+    let jobs: Vec<(usize, f64)> = sweep_rates_for(scale).into_iter().enumerate().collect();
+    let rows = pool.try_run(
+        jobs,
+        |&(_, rate)| format!("fig2 base @ {rate}"),
+        |(i, rate)| {
+            let cfg = steady_config(
+                net.net(DeadlockMode::PAPER_RECOVERY),
+                Scheme::Base,
+                Pattern::UniformRandom,
+                rate,
+                scale,
+                0xF16_0002 + i as u64,
+            );
+            let warmup = cfg.warmup;
+            let cycles = cfg.cycles;
+            let mut sim = Simulation::new(cfg).map_err(|e| format!("bad fig2 config: {e}"))?;
+            let mut occupancy = GaugeSeries::new();
+            while sim.now() < cycles {
+                sim.step();
+                if sim.now() >= warmup && sim.now().is_multiple_of(256) {
+                    occupancy.sample(sim.now(), f64::from(sim.network().full_buffer_count()));
+                }
             }
-        }
-        let s = sim.summary().expect("run is past warm-up");
-        let avg_full = occupancy.points().iter().map(|&(_, v)| v).sum::<f64>()
-            / occupancy.points().len().max(1) as f64;
-        let total = f64::from(sim.network().total_vc_buffers());
-        t.push(vec![
-            fnum(rate),
-            fnum(avg_full),
-            fnum(100.0 * avg_full / total),
-            fnum(s.throughput_flits()),
-        ]);
+            let s = sim.summary().map_err(|e| format!("fig2 summary: {e}"))?;
+            let avg_full = occupancy.points().iter().map(|&(_, v)| v).sum::<f64>()
+                / occupancy.points().len().max(1) as f64;
+            let total = f64::from(sim.network().total_vc_buffers());
+            Ok(vec![
+                fnum(rate),
+                fnum(avg_full),
+                fnum(100.0 * avg_full / total),
+                fnum(s.throughput_flits()),
+            ])
+        },
+    )?;
+    for row in rows {
+        t.push(row);
     }
-    t
+    Ok(t)
 }

@@ -7,15 +7,20 @@
 //! (catastrophically under recovery); Tune stays near peak throughput with
 //! bounded latency at every offered load.
 
+use crate::runner::{Pool, SweepError};
 use crate::table::fnum;
-use crate::{run_point, steady_config, sweep_rates_for, Scale, Table};
+use crate::{steady_config, sweep_rates_for, try_run_point, Scale, Table};
 use stcc::Scheme;
 use traffic::Pattern;
 use wormsim::{DeadlockMode, NetConfig};
 
-/// Runs the Figure 3 sweeps (all four panels in one table).
-#[must_use]
-pub fn generate(scale: Scale) -> Table {
+/// Runs the Figure 3 sweeps (all four panels in one table), fanned across
+/// `pool`.
+///
+/// # Errors
+///
+/// Returns the first failing sweep point.
+pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Figure 3 — overall performance, uniform random (base/alo/tune x recovery/avoidance)",
         &[
@@ -29,33 +34,43 @@ pub fn generate(scale: Scale) -> Table {
             "throttled",
         ],
     );
+    let mut jobs = Vec::new();
     for (mode, mode_name) in [
         (DeadlockMode::PAPER_RECOVERY, "recovery"),
         (DeadlockMode::Avoidance, "avoidance"),
     ] {
         for scheme in [Scheme::Base, Scheme::Alo, Scheme::tuned_paper()] {
             for (i, &rate) in sweep_rates_for(scale).iter().enumerate() {
-                let cfg = steady_config(
-                    NetConfig::paper(mode),
-                    scheme.clone(),
-                    Pattern::UniformRandom,
-                    rate,
-                    scale,
-                    0xF16_0003 + i as u64,
-                );
-                let r = run_point(cfg);
-                t.push(vec![
-                    mode_name.to_owned(),
-                    scheme.label(),
-                    fnum(rate),
-                    fnum(r.tput_packets),
-                    fnum(r.tput_flits),
-                    fnum(r.latency),
-                    fnum(r.latency_total),
-                    r.throttled.to_string(),
-                ]);
+                jobs.push((mode, mode_name, scheme.clone(), rate, i));
             }
         }
     }
-    t
+    let results = pool.try_run(
+        jobs,
+        |(_, mode_name, scheme, rate, _)| format!("fig3 {mode_name} {} @ {rate}", scheme.label()),
+        |(mode, mode_name, scheme, rate, i)| {
+            let cfg = steady_config(
+                NetConfig::paper(mode),
+                scheme.clone(),
+                Pattern::UniformRandom,
+                rate,
+                scale,
+                0xF16_0003 + i as u64,
+            );
+            try_run_point(cfg).map(|r| (mode_name, scheme, rate, r))
+        },
+    )?;
+    for (mode_name, scheme, rate, r) in results {
+        t.push(vec![
+            mode_name.to_owned(),
+            scheme.label(),
+            fnum(rate),
+            fnum(r.tput_packets),
+            fnum(r.tput_flits),
+            fnum(r.latency),
+            fnum(r.latency_total),
+            r.throttled.to_string(),
+        ]);
+    }
+    Ok(t)
 }

@@ -14,39 +14,63 @@
 //! the equivalent experiment here is a 50-cycle interval under deadlock
 //! recovery.
 
+use crate::runner::{Pool, SweepError};
 use crate::table::fnum;
-use crate::{run_series, Scale, Table};
+use crate::{try_run_series, NetPreset, Scale, Table};
 use stcc::{Scheme, SimConfig, TuneConfig};
 use traffic::{Pattern, Process, Workload};
-use wormsim::{DeadlockMode, NetConfig};
+use wormsim::DeadlockMode;
 
-/// Time-series sample spacing, in cycles.
+/// Time-series sample spacing, in cycles (long scales; short scales shrink
+/// it so every run still yields a dozen windows).
 const SAMPLE: u64 = 4_000;
 
-/// Runs the two Figure 4 traces (threshold and throughput vs time).
-#[must_use]
-pub fn generate(scale: Scale) -> Table {
+/// Runs the two Figure 4 traces (threshold and throughput vs time) on the
+/// paper network.
+///
+/// # Errors
+///
+/// Returns the first failing trace.
+pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
+    generate_on(NetPreset::Paper, scale, pool)
+}
+
+/// Runs the two Figure 4 traces on a chosen network preset.
+///
+/// # Errors
+///
+/// Returns the first failing trace.
+pub fn generate_on(net: NetPreset, scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Figure 4 — self-tuning operation (threshold & throughput vs time, avoidance, interval 100)",
         &["variant", "t", "threshold", "tput_flits"],
     );
-    for (avoid, name) in [
+    let window = SAMPLE.min((scale.cycles() / 12).max(1));
+    let variants = vec![
         (false, "hill-climbing-only"),
         (true, "hill-climbing+avoid-max"),
-    ] {
-        let tune = TuneConfig {
-            avoid_local_maxima: avoid,
-            ..TuneConfig::paper()
-        };
-        let cfg = SimConfig {
-            net: NetConfig::paper(DeadlockMode::PAPER_RECOVERY),
-            workload: Workload::steady(Pattern::UniformRandom, Process::periodic(50)),
-            scheme: Scheme::Tuned(tune),
-            cycles: scale.cycles(),
-            warmup: scale.warmup(),
-            seed: 0xF16_0004,
-        };
-        let r = run_series(cfg, SAMPLE);
+    ];
+    let results = pool.try_run(
+        variants,
+        |&(_, name)| format!("fig4 {name}"),
+        |(avoid, name)| {
+            let tune = TuneConfig {
+                sideband: net.sideband(),
+                avoid_local_maxima: avoid,
+                ..TuneConfig::paper()
+            };
+            let cfg = SimConfig {
+                net: net.net(DeadlockMode::PAPER_RECOVERY),
+                workload: Workload::steady(Pattern::UniformRandom, Process::periodic(50)),
+                scheme: Scheme::Tuned(tune),
+                cycles: scale.cycles(),
+                warmup: scale.warmup(),
+                seed: 0xF16_0004,
+            };
+            try_run_series(cfg, window).map(|r| (name, r))
+        },
+    )?;
+    for (name, r) in results {
         let thresholds: Vec<_> = r.threshold.points().to_vec();
         for (i, (time, tput)) in r.tput.normalized(r.nodes).enumerate() {
             let thr = thresholds.get(i).map_or(f64::NAN, |&(_, v)| v);
@@ -58,5 +82,5 @@ pub fn generate(scale: Scale) -> Table {
             ]);
         }
     }
-    t
+    Ok(t)
 }

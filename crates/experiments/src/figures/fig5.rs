@@ -6,19 +6,32 @@
 //! prevent butterfly saturation, 50 protects butterfly but over-throttles
 //! uniform random, and the self-tuner adapts to both.
 
+use crate::runner::{Pool, SweepError};
 use crate::table::fnum;
-use crate::{run_point, steady_config, sweep_rates_for, Scale, Table};
-use sideband::SidebandConfig;
+use crate::{steady_config, sweep_rates_for, try_run_point, NetPreset, Scale, Table};
 use stcc::Scheme;
 use traffic::Pattern;
-use wormsim::{DeadlockMode, NetConfig};
+use wormsim::DeadlockMode;
 
 /// The paper's static thresholds (in full buffers; 8% and 1.6% of 3072).
+/// Other presets rescale these: see [`NetPreset::static_thresholds`].
 pub const STATIC_THRESHOLDS: [u32; 2] = [250, 50];
 
-/// Runs the Figure 5 sweeps.
-#[must_use]
-pub fn generate(scale: Scale) -> Table {
+/// Runs the Figure 5 sweeps on the paper network, fanned across `pool`.
+///
+/// # Errors
+///
+/// Returns the first failing sweep point.
+pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
+    generate_on(NetPreset::Paper, scale, pool)
+}
+
+/// Runs the Figure 5 sweeps on a chosen network preset.
+///
+/// # Errors
+///
+/// Returns the first failing sweep point.
+pub fn generate_on(net: NetPreset, scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Figure 5 — static thresholds vs self-tuning (deadlock recovery)",
         &[
@@ -32,34 +45,48 @@ pub fn generate(scale: Scale) -> Table {
     );
     let schemes: Vec<Scheme> = [Scheme::Base]
         .into_iter()
-        .chain(STATIC_THRESHOLDS.iter().map(|&threshold| Scheme::Static {
-            threshold,
-            sideband: SidebandConfig::paper(),
-        }))
-        .chain([Scheme::tuned_paper()])
+        .chain(
+            net.static_thresholds()
+                .into_iter()
+                .map(|threshold| Scheme::Static {
+                    threshold,
+                    sideband: net.sideband(),
+                }),
+        )
+        .chain([net.tuned()])
         .collect();
+    let mut jobs = Vec::new();
     for pattern in [Pattern::UniformRandom, Pattern::Butterfly] {
         for scheme in &schemes {
             for (i, &rate) in sweep_rates_for(scale).iter().enumerate() {
-                let cfg = steady_config(
-                    NetConfig::paper(DeadlockMode::PAPER_RECOVERY),
-                    scheme.clone(),
-                    pattern.clone(),
-                    rate,
-                    scale,
-                    0xF16_0005 + i as u64,
-                );
-                let r = run_point(cfg);
-                t.push(vec![
-                    pattern.name().to_owned(),
-                    scheme.label(),
-                    fnum(rate),
-                    fnum(r.tput_packets),
-                    fnum(r.tput_flits),
-                    fnum(r.latency),
-                ]);
+                jobs.push((pattern.clone(), scheme.clone(), rate, i));
             }
         }
     }
-    t
+    let results = pool.try_run(
+        jobs,
+        |(pattern, scheme, rate, _)| format!("fig5 {} {} @ {rate}", pattern.name(), scheme.label()),
+        |(pattern, scheme, rate, i)| {
+            let cfg = steady_config(
+                net.net(DeadlockMode::PAPER_RECOVERY),
+                scheme.clone(),
+                pattern.clone(),
+                rate,
+                scale,
+                0xF16_0005 + i as u64,
+            );
+            try_run_point(cfg).map(|r| (pattern, scheme, rate, r))
+        },
+    )?;
+    for (pattern, scheme, rate, r) in results {
+        t.push(vec![
+            pattern.name().to_owned(),
+            scheme.label(),
+            fnum(rate),
+            fnum(r.tput_packets),
+            fnum(r.tput_flits),
+            fnum(r.latency),
+        ]);
+    }
+    Ok(t)
 }

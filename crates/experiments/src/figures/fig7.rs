@@ -8,16 +8,34 @@
 //! burst ends); Tune delivers sustained throughput and far lower latency.
 
 use crate::figures::fig6;
+use crate::runner::{Pool, SweepError};
 use crate::table::fnum;
-use crate::{run_series, Scale, Table};
+use crate::{try_run_series, Scale, Table};
 use stcc::{Scheme, SimConfig};
 use wormsim::{DeadlockMode, NetConfig};
 
-/// Runs the six bursty traces. Each row is one time window; the `latency`
-/// columns repeat each run's whole-run averages on every row of that run
-/// (self-describing CSV).
-#[must_use]
-pub fn generate(scale: Scale) -> Table {
+/// The six (deadlock mode, scheme) combinations the bursty figures run.
+fn combos() -> Vec<(DeadlockMode, &'static str, Scheme)> {
+    let mut v = Vec::new();
+    for (mode, mode_name) in [
+        (DeadlockMode::PAPER_RECOVERY, "recovery"),
+        (DeadlockMode::Avoidance, "avoidance"),
+    ] {
+        for scheme in [Scheme::Base, Scheme::Alo, Scheme::tuned_paper()] {
+            v.push((mode, mode_name, scheme));
+        }
+    }
+    v
+}
+
+/// Runs the six bursty traces, fanned across `pool`. Each row is one time
+/// window; the `latency` columns repeat each run's whole-run averages on
+/// every row of that run (self-describing CSV).
+///
+/// # Errors
+///
+/// Returns the first failing trace.
+pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Figure 7 — bursty-load performance (throughput vs time; run-average latencies)",
         &[
@@ -32,11 +50,10 @@ pub fn generate(scale: Scale) -> Table {
     );
     let cycles = fig6::cycles(scale);
     let window = (cycles / 90).max(1);
-    for (mode, mode_name) in [
-        (DeadlockMode::PAPER_RECOVERY, "recovery"),
-        (DeadlockMode::Avoidance, "avoidance"),
-    ] {
-        for scheme in [Scheme::Base, Scheme::Alo, Scheme::tuned_paper()] {
+    let results = pool.try_run(
+        combos(),
+        |(_, mode_name, scheme)| format!("fig7 {mode_name} {}", scheme.label()),
+        |(mode, mode_name, scheme)| {
             let cfg = SimConfig {
                 net: NetConfig::paper(mode),
                 workload: fig6::workload(scale),
@@ -47,37 +64,41 @@ pub fn generate(scale: Scale) -> Table {
                 warmup: scale.bursty_phase() / 2,
                 seed: 0xF16_0007,
             };
-            let r = run_series(cfg, window);
-            for (time, tput) in r.tput.normalized(r.nodes) {
-                t.push(vec![
-                    mode_name.to_owned(),
-                    scheme.label(),
-                    time.to_string(),
-                    fnum(tput),
-                    fnum(r.latency),
-                    fnum(r.latency_total),
-                    r.recovered.to_string(),
-                ]);
-            }
+            try_run_series(cfg, window).map(|r| (mode_name, scheme, r))
+        },
+    )?;
+    for (mode_name, scheme, r) in results {
+        for (time, tput) in r.tput.normalized(r.nodes) {
+            t.push(vec![
+                mode_name.to_owned(),
+                scheme.label(),
+                time.to_string(),
+                fnum(tput),
+                fnum(r.latency),
+                fnum(r.latency_total),
+                r.recovered.to_string(),
+            ]);
         }
     }
-    t
+    Ok(t)
 }
 
 /// Condensed variant: just the per-run average latencies (the numbers the
 /// paper quotes in §5.2.3).
-#[must_use]
-pub fn latency_summary(scale: Scale) -> Table {
+///
+/// # Errors
+///
+/// Returns the first failing trace.
+pub fn latency_summary(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Figure 7 (text) — average packet latency under the bursty load",
         &["deadlock", "scheme", "avg_net_latency", "avg_total_latency"],
     );
     let cycles = fig6::cycles(scale);
-    for (mode, mode_name) in [
-        (DeadlockMode::PAPER_RECOVERY, "recovery"),
-        (DeadlockMode::Avoidance, "avoidance"),
-    ] {
-        for scheme in [Scheme::Base, Scheme::Alo, Scheme::tuned_paper()] {
+    let results = pool.try_run(
+        combos(),
+        |(_, mode_name, scheme)| format!("fig7-latency {mode_name} {}", scheme.label()),
+        |(mode, mode_name, scheme)| {
             let cfg = SimConfig {
                 net: NetConfig::paper(mode),
                 workload: fig6::workload(scale),
@@ -86,14 +107,16 @@ pub fn latency_summary(scale: Scale) -> Table {
                 warmup: scale.bursty_phase() / 2,
                 seed: 0xF16_0007,
             };
-            let r = run_series(cfg, cycles / 8);
-            t.push(vec![
-                mode_name.to_owned(),
-                scheme.label(),
-                fnum(r.latency),
-                fnum(r.latency_total),
-            ]);
-        }
+            try_run_series(cfg, cycles / 8).map(|r| (mode_name, scheme, r))
+        },
+    )?;
+    for (mode_name, scheme, r) in results {
+        t.push(vec![
+            mode_name.to_owned(),
+            scheme.label(),
+            fnum(r.latency),
+            fnum(r.latency_total),
+        ]);
     }
-    t
+    Ok(t)
 }

@@ -11,8 +11,9 @@
 //! must neither panic nor collapse: it fails open and lands within a few
 //! percent of Static.
 
+use crate::runner::{Pool, SweepError};
 use crate::table::fnum;
-use crate::{run_point_with_faults, steady_config, Scale, Table};
+use crate::{steady_config, try_run_point_with_faults, Scale, Table};
 use faults::{FaultPlan, SidebandFaults};
 use sideband::SidebandConfig;
 use stcc::Scheme;
@@ -42,9 +43,13 @@ pub fn schemes() -> Vec<Scheme> {
     ]
 }
 
-/// Runs the resilience sweep (deadlock recovery, uniform random).
-#[must_use]
-pub fn generate(scale: Scale) -> Table {
+/// Runs the resilience sweep (deadlock recovery, uniform random), fanned
+/// across `pool`.
+///
+/// # Errors
+///
+/// Returns the first failing sweep point.
+pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Resilience — delivered bandwidth under side-band snapshot loss (uniform random @ 0.028)",
         &[
@@ -59,8 +64,16 @@ pub fn generate(scale: Scale) -> Table {
             "wd_rearms",
         ],
     );
+    let mut jobs = Vec::new();
     for &loss in &loss_rates() {
         for scheme in schemes() {
+            jobs.push((loss, scheme));
+        }
+    }
+    let results = pool.try_run(
+        jobs,
+        |(loss, scheme)| format!("resilience {} loss={loss}", scheme.label()),
+        |(loss, scheme)| {
             let cfg = steady_config(
                 NetConfig::paper(DeadlockMode::PAPER_RECOVERY),
                 scheme.clone(),
@@ -76,20 +89,22 @@ pub fn generate(scale: Scale) -> Table {
                     ..SidebandFaults::none()
                 },
             );
-            let (p, f) = run_point_with_faults(cfg, plan);
-            let sb = f.sideband.unwrap_or_default();
-            t.push(vec![
-                fnum(loss),
-                scheme.label(),
-                fnum(p.tput_flits),
-                fnum(p.latency),
-                p.throttled.to_string(),
-                sb.lost_snapshots.to_string(),
-                sb.rejected().to_string(),
-                f.watchdog_trips.to_string(),
-                f.watchdog_rearms.to_string(),
-            ]);
-        }
+            try_run_point_with_faults(cfg, plan).map(|(p, f)| (loss, scheme, p, f))
+        },
+    )?;
+    for (loss, scheme, p, f) in results {
+        let sb = f.sideband.unwrap_or_default();
+        t.push(vec![
+            fnum(loss),
+            scheme.label(),
+            fnum(p.tput_flits),
+            fnum(p.latency),
+            p.throttled.to_string(),
+            sb.lost_snapshots.to_string(),
+            sb.rejected().to_string(),
+            f.watchdog_trips.to_string(),
+            f.watchdog_rearms.to_string(),
+        ]);
     }
-    t
+    Ok(t)
 }

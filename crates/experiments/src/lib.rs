@@ -3,20 +3,25 @@
 //!
 //! Each figure has a module under [`figures`] producing a [`Table`] of rows,
 //! and a binary (`fig1` … `fig7`, `table1`, `ablation_*`) that prints it and
-//! writes a CSV under `results/`. Binaries accept a `--scale` argument
-//! (`paper`, `reduced`, `smoke`) because the paper-scale runs (600 000
-//! cycles × many sweep points) take a while on one core.
+//! writes a CSV under `results/`. Binaries accept `--scale` (`paper`,
+//! `reduced`, `smoke`, `tiny`) because the paper-scale runs (600 000 cycles
+//! × many sweep points) take a while, `--net` (`paper`, `small`) to shrink
+//! the network itself, and `--jobs N` (or `STCC_JOBS`) to fan the sweep's
+//! independent points across the deterministic [`runner::Pool`] — the
+//! output is bit-identical at every job count (see `tests/golden.rs`).
 
 pub mod cli;
 pub mod figures;
 mod run;
+pub mod runner;
 mod scale;
 pub mod table;
 
 pub use cli::Cli;
 pub use run::{
     run_point, run_point_with_faults, run_series, steady_config, sweep_rates, sweep_rates_for,
-    PointResult, SeriesResult,
+    try_run_point, try_run_point_with_faults, try_run_series, NetPreset, PointResult, SeriesResult,
 };
+pub use runner::{JobError, Pool, SweepError};
 pub use scale::Scale;
 pub use table::Table;

@@ -1,9 +1,10 @@
 use crate::Scale;
 use faults::FaultPlan;
+use sideband::SidebandConfig;
 use simstats::{GaugeSeries, RunSummary, WindowSeries};
-use stcc::{FaultReport, Scheme, SimConfig, Simulation};
+use stcc::{FaultReport, Scheme, SimConfig, Simulation, TuneConfig};
 use traffic::{Pattern, Process, Workload};
-use wormsim::NetConfig;
+use wormsim::{DeadlockMode, NetConfig};
 
 /// The measurements of one sweep point, in the units the paper plots.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,19 +28,53 @@ pub struct PointResult {
 
 /// Runs one simulation and condenses its summary.
 ///
+/// # Errors
+///
+/// Returns a message naming the offending point on an invalid
+/// configuration or a summary taken before warm-up — a `String` so the
+/// error crosses [`crate::runner::Pool`] worker threads untouched.
+pub fn try_run_point(cfg: SimConfig) -> Result<PointResult, String> {
+    let label = point_label(&cfg);
+    let mut sim = Simulation::new(cfg).map_err(|e| format!("bad experiment ({label}): {e}"))?;
+    sim.run_to_end();
+    let s = sim
+        .summary()
+        .map_err(|e| format!("summary failed ({label}): {e}"))?;
+    Ok(condense(&s))
+}
+
+/// Runs one simulation and condenses its summary.
+///
 /// # Panics
 ///
 /// Panics on an invalid configuration (the harness constructs only valid
-/// ones; the error message names the offender).
+/// ones; the error message names the offender). Worker code should prefer
+/// [`try_run_point`].
 #[must_use]
 pub fn run_point(cfg: SimConfig) -> PointResult {
+    try_run_point(cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs one simulation under an installed fault plan and condenses its
+/// summary together with the run's fault/degradation counters.
+///
+/// # Errors
+///
+/// Returns a message naming the offending point on an invalid
+/// configuration or fault plan.
+pub fn try_run_point_with_faults(
+    cfg: SimConfig,
+    plan: FaultPlan,
+) -> Result<(PointResult, FaultReport), String> {
     let label = point_label(&cfg);
-    let mut sim = Simulation::new(cfg).unwrap_or_else(|e| panic!("bad experiment ({label}): {e}"));
+    let mut sim =
+        Simulation::with_faults(cfg, plan).map_err(|e| format!("bad experiment ({label}): {e}"))?;
     sim.run_to_end();
-    // Infallible here: `Simulation::new` enforces warmup < cycles, and the
-    // run is complete.
-    let s = sim.summary().expect("run_to_end passes warm-up");
-    condense(&s)
+    let report = sim.fault_report();
+    let s = sim
+        .summary()
+        .map_err(|e| format!("summary failed ({label}): {e}"))?;
+    Ok((condense(&s), report))
 }
 
 /// Runs one simulation under an installed fault plan and condenses its
@@ -48,19 +83,14 @@ pub fn run_point(cfg: SimConfig) -> PointResult {
 /// # Panics
 ///
 /// Panics on an invalid configuration or fault plan (the harness constructs
-/// only valid ones).
+/// only valid ones). Worker code should prefer
+/// [`try_run_point_with_faults`].
 #[must_use]
 pub fn run_point_with_faults(cfg: SimConfig, plan: FaultPlan) -> (PointResult, FaultReport) {
-    let label = point_label(&cfg);
-    let mut sim = Simulation::with_faults(cfg, plan)
-        .unwrap_or_else(|e| panic!("bad experiment ({label}): {e}"));
-    sim.run_to_end();
-    let report = sim.fault_report();
-    let s = sim.summary().expect("run_to_end passes warm-up");
-    (condense(&s), report)
+    try_run_point_with_faults(cfg, plan).unwrap_or_else(|e| panic!("{e}"))
 }
 
-fn point_label(cfg: &SimConfig) -> String {
+pub(crate) fn point_label(cfg: &SimConfig) -> String {
     format!(
         "{} {} @ {:.4}",
         cfg.scheme.label(),
@@ -106,13 +136,14 @@ pub struct SeriesResult {
 /// exclusion on the series; the latency means respect the configured
 /// warm-up).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an invalid configuration.
-#[must_use]
-pub fn run_series(cfg: SimConfig, window: u64) -> SeriesResult {
+/// Returns a message naming the offending point on an invalid
+/// configuration or a summary taken before warm-up.
+pub fn try_run_series(cfg: SimConfig, window: u64) -> Result<SeriesResult, String> {
+    let label = point_label(&cfg);
     let cycles = cfg.cycles;
-    let mut sim = Simulation::new(cfg).expect("bad experiment configuration");
+    let mut sim = Simulation::new(cfg).map_err(|e| format!("bad experiment ({label}): {e}"))?;
     let nodes = sim.network().torus().node_count();
     let mut tput = WindowSeries::new(window);
     let mut threshold = GaugeSeries::new();
@@ -133,8 +164,10 @@ pub fn run_series(cfg: SimConfig, window: u64) -> SeriesResult {
             full.sample(now, f64::from(sim.network().full_buffer_count()));
         }
     }
-    let s = sim.summary().expect("run_to_end passes warm-up");
-    SeriesResult {
+    let s = sim
+        .summary()
+        .map_err(|e| format!("summary failed ({label}): {e}"))?;
+    Ok(SeriesResult {
         window,
         nodes,
         tput,
@@ -143,7 +176,18 @@ pub fn run_series(cfg: SimConfig, window: u64) -> SeriesResult {
         latency: s.network_latency.mean().unwrap_or(f64::NAN),
         latency_total: s.total_latency.mean().unwrap_or(f64::NAN),
         recovered: s.recovered_packets,
-    }
+    })
+}
+
+/// Runs one simulation collecting windowed time series.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration. Worker code should prefer
+/// [`try_run_series`].
+#[must_use]
+pub fn run_series(cfg: SimConfig, window: u64) -> SeriesResult {
+    try_run_series(cfg, window).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The injection-rate sweep of the paper's load/throughput plots
@@ -169,6 +213,88 @@ pub fn sweep_rates_for(scale: Scale) -> Vec<f64> {
             ]
         }
         Scale::Smoke => vec![0.001, 0.005, 0.014, 0.028, 0.056, 0.100],
+        // Golden snapshots: three points bracketing the knee are enough to
+        // pin determinism while keeping the committed files small.
+        Scale::Tiny => vec![0.005, 0.028, 0.100],
+    }
+}
+
+/// Which network the figures run on: the paper's 16-ary 2-cube, or a
+/// small 8-ary 2-cube used by the committed golden snapshots (fast enough
+/// to re-simulate inside the test suite).
+///
+/// The preset bundles everything that must stay mutually consistent when
+/// the topology changes: the side-band's radix (and hence its gather
+/// period), the tuner's side-band, and Figure 5's static thresholds
+/// (rescaled to the same occupancy fractions of the smaller buffer pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetPreset {
+    /// The paper's 16-ary 2-cube (256 nodes, 3072 VC buffers).
+    #[default]
+    Paper,
+    /// An 8-ary 2-cube (64 nodes, 768 VC buffers) for golden tests.
+    Small,
+}
+
+impl NetPreset {
+    /// The network configuration.
+    #[must_use]
+    pub fn net(self, deadlock: DeadlockMode) -> NetConfig {
+        match self {
+            NetPreset::Paper => NetConfig::paper(deadlock),
+            NetPreset::Small => NetConfig::small(deadlock),
+        }
+    }
+
+    /// The matching side-band configuration (radix follows the torus).
+    #[must_use]
+    pub fn sideband(self) -> SidebandConfig {
+        SidebandConfig {
+            radix: match self {
+                NetPreset::Paper => 16,
+                NetPreset::Small => 8,
+            },
+            ..SidebandConfig::paper()
+        }
+    }
+
+    /// The matching self-tuned scheme.
+    #[must_use]
+    pub fn tuned(self) -> Scheme {
+        Scheme::Tuned(TuneConfig {
+            sideband: self.sideband(),
+            ..TuneConfig::paper()
+        })
+    }
+
+    /// Figure 5's static thresholds, in full buffers: the paper's 250/50
+    /// (8% / 1.6% of 3072) rescaled to the preset's buffer pool.
+    #[must_use]
+    pub fn static_thresholds(self) -> [u32; 2] {
+        match self {
+            NetPreset::Paper => [250, 50],
+            // Same occupancy fractions of 768 buffers.
+            NetPreset::Small => [62, 12],
+        }
+    }
+
+    /// Parses `paper` / `small`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<NetPreset> {
+        match s {
+            "paper" => Some(NetPreset::Paper),
+            "small" => Some(NetPreset::Small),
+            _ => None,
+        }
+    }
+
+    /// Label used in messages.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            NetPreset::Paper => "paper",
+            NetPreset::Small => "small",
+        }
     }
 }
 

@@ -12,6 +12,9 @@ pub enum Scale {
     Reduced,
     /// 24 000 cycles, 4 000 warm-up (CI/bench smoke runs).
     Smoke,
+    /// 6 000 cycles, 1 000 warm-up (golden snapshot tests; pair with the
+    /// small network preset so the suite re-simulates in seconds).
+    Tiny,
 }
 
 impl Scale {
@@ -22,6 +25,7 @@ impl Scale {
             Scale::Paper => 600_000,
             Scale::Reduced => 150_000,
             Scale::Smoke => 24_000,
+            Scale::Tiny => 6_000,
         }
     }
 
@@ -32,6 +36,7 @@ impl Scale {
             Scale::Paper => 100_000,
             Scale::Reduced => 25_000,
             Scale::Smoke => 4_000,
+            Scale::Tiny => 1_000,
         }
     }
 
@@ -44,6 +49,7 @@ impl Scale {
             Scale::Paper => 50_000,
             Scale::Reduced => 12_500,
             Scale::Smoke => 2_500,
+            Scale::Tiny => 600,
         }
     }
 
@@ -54,6 +60,7 @@ impl Scale {
             "paper" => Some(Scale::Paper),
             "reduced" => Some(Scale::Reduced),
             "smoke" => Some(Scale::Smoke),
+            "tiny" => Some(Scale::Tiny),
             _ => None,
         }
     }
@@ -65,6 +72,7 @@ impl Scale {
             Scale::Paper => "paper",
             Scale::Reduced => "reduced",
             Scale::Smoke => "smoke",
+            Scale::Tiny => "tiny",
         }
     }
 }
@@ -75,7 +83,7 @@ mod tests {
 
     #[test]
     fn parse_round_trips() {
-        for s in [Scale::Paper, Scale::Reduced, Scale::Smoke] {
+        for s in [Scale::Paper, Scale::Reduced, Scale::Smoke, Scale::Tiny] {
             assert_eq!(Scale::parse(s.label()), Some(s));
             assert!(s.warmup() < s.cycles());
         }

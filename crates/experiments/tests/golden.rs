@@ -1,0 +1,71 @@
+//! Golden snapshot tests: the committed `tests/golden/*.tiny.csv` files
+//! are the reference outputs of fig2/fig4/fig5 on the small network
+//! preset (8-ary 2-cube) at tiny scale. Each test re-simulates and
+//! asserts the CSV rendering is **byte-identical** to the snapshot —
+//! at `--jobs 1`, `2` and `8`, and across two runs at the same seed —
+//! which is the determinism guarantee the parallel runner advertises.
+//!
+//! Regenerate after an intentional simulator change with:
+//!
+//! ```text
+//! for f in fig2 fig4 fig5; do
+//!   cargo run --release -p experiments --bin $f -- \
+//!     --scale tiny --net small --out crates/experiments/tests/golden
+//! done
+//! ```
+
+use experiments::figures::{fig2, fig4, fig5};
+use experiments::runner::{Pool, SweepError};
+use experiments::{NetPreset, Scale, Table};
+
+fn golden(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()))
+}
+
+fn check(name: &str, job_counts: &[usize], generate: impl Fn(&Pool) -> Result<Table, SweepError>) {
+    let want = golden(name);
+    for &jobs in job_counts {
+        let t = generate(&Pool::new(jobs)).unwrap_or_else(|e| panic!("{name} @ jobs={jobs}: {e}"));
+        assert_eq!(
+            t.to_csv(),
+            want,
+            "{name} differs from golden snapshot at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn fig2_matches_golden_at_every_job_count() {
+    check("fig2.tiny.csv", &[1, 2, 8], |pool| {
+        fig2::generate_on(NetPreset::Small, Scale::Tiny, pool)
+    });
+}
+
+#[test]
+fn fig4_matches_golden_at_every_job_count() {
+    check("fig4.tiny.csv", &[1, 2, 8], |pool| {
+        fig4::generate_on(NetPreset::Small, Scale::Tiny, pool)
+    });
+}
+
+#[test]
+fn fig5_matches_golden_at_every_job_count() {
+    check("fig5.tiny.csv", &[1, 8], |pool| {
+        fig5::generate_on(NetPreset::Small, Scale::Tiny, pool)
+    });
+}
+
+#[test]
+fn two_runs_same_seed_are_identical() {
+    let pool = Pool::new(8);
+    let run = || {
+        fig2::generate_on(NetPreset::Small, Scale::Tiny, &pool)
+            .expect("fig2 tiny sweep")
+            .to_csv()
+    };
+    assert_eq!(run(), run(), "same-seed reruns must be byte-identical");
+}

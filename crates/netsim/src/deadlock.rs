@@ -118,13 +118,12 @@ impl Network {
                         debug_assert_eq!(front.packet, job.packet);
                         let was_full = vc.buf.len() >= depth;
                         let mut flit = vc.buf.pop_front().expect("front checked");
-                        if was_full {
-                            self.full_buffers -= 1;
-                        }
+                        self.full_buffers -= u32::from(was_full);
                         if flit.idx + 1 == self.packets.get(flit.packet).len {
                             vc.assign = Assign::None;
                             job.tail_in = true;
                         }
+                        self.note_vc_popped(job.src_vc);
                         flit.ready_at = now + 1;
                         self.dl_buf[entry].push_back(flit);
                     }

@@ -129,6 +129,12 @@ pub struct Network {
     pub(crate) counters: Counters,
     /// Incrementally maintained count of completely full input VC buffers.
     pub(crate) full_buffers: u32,
+    /// Active-VC worklist: bit `f` of `vc_busy[node]` is set iff input VC
+    /// `f = port * v + vc` of `node` holds at least one flit. The route,
+    /// switch and starvation stages iterate set bits instead of scanning
+    /// every VC, so an idle router costs one integer test per cycle.
+    /// (Config validation caps feeders at 64, so a `u64` always fits.)
+    vc_busy: Vec<u64>,
     deliveries: Vec<DeliveredRecord>,
     /// Scratch: per-node injection allowance for the current cycle.
     allow: Vec<bool>,
@@ -176,6 +182,7 @@ impl Network {
             now: 0,
             counters: Counters::default(),
             full_buffers: 0,
+            vc_busy: vec![0; nodes],
             deliveries: Vec::new(),
             allow: vec![true; nodes],
             token_queue: VecDeque::new(),
@@ -301,6 +308,39 @@ impl Network {
         self.d * self.v + 1 // input VCs + injection interface
     }
 
+    /// Marks input VC `idx` (global index) non-empty in the worklist. Call
+    /// after pushing a flit into its buffer.
+    #[inline]
+    pub(crate) fn note_vc_filled(&mut self, idx: usize) {
+        let fpn = self.d * self.v;
+        self.vc_busy[idx / fpn] |= 1u64 << (idx % fpn);
+    }
+
+    /// Clears input VC `idx` from the worklist if its buffer is now empty.
+    /// Call after popping a flit from it.
+    #[inline]
+    pub(crate) fn note_vc_popped(&mut self, idx: usize) {
+        let empty = self.in_vcs[idx].buf.is_empty();
+        let fpn = self.d * self.v;
+        self.vc_busy[idx / fpn] &= !(u64::from(empty) << (idx % fpn));
+    }
+
+    /// Debug-only audit that the worklist agrees with the buffers exactly.
+    #[cfg(debug_assertions)]
+    fn debug_check_worklist(&self) {
+        let fpn = self.d * self.v;
+        for (node, &mask) in self.vc_busy.iter().enumerate() {
+            for f in 0..fpn {
+                let busy = !self.in_vcs[node * fpn + f].buf.is_empty();
+                debug_assert_eq!(
+                    mask >> f & 1 == 1,
+                    busy,
+                    "worklist out of sync at node {node} feeder {f}"
+                );
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // The cycle pipeline
     // ------------------------------------------------------------------
@@ -326,6 +366,8 @@ impl Network {
             self.recovery_stage(now);
         }
         self.switch_stage(now);
+        #[cfg(debug_assertions)]
+        self.debug_check_worklist();
         self.now = now + 1;
     }
 
@@ -381,9 +423,7 @@ impl Network {
             self.allow[node] = if waiting {
                 let dst = self.packets.get(self.source_q[node][0]).dst;
                 let ok = ctl.allow_injection(now, node, dst, self);
-                if !ok {
-                    self.counters.throttled_injections += 1;
-                }
+                self.counters.throttled_injections += u64::from(!ok);
                 ok
             } else {
                 false
@@ -401,12 +441,21 @@ impl Network {
             DeadlockMode::Recovery { timeout } => timeout,
             DeadlockMode::Avoidance => u64::MAX,
         };
+        let mut requests: [u16; 64] = [0; 64];
         for node in 0..nodes {
-            // Gather routing requests.
-            let mut requests: [u16; 64] = [0; 64];
+            // A router with no waiting flits and no admitted injection has
+            // nothing to arbitrate.
+            if self.vc_busy[node] == 0 && !self.allow[node] {
+                continue;
+            }
+            // Gather routing requests from occupied input VCs (ascending
+            // feeder order, same as a full scan).
             let mut nreq = 0usize;
             let base = self.vc_idx(node, 0, 0);
-            for f in 0..inj_feeder {
+            let mut mask = self.vc_busy[node];
+            while mask != 0 {
+                let f = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
                 let vc = &self.in_vcs[base + f];
                 // Unrouted headers request routing; suspected (token-queued)
                 // headers keep requesting too — only capturing the token
@@ -490,34 +539,45 @@ impl Network {
         if timeout == 0 || !now.is_multiple_of(timeout) {
             return;
         }
-        for idx in 0..self.in_vcs.len() {
-            let vc = &self.in_vcs[idx];
-            let Assign::Out { port, vc: ovc } = vc.assign else {
-                continue;
-            };
-            let Some(front) = vc.buf.front() else {
-                continue;
-            };
-            if front.idx != 0 || front.ready_at > now {
-                continue;
+        let fpn = self.d * self.v;
+        for node in 0..self.torus.node_count() {
+            let mut mask = self.vc_busy[node];
+            while mask != 0 {
+                let f = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.check_starved_head(now, timeout, node * fpn + f);
             }
-            let pid = front.packet;
-            if now.saturating_sub(self.packets.get(pid).last_move) < timeout {
-                continue;
-            }
-            let node = idx / (self.d * self.v);
-            let oidx = self.vc_idx(node, usize::from(port), usize::from(ovc));
-            debug_assert!(self.out_alloc[oidx]);
-            self.out_alloc[oidx] = false;
-            let vc = &mut self.in_vcs[idx];
-            vc.assign = Assign::AwaitToken;
-            vc.blocked = 0;
-            if !vc.queued_for_token {
-                vc.queued_for_token = true;
-                self.token_queue.push_back(idx);
-            }
-            self.counters.recovery_timeouts += 1;
         }
+    }
+
+    /// One VC's starved-head check (see [`Self::detect_starved_heads`]).
+    fn check_starved_head(&mut self, now: u64, timeout: u64, idx: usize) {
+        let vc = &self.in_vcs[idx];
+        let Assign::Out { port, vc: ovc } = vc.assign else {
+            return;
+        };
+        let Some(front) = vc.buf.front() else {
+            return;
+        };
+        if front.idx != 0 || front.ready_at > now {
+            return;
+        }
+        let pid = front.packet;
+        if now.saturating_sub(self.packets.get(pid).last_move) < timeout {
+            return;
+        }
+        let node = idx / (self.d * self.v);
+        let oidx = self.vc_idx(node, usize::from(port), usize::from(ovc));
+        debug_assert!(self.out_alloc[oidx]);
+        self.out_alloc[oidx] = false;
+        let vc = &mut self.in_vcs[idx];
+        vc.assign = Assign::AwaitToken;
+        vc.blocked = 0;
+        if !vc.queued_for_token {
+            vc.queued_for_token = true;
+            self.token_queue.push_back(idx);
+        }
+        self.counters.recovery_timeouts += 1;
     }
 
     /// Routes the winning feeder of `node`'s arbiter; returns whether an
@@ -578,13 +638,23 @@ impl Network {
         let nodes = self.torus.node_count();
         let inj_feeder = self.d * self.v;
         let nports = self.d + 1; // network ports + delivery
+                                 // Per-port candidate buckets, hoisted out of the node loop: zeroing
+                                 // ~2 KiB per node per cycle dominated idle-router cost. Only
+                                 // `counts` needs resetting; stale `buckets` entries are never read.
+        let mut buckets: [[u16; 64]; 17] = [[0; 64]; 17];
+        let mut counts = [0usize; 17];
+        debug_assert!(nports <= 17 && self.feeders_per_node() <= 64);
         for node in 0..nodes {
+            if self.vc_busy[node] == 0 && self.inj[node].active.is_none() {
+                continue; // nothing buffered, nothing injecting
+            }
             // Bucket ready feeders by output port.
-            let mut buckets: [[u16; 64]; 17] = [[0; 64]; 17];
-            let mut counts = [0usize; 17];
-            debug_assert!(nports <= 17 && self.feeders_per_node() <= 64);
+            counts[..nports].fill(0);
             let base = self.vc_idx(node, 0, 0);
-            for f in 0..inj_feeder {
+            let mut mask = self.vc_busy[node];
+            while mask != 0 {
+                let f = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
                 let vc = &self.in_vcs[base + f];
                 let port = match vc.assign {
                     Assign::Out { port, .. } => usize::from(port),
@@ -692,14 +762,13 @@ impl Network {
             let vc = &mut self.in_vcs[idx];
             let was_full = vc.buf.len() >= self.depth;
             let flit = vc.buf.pop_front().expect("bucketed feeder has a flit");
-            if was_full {
-                self.full_buffers -= 1;
-            }
+            self.full_buffers -= u32::from(was_full);
             let assign = vc.assign;
             let is_tail = flit.idx + 1 == self.packets.get(flit.packet).len;
             if is_tail {
                 vc.assign = Assign::None;
             }
+            self.note_vc_popped(idx);
             (flit, assign, is_tail)
         };
 
@@ -717,9 +786,9 @@ impl Network {
                     ready_at: now + self.cfg.hop_latency,
                     ..flit
                 });
-                if down.buf.len() >= self.depth {
-                    self.full_buffers += 1;
-                }
+                let now_full = down.buf.len() >= self.depth;
+                self.full_buffers += u32::from(now_full);
+                self.note_vc_filled(didx);
             }
             Assign::Delivery => self.deliver_flit(now, flit, false),
             Assign::None | Assign::AwaitToken | Assign::Recovery => {
@@ -750,9 +819,7 @@ impl Network {
                 recovered: via_recovery,
             });
             self.counters.delivered_packets += 1;
-            if via_recovery {
-                self.counters.recovered_packets += 1;
-            }
+            self.counters.recovered_packets += u64::from(via_recovery);
             self.packets.release(flit.packet);
         }
     }

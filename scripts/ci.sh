@@ -3,24 +3,40 @@
 #   1. formatting        (cargo fmt --check)
 #   2. lints             (cargo clippy, warnings are errors)
 #   3. tier-1 verify     (cargo build --release && cargo test -q)
+#   4. workspace tests   (incl. the golden determinism suite)
+#   5. parallel smoke    (a --jobs 4 sweep through the runner)
 # Everything is hermetic — no network access is required (see README,
-# "Hermetic build").
+# "Hermetic build"). Each step reports its wall time.
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "=== fmt"
-cargo fmt --all --check
+step() {
+    name=$1
+    shift
+    echo "=== $name"
+    start=$(date +%s)
+    "$@"
+    echo "=== $name done in $(($(date +%s) - start))s"
+}
 
-echo "=== clippy"
-cargo clippy --workspace --all-targets -- -D warnings
+step "fmt" cargo fmt --all --check
 
-echo "=== tier-1: build"
-cargo build --release
+step "clippy" cargo clippy --workspace --all-targets -- -D warnings
 
-echo "=== tier-1: test"
-cargo test -q
+step "tier-1: build" cargo build --release
 
-echo "=== workspace tests"
-cargo test --workspace -q
+step "tier-1: test" cargo test -q
+
+step "workspace tests" cargo test --workspace -q
+
+# Golden determinism: fig2/fig4/fig5 must match the committed snapshots
+# byte-for-byte at --jobs 1, 2 and 8 (already part of the workspace run;
+# kept as an explicit named gate so a failure is unmistakable).
+step "golden determinism" cargo test -q -p experiments --test golden
+
+# Parallel smoke: one real sweep binary through the runner at --jobs 4.
+step "parallel smoke (--jobs 4)" \
+    cargo run --release -q -p experiments --bin fig2 -- \
+    --scale tiny --net small --jobs 4 --out target/ci-smoke
 
 echo "CI green."
