@@ -88,7 +88,59 @@ fn components() {
     }
 }
 
+fn checkpointing() {
+    use stcc::{Scheme, SimConfig, Simulation, TuneConfig};
+    use traffic::{Pattern, Process, Workload};
+
+    let mut g = Group::new(
+        "checkpointing (256 nodes, tuned, load 0.014)",
+        BenchConfig {
+            samples: 5,
+            iters_per_sample: 1,
+            warmup_iters: 1,
+        },
+    );
+    let cfg = SimConfig {
+        net: NetConfig::paper(DeadlockMode::PAPER_RECOVERY),
+        workload: Workload::steady(Pattern::UniformRandom, Process::bernoulli(0.014)),
+        scheme: Scheme::Tuned(TuneConfig::paper()),
+        cycles: 1 << 40,
+        warmup: 1_000,
+        seed: 0xBE7C4,
+    };
+    let mut sim = Simulation::new(cfg.clone()).unwrap();
+    for _ in 0..2_000 {
+        sim.step();
+    }
+
+    // Snapshot serialize/restore cost in isolation.
+    g.bench("ckpt_serialize", || black_box(sim.checkpoint().len()));
+    let snap = sim.checkpoint();
+    g.bench("ckpt_restore", || {
+        let restored = Simulation::restore(cfg.clone(), None, &snap).unwrap();
+        black_box(restored.now())
+    });
+
+    // Simulated-cycle throughput with and without one checkpoint per
+    // 10k-cycle cadence window: the difference between the two thrpt
+    // columns is the overhead `STCC_CKPT_EVERY=10000` costs a sweep.
+    const CADENCE: u64 = 10_000;
+    g.bench_units("run_10k_cycles_plain", CADENCE as f64, || {
+        for _ in 0..CADENCE {
+            sim.step();
+        }
+        black_box(sim.now())
+    });
+    g.bench_units("run_10k_cycles_w_ckpt", CADENCE as f64, || {
+        for _ in 0..CADENCE {
+            sim.step();
+        }
+        black_box(sim.checkpoint().len())
+    });
+}
+
 fn main() {
     network_cycles();
     components();
+    checkpointing();
 }

@@ -7,7 +7,7 @@ use bench::harness::{BenchConfig, Group};
 use bench::run_mini;
 use experiments::figures::fig2;
 use experiments::runner::Pool;
-use experiments::{NetPreset, Scale};
+use experiments::{NetPreset, Scale, SweepCtx};
 use sideband::SidebandConfig;
 use stcc::{Scheme, SimConfig, Simulation};
 use std::hint::black_box;
@@ -36,10 +36,10 @@ fn parallel_sweep() {
         vec![1]
     };
     for jobs in counts {
-        let pool = Pool::new(jobs);
+        let ctx = SweepCtx::bare(Pool::new(jobs));
         g.bench(&format!("fig2_tiny_jobs_{jobs}"), || {
             black_box(
-                fig2::generate_on(NetPreset::Small, Scale::Tiny, &pool)
+                fig2::generate_on(NetPreset::Small, Scale::Tiny, &ctx)
                     .expect("tiny fig2 sweep")
                     .to_csv()
                     .len(),

@@ -27,6 +27,24 @@ impl AloControl {
     pub fn new() -> Self {
         AloControl::default()
     }
+
+    /// Serializes the controller state into `enc` (for checkpointing).
+    pub fn save_state(&self, enc: &mut checkpoint::Enc) {
+        enc.bool(self.throttled_last_cycle);
+    }
+
+    /// Restores state captured with [`AloControl::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`checkpoint::CheckpointError`] on a truncated stream.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut checkpoint::Dec<'_>,
+    ) -> Result<(), checkpoint::CheckpointError> {
+        self.throttled_last_cycle = dec.bool()?;
+        Ok(())
+    }
 }
 
 impl CongestionControl for AloControl {

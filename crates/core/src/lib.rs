@@ -53,7 +53,10 @@ mod tuned;
 
 pub use alo::AloControl;
 pub use scheme::Scheme;
-pub use sim::{FaultReport, SimConfig, SimError, Simulation, SummaryError};
+pub use sim::{
+    BudgetKind, FaultReport, LivelockDiag, RunGuard, SimConfig, SimError, Simulation, SummaryError,
+    DEFAULT_LIVELOCK_WINDOW,
+};
 pub use statik::StaticThreshold;
 pub use tuned::{decide, SelfTuned, TuneAction, TuneConfig};
 

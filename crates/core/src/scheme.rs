@@ -101,6 +101,52 @@ impl Control {
             Control::Tuned(c) => Some(c.sideband().stats()),
         }
     }
+
+    fn variant_tag(&self) -> u8 {
+        match self {
+            Control::Base(_) => 0,
+            Control::Alo(_) => 1,
+            Control::Static(_) => 2,
+            Control::Tuned(_) => 3,
+        }
+    }
+
+    /// Serializes the controller state into `enc` (for checkpointing). The
+    /// stream records the variant so a restore into a controller built from
+    /// a different [`Scheme`] fails loudly rather than silently misreading.
+    pub fn save_state(&self, enc: &mut checkpoint::Enc) {
+        enc.u8(self.variant_tag());
+        match self {
+            Control::Base(_) => {}
+            Control::Alo(c) => c.save_state(enc),
+            Control::Static(c) => c.save_state(enc),
+            Control::Tuned(c) => c.save_state(enc),
+        }
+    }
+
+    /// Restores state captured with [`Control::save_state`] into a controller
+    /// built from the same [`Scheme`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`checkpoint::CheckpointError`] if the recorded variant does
+    /// not match this controller or the stream is truncated/invalid.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut checkpoint::Dec<'_>,
+    ) -> Result<(), checkpoint::CheckpointError> {
+        if dec.u8()? != self.variant_tag() {
+            return Err(checkpoint::CheckpointError::Corrupt(
+                "controller variant does not match the scheme",
+            ));
+        }
+        match self {
+            Control::Base(_) => Ok(()),
+            Control::Alo(c) => c.restore_state(dec),
+            Control::Static(c) => c.restore_state(dec),
+            Control::Tuned(c) => c.restore_state(dec),
+        }
+    }
 }
 
 impl CongestionControl for Control {

@@ -1,9 +1,11 @@
 use crate::scheme::{Control, Scheme};
 use crate::SelfTuned;
+use checkpoint::CheckpointError;
 use core::fmt;
 use faults::{FaultPlan, FaultPlanError};
 use sideband::SidebandStats;
 use simstats::{LatencyStats, RunSummary};
+use std::time::Instant;
 use traffic::{TrafficError, Workload, WorkloadRunner};
 use wormsim::{ConfigError, NetConfig, Network};
 
@@ -42,6 +44,20 @@ pub enum SimError {
     },
     /// Invalid fault plan (only from [`Simulation::with_faults`]).
     Faults(FaultPlanError),
+    /// A guarded run detected a livelock: live packets exist but no flit
+    /// moved anywhere for the guard's window (see [`RunGuard`]).
+    Livelock(LivelockDiag),
+    /// A guarded run exhausted its cycle budget or wall-clock deadline
+    /// before reaching the configured end.
+    DeadlineExceeded {
+        /// Simulation cycle when the budget ran out.
+        at_cycle: u64,
+        /// Which budget was exhausted.
+        kind: BudgetKind,
+    },
+    /// A checkpoint could not be restored (only from
+    /// [`Simulation::restore`]).
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for SimError {
@@ -56,6 +72,11 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Faults(e) => write!(f, "fault plan: {e}"),
+            SimError::Livelock(d) => write!(f, "livelock: {d}"),
+            SimError::DeadlineExceeded { at_cycle, kind } => {
+                write!(f, "{kind} budget exhausted at cycle {at_cycle}")
+            }
+            SimError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -65,8 +86,11 @@ impl std::error::Error for SimError {
         match self {
             SimError::Net(e) => Some(e),
             SimError::Traffic(e) => Some(e),
-            SimError::WarmupTooLong { .. } => None,
+            SimError::WarmupTooLong { .. }
+            | SimError::Livelock(_)
+            | SimError::DeadlineExceeded { .. } => None,
             SimError::Faults(e) => Some(e),
+            SimError::Checkpoint(e) => Some(e),
         }
     }
 }
@@ -74,6 +98,111 @@ impl std::error::Error for SimError {
 impl From<FaultPlanError> for SimError {
     fn from(e: FaultPlanError) -> Self {
         SimError::Faults(e)
+    }
+}
+
+impl From<CheckpointError> for SimError {
+    fn from(e: CheckpointError) -> Self {
+        SimError::Checkpoint(e)
+    }
+}
+
+/// Which budget a guarded run exhausted (see
+/// [`SimError::DeadlineExceeded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The per-run cycle budget ([`RunGuard::max_cycles`]).
+    Cycles,
+    /// The wall-clock deadline ([`RunGuard::deadline`]).
+    WallClock,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::Cycles => write!(f, "cycle"),
+            BudgetKind::WallClock => write!(f, "wall-clock"),
+        }
+    }
+}
+
+/// Diagnostic state captured when a guarded run declares a livelock
+/// ([`SimError::Livelock`]): everything needed to see *why* nothing moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LivelockDiag {
+    /// Cycle at which the livelock was declared.
+    pub cycle: u64,
+    /// The no-progress window that expired (cycles).
+    pub window: u64,
+    /// Packets generated but not yet fully delivered.
+    pub live_packets: usize,
+    /// Network-wide full-buffer census at the point of declaration.
+    pub full_buffers: u32,
+    /// Suspected-deadlocked VCs queued for the recovery token.
+    pub token_queue: usize,
+    /// Whether a Disha recovery drain was holding the token.
+    pub recovery_active: bool,
+    /// Cycle any flit last moved anywhere.
+    pub last_progress_at: u64,
+    /// Cycle of the most recent flit delivery.
+    pub last_delivery_at: u64,
+    /// Packets delivered before everything wedged.
+    pub delivered_packets: u64,
+}
+
+impl fmt::Display for LivelockDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no flit moved for {} cycles (cycle {}, last progress at {}, last \
+             delivery at {}): {} live packets, {} full buffers, {} VCs awaiting \
+             the recovery token, recovery {}, {} packets delivered",
+            self.window,
+            self.cycle,
+            self.last_progress_at,
+            self.last_delivery_at,
+            self.live_packets,
+            self.full_buffers,
+            self.token_queue,
+            if self.recovery_active {
+                "active"
+            } else {
+                "idle"
+            },
+            self.delivered_packets,
+        )
+    }
+}
+
+/// Soft limits for a guarded run ([`Simulation::run_to_end_guarded`]).
+///
+/// The default guard watches only for livelock, with a window generous
+/// enough (200 000 cycles) that even a deeply saturated-but-functioning
+/// network never trips it: the Disha drain moves at least one flit per
+/// recovery step, and any functioning configuration delivers far more often
+/// than that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunGuard {
+    /// Declare [`SimError::Livelock`] when live packets exist but no flit
+    /// has moved anywhere for this many cycles (`None` disables).
+    pub livelock_window: Option<u64>,
+    /// Maximum cycles this call may step before
+    /// [`SimError::DeadlineExceeded`] (`None` disables).
+    pub max_cycles: Option<u64>,
+    /// Wall-clock deadline, checked every 1024 cycles (`None` disables).
+    pub deadline: Option<Instant>,
+}
+
+/// Default no-progress window (cycles) before declaring a livelock.
+pub const DEFAULT_LIVELOCK_WINDOW: u64 = 200_000;
+
+impl Default for RunGuard {
+    fn default() -> Self {
+        RunGuard {
+            livelock_window: Some(DEFAULT_LIVELOCK_WINDOW),
+            max_cycles: None,
+            deadline: None,
+        }
     }
 }
 
@@ -153,6 +282,9 @@ impl FaultReport {
 #[derive(Debug)]
 pub struct Simulation {
     cfg: SimConfig,
+    // Kept for the checkpoint fingerprint: a snapshot from a faulted run
+    // must not restore into a fault-free one (or vice versa).
+    faults: Option<FaultPlan>,
     net: Network,
     runner: WorkloadRunner,
     ctl: Control,
@@ -185,6 +317,7 @@ impl Simulation {
         let ctl = cfg.scheme.build();
         Ok(Simulation {
             cfg,
+            faults: None,
             net,
             runner,
             ctl,
@@ -212,7 +345,8 @@ impl Simulation {
     pub fn with_faults(cfg: SimConfig, plan: FaultPlan) -> Result<Self, SimError> {
         let mut sim = Simulation::new(cfg)?;
         sim.net.install_faults(plan.clone())?;
-        sim.ctl.set_faults(plan);
+        sim.ctl.set_faults(plan.clone());
+        sim.faults = Some(plan);
         Ok(sim)
     }
 
@@ -244,6 +378,128 @@ impl Simulation {
         while self.net.now() < self.cfg.cycles {
             self.step();
         }
+    }
+
+    /// Runs until `cfg.cycles` cycles have elapsed, or until `guard`
+    /// declares a livelock or an exhausted budget.
+    ///
+    /// A guarded run that completes is bit-identical to
+    /// [`Simulation::run_to_end`]: the guard only observes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Livelock`] (with a [`LivelockDiag`]) when live
+    /// packets exist but no flit has moved for the guard's window, or
+    /// [`SimError::DeadlineExceeded`] when the cycle budget or wall-clock
+    /// deadline runs out first.
+    pub fn run_to_end_guarded(&mut self, guard: &RunGuard) -> Result<(), SimError> {
+        let mut stepped: u64 = 0;
+        while self.net.now() < self.cfg.cycles {
+            if let Some(max) = guard.max_cycles {
+                if stepped >= max {
+                    return Err(SimError::DeadlineExceeded {
+                        at_cycle: self.net.now(),
+                        kind: BudgetKind::Cycles,
+                    });
+                }
+            }
+            if let Some(deadline) = guard.deadline {
+                if stepped.is_multiple_of(1024) && Instant::now() >= deadline {
+                    return Err(SimError::DeadlineExceeded {
+                        at_cycle: self.net.now(),
+                        kind: BudgetKind::WallClock,
+                    });
+                }
+            }
+            self.step();
+            stepped += 1;
+            if let Some(window) = guard.livelock_window {
+                if self.net.livelocked(window) {
+                    return Err(SimError::Livelock(self.livelock_diag(window)));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn livelock_diag(&self, window: u64) -> LivelockDiag {
+        LivelockDiag {
+            cycle: self.net.now(),
+            window,
+            live_packets: self.net.live_packets(),
+            full_buffers: self.net.full_buffer_count(),
+            token_queue: self.net.token_queue_len(),
+            recovery_active: self.net.recovery_active(),
+            last_progress_at: self.net.last_progress_at(),
+            last_delivery_at: self.net.last_delivery_at(),
+            delivered_packets: self.net.counters().delivered_packets,
+        }
+    }
+
+    fn fingerprint(cfg: &SimConfig, faults: Option<&FaultPlan>) -> u64 {
+        checkpoint::fnv1a64(format!("{cfg:?}|{faults:?}").as_bytes())
+    }
+
+    /// Serializes the complete simulation state — network, workload,
+    /// controller and statistics — into a self-validating byte container.
+    ///
+    /// The container is fingerprinted against the configuration (and fault
+    /// plan), so it can only be restored by [`Simulation::restore`] with the
+    /// exact same [`SimConfig`] and faults. Restoring and running to the end
+    /// is bit-identical to never having checkpointed at all.
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut enc = checkpoint::Enc::new();
+        self.net.save_state(&mut enc);
+        self.runner.save_state(&mut enc);
+        self.ctl.save_state(&mut enc);
+        self.net_latency.save_state(&mut enc);
+        self.total_latency.save_state(&mut enc);
+        enc.u64(self.base_delivered_flits);
+        enc.u64(self.base_delivered_packets);
+        enc.u64(self.base_recovered);
+        enc.u64(self.base_throttled);
+        enc.bool(self.warmup_snapped);
+        checkpoint::seal(
+            Self::fingerprint(&self.cfg, self.faults.as_ref()),
+            &enc.into_vec(),
+        )
+    }
+
+    /// Rebuilds a simulation from `cfg` (+ optional fault plan) and restores
+    /// the state captured by [`Simulation::checkpoint`] on an identically
+    /// configured run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Checkpoint`] when the container is damaged,
+    /// truncated, from a different configuration
+    /// ([`CheckpointError::ConfigMismatch`]) or structurally inconsistent
+    /// with the rebuilt network; all the [`Simulation::new`] /
+    /// [`Simulation::with_faults`] errors apply too.
+    pub fn restore(
+        cfg: SimConfig,
+        faults: Option<FaultPlan>,
+        bytes: &[u8],
+    ) -> Result<Self, SimError> {
+        let mut sim = match faults {
+            Some(plan) => Simulation::with_faults(cfg, plan)?,
+            None => Simulation::new(cfg)?,
+        };
+        let payload = checkpoint::open(bytes, Self::fingerprint(&sim.cfg, sim.faults.as_ref()))?;
+        let mut dec = checkpoint::Dec::new(payload);
+        sim.net.restore_state(&mut dec)?;
+        sim.runner.restore_state(&mut dec)?;
+        sim.ctl.restore_state(&mut dec)?;
+        sim.net_latency = LatencyStats::restore_state(&mut dec)?;
+        sim.total_latency = LatencyStats::restore_state(&mut dec)?;
+        sim.base_delivered_flits = dec.u64()?;
+        sim.base_delivered_packets = dec.u64()?;
+        sim.base_recovered = dec.u64()?;
+        sim.base_throttled = dec.u64()?;
+        sim.warmup_snapped = dec.bool()?;
+        dec.finish()?;
+        Ok(sim)
     }
 
     /// The current cycle.
@@ -441,5 +697,248 @@ mod tests {
         let b = quick(Scheme::Alo, 0.01, DeadlockMode::PAPER_RECOVERY);
         assert_eq!(a.delivered_flits, b.delivered_flits);
         assert_eq!(a.network_latency.mean(), b.network_latency.mean());
+    }
+
+    // -- checkpoint/restore --
+
+    use crate::TuneConfig;
+    use faults::{HotspotFault, SidebandFaults};
+    use sideband::SidebandConfig;
+
+    /// A saturating tuned run on the small recovery network: exercises the
+    /// side-band, the tuner, Disha recovery and the latency statistics all
+    /// at once — everything a checkpoint must capture.
+    fn ckpt_cfg(rate: f64) -> SimConfig {
+        SimConfig {
+            net: NetConfig::small(DeadlockMode::PAPER_RECOVERY),
+            workload: Workload::steady(Pattern::UniformRandom, Process::bernoulli(rate)),
+            scheme: Scheme::Tuned(TuneConfig {
+                sideband: SidebandConfig {
+                    radix: 8,
+                    ..SidebandConfig::paper()
+                },
+                ..TuneConfig::paper()
+            }),
+            cycles: 8_000,
+            warmup: 2_000,
+            seed: 11,
+        }
+    }
+
+    fn step_to(sim: &mut Simulation, cycle: u64) {
+        while sim.now() < cycle {
+            sim.step();
+        }
+    }
+
+    /// The golden property: snapshot at cycle `C` + restore + run to the end
+    /// must be bit-for-bit identical to the uninterrupted run — proven by
+    /// comparing final checkpoints, which cover every byte of state.
+    #[test]
+    fn checkpoint_restore_resume_is_bit_identical() {
+        let cfg = ckpt_cfg(0.10);
+        let mut golden = Simulation::new(cfg.clone()).unwrap();
+        golden.run_to_end();
+        let golden_end = golden.checkpoint();
+        let golden_summary = golden.summary().unwrap();
+
+        // 1 001 and 3 333 fall mid-gather (not multiples of the 32-cycle
+        // gather period); 2 000 is the warm-up boundary itself.
+        for c in [500u64, 1_001, 2_000, 3_333] {
+            let mut sim = Simulation::new(cfg.clone()).unwrap();
+            step_to(&mut sim, c);
+            let snap = sim.checkpoint();
+            drop(sim);
+            let mut resumed = Simulation::restore(cfg.clone(), None, &snap).unwrap();
+            assert_eq!(resumed.now(), c, "restore resumes at the snapped cycle");
+            resumed.run_to_end();
+            assert_eq!(
+                resumed.checkpoint(),
+                golden_end,
+                "resume from cycle {c} diverged from the uninterrupted run"
+            );
+            let s = resumed.summary().unwrap();
+            assert_eq!(s.delivered_flits, golden_summary.delivered_flits);
+            assert_eq!(
+                s.network_latency.mean(),
+                golden_summary.network_latency.mean()
+            );
+        }
+    }
+
+    /// Same property with the snapshot taken *mid-recovery*: a Disha drain
+    /// holds the token and a partially drained packet sits in the deadlock
+    /// buffers at the moment of capture.
+    #[test]
+    fn checkpoint_mid_recovery_is_bit_identical() {
+        let cfg = ckpt_cfg(0.14);
+        let mut sim = Simulation::new(cfg.clone()).unwrap();
+        while !sim.network().recovery_active() && sim.now() < cfg.cycles - 1 {
+            sim.step();
+        }
+        assert!(
+            sim.network().recovery_active(),
+            "rate 0.14 must wedge the small recovery network at least once"
+        );
+        let c = sim.now();
+        let snap = sim.checkpoint();
+        sim.run_to_end();
+        let golden_end = sim.checkpoint();
+
+        let mut resumed = Simulation::restore(cfg, None, &snap).unwrap();
+        assert!(resumed.network().recovery_active());
+        resumed.run_to_end();
+        assert_eq!(
+            resumed.checkpoint(),
+            golden_end,
+            "mid-recovery resume (cycle {c}) diverged"
+        );
+    }
+
+    /// Checkpointing composes with fault plans: the fingerprint binds the
+    /// plan, and a faulted run resumes bit-identically.
+    #[test]
+    fn checkpoint_with_faults_is_bit_identical_and_plan_bound() {
+        let cfg = ckpt_cfg(0.08);
+        let plan = FaultPlan::sideband_only(
+            23,
+            SidebandFaults {
+                loss_rate: 0.3,
+                ..SidebandFaults::none()
+            },
+        );
+        let mut golden = Simulation::with_faults(cfg.clone(), plan.clone()).unwrap();
+        golden.run_to_end();
+        let golden_end = golden.checkpoint();
+
+        let mut sim = Simulation::with_faults(cfg.clone(), plan.clone()).unwrap();
+        step_to(&mut sim, 1_777);
+        let snap = sim.checkpoint();
+        let mut resumed = Simulation::restore(cfg.clone(), Some(plan), &snap).unwrap();
+        resumed.run_to_end();
+        assert_eq!(resumed.checkpoint(), golden_end);
+
+        // The same bytes must not restore without the plan (or with any
+        // other config): the fingerprint catches it.
+        assert!(matches!(
+            Simulation::restore(cfg, None, &snap),
+            Err(SimError::Checkpoint(CheckpointError::ConfigMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config_and_garbage() {
+        let cfg = ckpt_cfg(0.02);
+        let mut sim = Simulation::new(cfg.clone()).unwrap();
+        step_to(&mut sim, 100);
+        let snap = sim.checkpoint();
+        let other = SimConfig {
+            seed: cfg.seed + 1,
+            ..cfg.clone()
+        };
+        assert!(matches!(
+            Simulation::restore(other, None, &snap),
+            Err(SimError::Checkpoint(CheckpointError::ConfigMismatch { .. }))
+        ));
+        let mut bad = snap.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        assert!(matches!(
+            Simulation::restore(cfg.clone(), None, &bad),
+            Err(SimError::Checkpoint(CheckpointError::BadChecksum))
+        ));
+        assert!(Simulation::restore(cfg, None, &snap).is_ok());
+    }
+
+    // -- guarded runs --
+
+    /// The guard only observes: a guarded run that completes is bit-identical
+    /// to an unguarded one.
+    #[test]
+    fn guarded_run_is_bit_identical_when_it_completes() {
+        let cfg = ckpt_cfg(0.06);
+        let mut a = Simulation::new(cfg.clone()).unwrap();
+        a.run_to_end();
+        let mut b = Simulation::new(cfg).unwrap();
+        b.run_to_end_guarded(&RunGuard::default()).unwrap();
+        assert_eq!(a.checkpoint(), b.checkpoint());
+    }
+
+    /// A deliberately wedged configuration — every delivery channel stalled
+    /// forever under recovery mode — must terminate with a typed livelock
+    /// diagnosis, never hang.
+    #[test]
+    fn wedged_hotspot_terminates_with_livelock() {
+        let net = NetConfig::small(DeadlockMode::PAPER_RECOVERY);
+        let plan = FaultPlan {
+            seed: 1,
+            sideband: SidebandFaults::none(),
+            links: Vec::new(),
+            hotspots: (0..64)
+                .map(|node| HotspotFault {
+                    node,
+                    start: 0,
+                    end: u64::MAX,
+                })
+                .collect(),
+        };
+        let cfg = SimConfig {
+            net,
+            workload: Workload::steady(Pattern::UniformRandom, Process::bernoulli(0.05)),
+            scheme: Scheme::Base,
+            cycles: 500_000,
+            warmup: 1_000,
+            seed: 2,
+        };
+        let mut sim = Simulation::with_faults(cfg, plan).unwrap();
+        let guard = RunGuard {
+            livelock_window: Some(3_000),
+            ..RunGuard::default()
+        };
+        match sim.run_to_end_guarded(&guard) {
+            Err(SimError::Livelock(d)) => {
+                assert!(d.live_packets > 0, "a livelock needs stuck packets");
+                assert!(d.cycle.saturating_sub(d.last_progress_at) >= 3_000);
+                assert!(d.cycle < 500_000, "declared long before the run's end");
+                let msg = d.to_string();
+                assert!(msg.contains("live packets"), "diagnostic: {msg}");
+            }
+            other => panic!("expected a livelock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_budget_trips_deadline() {
+        let cfg = ckpt_cfg(0.02);
+        let mut sim = Simulation::new(cfg).unwrap();
+        let guard = RunGuard {
+            max_cycles: Some(100),
+            ..RunGuard::default()
+        };
+        assert_eq!(
+            sim.run_to_end_guarded(&guard),
+            Err(SimError::DeadlineExceeded {
+                at_cycle: 100,
+                kind: BudgetKind::Cycles
+            })
+        );
+        assert_eq!(sim.now(), 100, "the run stops where the budget ran out");
+    }
+
+    #[test]
+    fn wall_clock_deadline_trips() {
+        let cfg = ckpt_cfg(0.02);
+        let mut sim = Simulation::new(cfg).unwrap();
+        let guard = RunGuard {
+            deadline: Some(Instant::now()),
+            ..RunGuard::default()
+        };
+        assert!(matches!(
+            sim.run_to_end_guarded(&guard),
+            Err(SimError::DeadlineExceeded {
+                kind: BudgetKind::WallClock,
+                ..
+            })
+        ));
     }
 }

@@ -53,6 +53,29 @@ impl StaticThreshold {
     pub fn sideband(&self) -> &Sideband {
         &self.sideband
     }
+
+    /// Serializes the controller state (side-band + gate) into `enc`. The
+    /// threshold is configuration and is not written.
+    pub fn save_state(&self, enc: &mut checkpoint::Enc) {
+        self.sideband.save_state(enc);
+        enc.bool(self.throttling_now);
+    }
+
+    /// Restores state captured with [`StaticThreshold::save_state`] into a
+    /// controller built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`checkpoint::CheckpointError`] on a truncated or
+    /// structurally invalid stream.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut checkpoint::Dec<'_>,
+    ) -> Result<(), checkpoint::CheckpointError> {
+        self.sideband.restore_state(dec)?;
+        self.throttling_now = dec.bool()?;
+        Ok(())
+    }
 }
 
 impl CongestionControl for StaticThreshold {

@@ -245,6 +245,82 @@ impl SelfTuned {
         &self.sideband
     }
 
+    /// Serializes the controller state (side-band + tuner) into `enc`. The
+    /// [`TuneConfig`] is not written — restore rebuilds from configuration.
+    pub fn save_state(&self, enc: &mut checkpoint::Enc) {
+        self.sideband.save_state(enc);
+        enc.bool(self.state.is_some());
+        if let Some(st) = &self.state {
+            enc.f64(st.total_buffers);
+            enc.f64(st.threshold);
+            enc.f64(st.inc);
+            enc.f64(st.dec);
+            enc.u32(st.snaps_in_period);
+            enc.u64(st.period_tput);
+            enc.f64(st.period_full_sum);
+            enc.opt_u64(st.prev_period_tput);
+            enc.u64(st.throttled_cycles_this_period);
+            enc.u64(st.cycles_this_period);
+            enc.bool(st.throttling_now);
+            enc.opt_u64(st.last_snapshot_seen);
+            enc.u64(st.max_tput);
+            enc.f64(st.n_max);
+            enc.f64(st.t_max);
+            enc.u32(st.consecutive_resets);
+            enc.f64(st.last_good_threshold);
+            enc.bool(st.frozen);
+            enc.u64(st.rejected_seen);
+            enc.u64(st.tune_events);
+            enc.u64(st.resets);
+            enc.u64(st.watchdog_trips);
+            enc.u64(st.watchdog_rearms);
+        }
+    }
+
+    /// Restores state captured with [`SelfTuned::save_state`] into a
+    /// controller built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`checkpoint::CheckpointError`] on a truncated or
+    /// structurally invalid stream.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut checkpoint::Dec<'_>,
+    ) -> Result<(), checkpoint::CheckpointError> {
+        self.sideband.restore_state(dec)?;
+        self.state = if dec.bool()? {
+            Some(TunerState {
+                total_buffers: dec.f64()?,
+                threshold: dec.f64()?,
+                inc: dec.f64()?,
+                dec: dec.f64()?,
+                snaps_in_period: dec.u32()?,
+                period_tput: dec.u64()?,
+                period_full_sum: dec.f64()?,
+                prev_period_tput: dec.opt_u64()?,
+                throttled_cycles_this_period: dec.u64()?,
+                cycles_this_period: dec.u64()?,
+                throttling_now: dec.bool()?,
+                last_snapshot_seen: dec.opt_u64()?,
+                max_tput: dec.u64()?,
+                n_max: dec.f64()?,
+                t_max: dec.f64()?,
+                consecutive_resets: dec.u32()?,
+                last_good_threshold: dec.f64()?,
+                frozen: dec.bool()?,
+                rejected_seen: dec.u64()?,
+                tune_events: dec.u64()?,
+                resets: dec.u64()?,
+                watchdog_trips: dec.u64()?,
+                watchdog_rearms: dec.u64()?,
+            })
+        } else {
+            None
+        };
+        Ok(())
+    }
+
     fn state_for(cfg: &TuneConfig, total_buffers: f64) -> TunerState {
         TunerState {
             total_buffers,

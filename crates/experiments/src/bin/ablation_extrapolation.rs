@@ -3,8 +3,7 @@ use experiments::{figures::ablations, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit_or_exit(
-        "ablation_extrapolation",
-        ablations::extrapolation(cli.scale, &cli.pool()),
-    );
+    cli.run_sweep("ablation_extrapolation", |ctx| {
+        ablations::extrapolation(cli.scale, ctx)
+    });
 }

@@ -3,8 +3,7 @@ use experiments::{figures::ablations, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit_or_exit(
-        "ablation_hop_delay",
-        ablations::hop_delay(cli.scale, &cli.pool()),
-    );
+    cli.run_sweep("ablation_hop_delay", |ctx| {
+        ablations::hop_delay(cli.scale, ctx)
+    });
 }

@@ -3,8 +3,7 @@ use experiments::{figures::ablations, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit_or_exit(
-        "ablation_increments",
-        ablations::increments(cli.scale, &cli.pool()),
-    );
+    cli.run_sweep("ablation_increments", |ctx| {
+        ablations::increments(cli.scale, ctx)
+    });
 }

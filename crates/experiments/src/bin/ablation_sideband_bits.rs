@@ -3,8 +3,7 @@ use experiments::{figures::ablations, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit_or_exit(
-        "ablation_sideband_bits",
-        ablations::sideband_bits(cli.scale, &cli.pool()),
-    );
+    cli.run_sweep("ablation_sideband_bits", |ctx| {
+        ablations::sideband_bits(cli.scale, ctx)
+    });
 }

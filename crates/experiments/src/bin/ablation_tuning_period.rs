@@ -3,8 +3,7 @@ use experiments::{figures::ablations, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit_or_exit(
-        "ablation_tuning_period",
-        ablations::tuning_period(cli.scale, &cli.pool()),
-    );
+    cli.run_sweep("ablation_tuning_period", |ctx| {
+        ablations::tuning_period(cli.scale, ctx)
+    });
 }

@@ -3,5 +3,5 @@ use experiments::{figures::fig1, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit_or_exit("fig1", fig1::generate(cli.scale, &cli.pool()));
+    cli.run_sweep("fig1", |ctx| fig1::generate(cli.scale, ctx));
 }

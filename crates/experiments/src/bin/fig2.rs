@@ -3,5 +3,5 @@ use experiments::{figures::fig2, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit_or_exit("fig2", fig2::generate_on(cli.net, cli.scale, &cli.pool()));
+    cli.run_sweep("fig2", |ctx| fig2::generate_on(cli.net, cli.scale, ctx));
 }

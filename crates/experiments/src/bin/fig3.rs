@@ -3,5 +3,5 @@ use experiments::{figures::fig3, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit_or_exit("fig3", fig3::generate(cli.scale, &cli.pool()));
+    cli.run_sweep("fig3", |ctx| fig3::generate(cli.scale, ctx));
 }

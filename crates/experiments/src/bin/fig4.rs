@@ -3,5 +3,5 @@ use experiments::{figures::fig4, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit_or_exit("fig4", fig4::generate_on(cli.net, cli.scale, &cli.pool()));
+    cli.run_sweep("fig4", |ctx| fig4::generate_on(cli.net, cli.scale, ctx));
 }

@@ -3,5 +3,5 @@ use experiments::{figures::fig5, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit_or_exit("fig5", fig5::generate_on(cli.net, cli.scale, &cli.pool()));
+    cli.run_sweep("fig5", |ctx| fig5::generate_on(cli.net, cli.scale, ctx));
 }

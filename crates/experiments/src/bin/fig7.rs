@@ -3,5 +3,5 @@ use experiments::{figures::fig7, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit_or_exit("fig7", fig7::generate(cli.scale, &cli.pool()));
+    cli.run_sweep("fig7", |ctx| fig7::generate(cli.scale, ctx));
 }

@@ -3,8 +3,5 @@ use experiments::{figures::fig7, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit_or_exit(
-        "fig7_latency",
-        fig7::latency_summary(cli.scale, &cli.pool()),
-    );
+    cli.run_sweep("fig7_latency", |ctx| fig7::latency_summary(cli.scale, ctx));
 }

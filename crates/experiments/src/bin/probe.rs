@@ -1,10 +1,17 @@
 //! Ad-hoc probe: windowed throughput over time for one configuration.
 //! Usage: `probe <scheme> <rate> <recovery|avoidance> <cycles>`
-use experiments::run_series;
+use experiments::try_run_series;
 use stcc::Simulation;
 use stcc::{Scheme, SimConfig};
 use traffic::{Pattern, Process, Workload};
 use wormsim::{DeadlockMode, NetConfig};
+
+/// Reports a usage/configuration error and exits (probe is ad-hoc tooling,
+/// but it must fail with a message, not a panic backtrace).
+fn bail(msg: &str) -> ! {
+    eprintln!("probe: {msg}");
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -12,7 +19,10 @@ fn main() {
         Some("alo") => Scheme::Alo,
         Some("tune") => Scheme::tuned_paper(),
         Some(s) if s.starts_with("static-") => Scheme::Static {
-            threshold: s.trim_start_matches("static-").parse().unwrap(),
+            threshold: match s.trim_start_matches("static-").parse() {
+                Ok(t) => t,
+                Err(_) => bail(&format!("bad static threshold in '{s}'")),
+            },
             sideband: sideband::SidebandConfig::paper(),
         },
         _ => Scheme::Base,
@@ -32,7 +42,10 @@ fn main() {
         seed: 42,
     };
     if std::env::var("PROBE_TUNER_DEBUG").is_ok() {
-        let mut sim = Simulation::new(cfg.clone()).unwrap();
+        let mut sim = match Simulation::new(cfg.clone()) {
+            Ok(sim) => sim,
+            Err(e) => bail(&format!("bad configuration: {e}")),
+        };
         let mut last = 0u64;
         while sim.now() < cfg.cycles {
             sim.step();
@@ -58,7 +71,10 @@ fn main() {
         }
         return;
     }
-    let r = run_series(cfg, 4000);
+    let r = match try_run_series(cfg, 4000) {
+        Ok(r) => r,
+        Err(e) => bail(&format!("{e}")),
+    };
     println!("t,tput_flits_node_cyc,full_buffers,threshold");
     let fb: Vec<_> = r.full_buffers.points().to_vec();
     let th: Vec<_> = r.threshold.points().to_vec();

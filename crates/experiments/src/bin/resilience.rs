@@ -5,5 +5,7 @@ use experiments::{figures::resilience, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    cli.emit_or_exit("resilience", resilience::generate(cli.scale, &cli.pool()));
+    cli.run_sweep("resilience", |ctx| {
+        resilience::generate_on(cli.net, cli.scale, ctx)
+    });
 }

@@ -1,11 +1,12 @@
-use crate::runner::{Pool, SweepError};
-use crate::{NetPreset, Scale, Table};
+use crate::journal::Journal;
+use crate::runner::{JobError, Pool, SweepError};
+use crate::{NetPreset, Scale, SweepCtx, Table};
 use std::path::PathBuf;
 
 /// Shared command-line options of the figure binaries.
 ///
 /// Usage: `figN [--scale paper|reduced|smoke|tiny] [--net paper|small]
-/// [--jobs N] [--out DIR] [--seed N]`.
+/// [--jobs N] [--out DIR] [--seed N] [--resume]`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cli {
     /// Simulation length preset (default: `reduced`).
@@ -18,6 +19,8 @@ pub struct Cli {
     pub out: PathBuf,
     /// Base seed override.
     pub seed: u64,
+    /// Resume from this sweep's journal, skipping completed points.
+    pub resume: bool,
 }
 
 impl Default for Cli {
@@ -28,6 +31,7 @@ impl Default for Cli {
             jobs: None,
             out: PathBuf::from("results"),
             seed: 1,
+            resume: false,
         }
     }
 }
@@ -68,10 +72,11 @@ impl Cli {
                     let v = it.next().ok_or("--seed needs a value")?;
                     cli.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
                 }
+                "--resume" => cli.resume = true,
                 "--help" | "-h" => {
                     return Err(
                         "usage: [--scale paper|reduced|smoke|tiny] [--net paper|small] \
-                         [--jobs N] [--out DIR] [--seed N]"
+                         [--jobs N] [--out DIR] [--seed N] [--resume]"
                             .to_owned(),
                     )
                 }
@@ -123,6 +128,82 @@ impl Cli {
             }
         }
     }
+
+    /// Where this sweep's resume journal lives: next to its CSV.
+    #[must_use]
+    pub fn journal_path(&self, stem: &str) -> PathBuf {
+        self.out
+            .join(format!("{stem}.{}.journal", self.scale.label()))
+    }
+
+    /// Identity of this sweep for journal matching: a resumed run must have
+    /// the same figure, scale, network, seed and harness version, otherwise
+    /// its journaled rows describe a different experiment and are ignored.
+    #[must_use]
+    pub fn sweep_fingerprint(&self, stem: &str) -> u64 {
+        checkpoint::fnv1a64(
+            format!(
+                "{stem}|{}|{}|{}|{}",
+                self.scale.label(),
+                self.net.label(),
+                self.seed,
+                env!("CARGO_PKG_VERSION"),
+            )
+            .as_bytes(),
+        )
+    }
+
+    /// Runs one figure's sweep crash-safely: installs the SIGINT handler,
+    /// opens the journal (honoring `--resume`), hands `generate` a
+    /// [`SweepCtx`], and emits the table. On success the journal is removed;
+    /// on SIGINT the process exits 130 with a `--resume` hint (the journal
+    /// keeps every completed point); on any other failure it exits 1.
+    pub fn run_sweep(
+        &self,
+        stem: &str,
+        generate: impl FnOnce(&SweepCtx) -> Result<Table, SweepError>,
+    ) {
+        crate::sigint::install();
+        let journal_path = self.journal_path(stem);
+        let ctx = match Journal::begin(&journal_path, self.sweep_fingerprint(stem), self.resume) {
+            Ok((journal, done)) => {
+                if self.resume && !done.is_empty() {
+                    eprintln!("[resuming: {} completed points journaled]", done.len());
+                }
+                SweepCtx::with_journal(self.pool(), journal, done)
+            }
+            Err(e) => {
+                eprintln!(
+                    "{stem}: cannot open journal {}: {e}",
+                    journal_path.display()
+                );
+                std::process::exit(1);
+            }
+        };
+        match generate(&ctx) {
+            Ok(t) => {
+                self.emit(stem, &t);
+                let _ = std::fs::remove_file(&journal_path);
+            }
+            Err(SweepError {
+                label,
+                error: JobError::Interrupted,
+            }) => {
+                eprintln!(
+                    "{stem}: interrupted ({label}); completed points are journaled — \
+                     re-run with --resume to continue"
+                );
+                std::process::exit(130);
+            }
+            Err(e) => {
+                eprintln!(
+                    "{stem}: {e}\n[completed points remain in {}; re-run with --resume]",
+                    journal_path.display()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +235,25 @@ mod tests {
         assert_eq!(cli.jobs, Some(4));
         assert_eq!(cli.net, NetPreset::Small);
         assert_eq!(cli.pool().jobs(), 4);
+    }
+
+    #[test]
+    fn parses_resume() {
+        assert!(!Cli::parse(args(&[])).unwrap().resume);
+        assert!(Cli::parse(args(&["--resume"])).unwrap().resume);
+    }
+
+    #[test]
+    fn fingerprint_separates_sweeps() {
+        let a = Cli::parse(args(&["--scale", "tiny"])).unwrap();
+        let b = Cli::parse(args(&["--scale", "tiny", "--seed", "2"])).unwrap();
+        assert_ne!(a.sweep_fingerprint("fig4"), a.sweep_fingerprint("fig5"));
+        assert_ne!(a.sweep_fingerprint("fig4"), b.sweep_fingerprint("fig4"));
+        assert_eq!(a.sweep_fingerprint("fig4"), a.sweep_fingerprint("fig4"));
+        assert_eq!(
+            a.journal_path("fig4"),
+            PathBuf::from("results/fig4.tiny.journal")
+        );
     }
 
     #[test]

@@ -11,9 +11,9 @@
 //! All run the self-tuned scheme at a heavily oversaturated uniform-random
 //! load, where the throttle does all the work.
 
-use crate::runner::{Pool, SweepError};
+use crate::runner::{JobError, SweepError};
 use crate::table::fnum;
-use crate::{try_run_point, Scale, Table};
+use crate::{try_run_point, Scale, SweepCtx, Table};
 use sideband::{Estimator, Quantizer, SidebandConfig};
 use stcc::{Scheme, SimConfig, TuneConfig};
 use traffic::{Pattern, Process, Workload};
@@ -27,7 +27,7 @@ fn run_tuned(
     mode: DeadlockMode,
     scale: Scale,
     seed: u64,
-) -> Result<(f64, f64), String> {
+) -> Result<(f64, f64), JobError> {
     let cfg = SimConfig {
         net: NetConfig::paper(mode),
         workload: Workload::steady(Pattern::UniformRandom, Process::bernoulli(RATE)),
@@ -44,7 +44,7 @@ fn run_tuned(
 /// # Errors
 ///
 /// Returns the first failing run.
-pub fn extrapolation(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
+pub fn extrapolation(scale: Scale, ctx: &SweepCtx) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Ablation X1 — congestion estimator (tune @ 0.056, uniform random)",
         &["deadlock", "estimator", "tput_flits", "net_latency"],
@@ -62,23 +62,22 @@ pub fn extrapolation(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
             jobs.push((mode, mode_name, est, est_name));
         }
     }
-    let results = pool.try_run(
+    let rows = ctx.try_run_rows(
         jobs,
         |(_, mode_name, _, est_name)| format!("X1 {mode_name} {est_name}"),
         |(mode, mode_name, est, est_name)| {
             let mut tune = TuneConfig::paper();
             tune.sideband.estimator = est;
-            run_tuned(tune, mode, scale, 0xAB1).map(|r| (mode_name, est_name, r))
+            let (tput, lat) = run_tuned(tune, mode, scale, 0xAB1)?;
+            Ok::<_, JobError>(vec![vec![
+                mode_name.to_owned(),
+                est_name.to_owned(),
+                fnum(tput),
+                fnum(lat),
+            ]])
         },
     )?;
-    for (mode_name, est_name, (tput, lat)) in results {
-        t.push(vec![
-            mode_name.to_owned(),
-            est_name.to_owned(),
-            fnum(tput),
-            fnum(lat),
-        ]);
-    }
+    t.extend(rows);
     Ok(t)
 }
 
@@ -87,12 +86,12 @@ pub fn extrapolation(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
 /// # Errors
 ///
 /// Returns the first failing run.
-pub fn tuning_period(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
+pub fn tuning_period(scale: Scale, ctx: &SweepCtx) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Ablation X2 — tuning period (tune @ 0.056, recovery)",
         &["tune_period_cycles", "tput_flits", "net_latency"],
     );
-    let results = pool.try_run(
+    let rows = ctx.try_run_rows(
         vec![1u32, 2, 3, 4, 6],
         |gathers| format!("X2 gathers={gathers}"),
         |gathers| {
@@ -101,12 +100,11 @@ pub fn tuning_period(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
                 ..TuneConfig::paper()
             };
             let period = tune.tune_period();
-            run_tuned(tune, DeadlockMode::PAPER_RECOVERY, scale, 0xAB2).map(|r| (period, r))
+            let (tput, lat) = run_tuned(tune, DeadlockMode::PAPER_RECOVERY, scale, 0xAB2)?;
+            Ok::<_, JobError>(vec![vec![period.to_string(), fnum(tput), fnum(lat)]])
         },
     )?;
-    for (period, (tput, lat)) in results {
-        t.push(vec![period.to_string(), fnum(tput), fnum(lat)]);
-    }
+    t.extend(rows);
     Ok(t)
 }
 
@@ -115,12 +113,12 @@ pub fn tuning_period(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
 /// # Errors
 ///
 /// Returns the first failing run.
-pub fn increments(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
+pub fn increments(scale: Scale, ctx: &SweepCtx) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Ablation X3 — increment/decrement steps (tune @ 0.056, recovery)",
         &["inc_pct", "dec_pct", "tput_flits", "net_latency"],
     );
-    let results = pool.try_run(
+    let rows = ctx.try_run_rows(
         vec![
             (0.01, 0.04),
             (0.01, 0.01),
@@ -135,17 +133,16 @@ pub fn increments(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
                 decrement_frac: dec,
                 ..TuneConfig::paper()
             };
-            run_tuned(tune, DeadlockMode::PAPER_RECOVERY, scale, 0xAB3).map(|r| (inc, dec, r))
+            let (tput, lat) = run_tuned(tune, DeadlockMode::PAPER_RECOVERY, scale, 0xAB3)?;
+            Ok::<_, JobError>(vec![vec![
+                fnum(inc * 100.0),
+                fnum(dec * 100.0),
+                fnum(tput),
+                fnum(lat),
+            ]])
         },
     )?;
-    for (inc, dec, (tput, lat)) in results {
-        t.push(vec![
-            fnum(inc * 100.0),
-            fnum(dec * 100.0),
-            fnum(tput),
-            fnum(lat),
-        ]);
-    }
+    t.extend(rows);
     Ok(t)
 }
 
@@ -154,23 +151,22 @@ pub fn increments(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
 /// # Errors
 ///
 /// Returns the first failing run.
-pub fn sideband_bits(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
+pub fn sideband_bits(scale: Scale, ctx: &SweepCtx) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Ablation X4 — side-band width (tune @ 0.056, recovery)",
         &["sideband_bits", "tput_flits", "net_latency"],
     );
-    let results = pool.try_run(
+    let rows = ctx.try_run_rows(
         vec![(25u32, None), (9, Some(Quantizer::new(9)))],
         |&(bits, _)| format!("X4 bits={bits}"),
         |(bits, quant)| {
             let mut tune = TuneConfig::paper();
             tune.sideband.quantizer = quant;
-            run_tuned(tune, DeadlockMode::PAPER_RECOVERY, scale, 0xAB4).map(|r| (bits, r))
+            let (tput, lat) = run_tuned(tune, DeadlockMode::PAPER_RECOVERY, scale, 0xAB4)?;
+            Ok::<_, JobError>(vec![vec![bits.to_string(), fnum(tput), fnum(lat)]])
         },
     )?;
-    for (bits, (tput, lat)) in results {
-        t.push(vec![bits.to_string(), fnum(tput), fnum(lat)]);
-    }
+    t.extend(rows);
     Ok(t)
 }
 
@@ -179,12 +175,12 @@ pub fn sideband_bits(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
 /// # Errors
 ///
 /// Returns the first failing run.
-pub fn hop_delay(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
+pub fn hop_delay(scale: Scale, ctx: &SweepCtx) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Ablation X5 — side-band hop delay (tune @ 0.056, recovery)",
         &["hop_delay", "gather_period", "tput_flits", "net_latency"],
     );
-    let results = pool.try_run(
+    let rows = ctx.try_run_rows(
         vec![1u64, 2, 4, 8],
         |h| format!("X5 h={h}"),
         |h| {
@@ -197,11 +193,15 @@ pub fn hop_delay(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
                 sideband,
                 ..TuneConfig::paper()
             };
-            run_tuned(tune, DeadlockMode::PAPER_RECOVERY, scale, 0xAB5).map(|r| (h, g, r))
+            let (tput, lat) = run_tuned(tune, DeadlockMode::PAPER_RECOVERY, scale, 0xAB5)?;
+            Ok::<_, JobError>(vec![vec![
+                h.to_string(),
+                g.to_string(),
+                fnum(tput),
+                fnum(lat),
+            ]])
         },
     )?;
-    for (h, g, (tput, lat)) in results {
-        t.push(vec![h.to_string(), g.to_string(), fnum(tput), fnum(lat)]);
-    }
+    t.extend(rows);
     Ok(t)
 }

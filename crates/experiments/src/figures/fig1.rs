@@ -6,19 +6,20 @@
 //! patterns collapse dramatically at saturation, and (2) they saturate at
 //! *different* offered loads.
 
-use crate::runner::{Pool, SweepError};
+use crate::runner::{JobError, SweepError};
 use crate::table::fnum;
-use crate::{steady_config, sweep_rates_for, try_run_point, Scale, Table};
+use crate::{steady_config, sweep_rates_for, try_run_point, Scale, SweepCtx, Table};
 use stcc::Scheme;
 use traffic::Pattern;
 use wormsim::{DeadlockMode, NetConfig};
 
-/// Runs the Figure 1 sweep, fanned across `pool`.
+/// Runs the Figure 1 sweep, fanned across `ctx`'s pool (journaled points
+/// are replayed, not re-run).
 ///
 /// # Errors
 ///
 /// Returns the first failing sweep point.
-pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
+pub fn generate(scale: Scale, ctx: &SweepCtx) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Figure 1 — saturation breakdown (base, deadlock recovery, 16-ary 2-cube)",
         &[
@@ -36,7 +37,7 @@ pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
             jobs.push((pattern.clone(), rate, i));
         }
     }
-    let results = pool.try_run(
+    let rows = ctx.try_run_rows(
         jobs,
         |(pattern, rate, _)| format!("fig1 {} @ {rate}", pattern.name()),
         |(pattern, rate, i)| {
@@ -48,18 +49,17 @@ pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
                 scale,
                 0xF16_0001 + i as u64,
             );
-            try_run_point(cfg).map(|r| (pattern, rate, r))
+            let r = try_run_point(cfg)?;
+            Ok::<_, JobError>(vec![vec![
+                pattern.name().to_owned(),
+                fnum(rate),
+                fnum(r.tput_packets),
+                fnum(r.tput_flits),
+                fnum(r.latency),
+                r.recovered.to_string(),
+            ]])
         },
     )?;
-    for (pattern, rate, r) in results {
-        t.push(vec![
-            pattern.name().to_owned(),
-            fnum(rate),
-            fnum(r.tput_packets),
-            fnum(r.tput_flits),
-            fnum(r.latency),
-            r.recovered.to_string(),
-        ]);
-    }
+    t.extend(rows);
     Ok(t)
 }

@@ -7,9 +7,9 @@
 //! We regenerate it with data: sweep offered load on the base network and
 //! report measured (full-buffer occupancy, delivered bandwidth) pairs.
 
-use crate::runner::{Pool, SweepError};
+use crate::runner::{JobError, SweepError};
 use crate::table::fnum;
-use crate::{steady_config, sweep_rates_for, NetPreset, Scale, Table};
+use crate::{steady_config, sweep_rates_for, NetPreset, Scale, SweepCtx, Table};
 use simstats::GaugeSeries;
 use stcc::{Scheme, Simulation};
 use traffic::Pattern;
@@ -21,8 +21,8 @@ use wormsim::DeadlockMode;
 /// # Errors
 ///
 /// Returns the first failing sweep point.
-pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
-    generate_on(NetPreset::Paper, scale, pool)
+pub fn generate(scale: Scale, ctx: &SweepCtx) -> Result<Table, SweepError> {
+    generate_on(NetPreset::Paper, scale, ctx)
 }
 
 /// Runs the Figure 2 sweep on a chosen network preset.
@@ -30,7 +30,7 @@ pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
 /// # Errors
 ///
 /// Returns the first failing sweep point.
-pub fn generate_on(net: NetPreset, scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
+pub fn generate_on(net: NetPreset, scale: Scale, ctx: &SweepCtx) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Figure 2 — delivered bandwidth vs full-buffer occupancy (base, deadlock recovery)",
         &[
@@ -41,7 +41,7 @@ pub fn generate_on(net: NetPreset, scale: Scale, pool: &Pool) -> Result<Table, S
         ],
     );
     let jobs: Vec<(usize, f64)> = sweep_rates_for(scale).into_iter().enumerate().collect();
-    let rows = pool.try_run(
+    let rows = ctx.try_run_rows(
         jobs,
         |&(_, rate)| format!("fig2 base @ {rate}"),
         |(i, rate)| {
@@ -54,29 +54,28 @@ pub fn generate_on(net: NetPreset, scale: Scale, pool: &Pool) -> Result<Table, S
                 0xF16_0002 + i as u64,
             );
             let warmup = cfg.warmup;
-            let cycles = cfg.cycles;
-            let mut sim = Simulation::new(cfg).map_err(|e| format!("bad fig2 config: {e}"))?;
+            let mut sim = Simulation::new(cfg)
+                .map_err(|e| JobError::Failed(format!("bad fig2 config: {e}")))?;
             let mut occupancy = GaugeSeries::new();
-            while sim.now() < cycles {
-                sim.step();
+            crate::run::drive(&mut sim, &format!("fig2 base @ {rate}"), |sim| {
                 if sim.now() >= warmup && sim.now().is_multiple_of(256) {
                     occupancy.sample(sim.now(), f64::from(sim.network().full_buffer_count()));
                 }
-            }
-            let s = sim.summary().map_err(|e| format!("fig2 summary: {e}"))?;
+            })?;
+            let s = sim
+                .summary()
+                .map_err(|e| JobError::Failed(format!("fig2 summary: {e}")))?;
             let avg_full = occupancy.points().iter().map(|&(_, v)| v).sum::<f64>()
                 / occupancy.points().len().max(1) as f64;
             let total = f64::from(sim.network().total_vc_buffers());
-            Ok(vec![
+            Ok::<_, JobError>(vec![vec![
                 fnum(rate),
                 fnum(avg_full),
                 fnum(100.0 * avg_full / total),
                 fnum(s.throughput_flits()),
-            ])
+            ]])
         },
     )?;
-    for row in rows {
-        t.push(row);
-    }
+    t.extend(rows);
     Ok(t)
 }

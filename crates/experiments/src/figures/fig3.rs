@@ -7,20 +7,20 @@
 //! (catastrophically under recovery); Tune stays near peak throughput with
 //! bounded latency at every offered load.
 
-use crate::runner::{Pool, SweepError};
+use crate::runner::{JobError, SweepError};
 use crate::table::fnum;
-use crate::{steady_config, sweep_rates_for, try_run_point, Scale, Table};
+use crate::{steady_config, sweep_rates_for, try_run_point, Scale, SweepCtx, Table};
 use stcc::Scheme;
 use traffic::Pattern;
 use wormsim::{DeadlockMode, NetConfig};
 
 /// Runs the Figure 3 sweeps (all four panels in one table), fanned across
-/// `pool`.
+/// `ctx`'s pool.
 ///
 /// # Errors
 ///
 /// Returns the first failing sweep point.
-pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
+pub fn generate(scale: Scale, ctx: &SweepCtx) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Figure 3 — overall performance, uniform random (base/alo/tune x recovery/avoidance)",
         &[
@@ -45,7 +45,7 @@ pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
             }
         }
     }
-    let results = pool.try_run(
+    let rows = ctx.try_run_rows(
         jobs,
         |(_, mode_name, scheme, rate, _)| format!("fig3 {mode_name} {} @ {rate}", scheme.label()),
         |(mode, mode_name, scheme, rate, i)| {
@@ -57,20 +57,19 @@ pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
                 scale,
                 0xF16_0003 + i as u64,
             );
-            try_run_point(cfg).map(|r| (mode_name, scheme, rate, r))
+            let r = try_run_point(cfg)?;
+            Ok::<_, JobError>(vec![vec![
+                mode_name.to_owned(),
+                scheme.label(),
+                fnum(rate),
+                fnum(r.tput_packets),
+                fnum(r.tput_flits),
+                fnum(r.latency),
+                fnum(r.latency_total),
+                r.throttled.to_string(),
+            ]])
         },
     )?;
-    for (mode_name, scheme, rate, r) in results {
-        t.push(vec![
-            mode_name.to_owned(),
-            scheme.label(),
-            fnum(rate),
-            fnum(r.tput_packets),
-            fnum(r.tput_flits),
-            fnum(r.latency),
-            fnum(r.latency_total),
-            r.throttled.to_string(),
-        ]);
-    }
+    t.extend(rows);
     Ok(t)
 }

@@ -14,9 +14,9 @@
 //! the equivalent experiment here is a 50-cycle interval under deadlock
 //! recovery.
 
-use crate::runner::{Pool, SweepError};
+use crate::runner::{JobError, SweepError};
 use crate::table::fnum;
-use crate::{try_run_series, NetPreset, Scale, Table};
+use crate::{try_run_series, NetPreset, Scale, SweepCtx, Table};
 use stcc::{Scheme, SimConfig, TuneConfig};
 use traffic::{Pattern, Process, Workload};
 use wormsim::DeadlockMode;
@@ -25,14 +25,34 @@ use wormsim::DeadlockMode;
 /// it so every run still yields a dozen windows).
 const SAMPLE: u64 = 4_000;
 
+/// The [`SimConfig`] of one Figure 4 variant, exposed so the
+/// checkpoint-determinism tests and the CI smoke gate can snapshot/restore
+/// exactly the simulation a `fig4` run executes.
+#[must_use]
+pub fn sim_config(net: NetPreset, scale: Scale, avoid: bool) -> SimConfig {
+    let tune = TuneConfig {
+        sideband: net.sideband(),
+        avoid_local_maxima: avoid,
+        ..TuneConfig::paper()
+    };
+    SimConfig {
+        net: net.net(DeadlockMode::PAPER_RECOVERY),
+        workload: Workload::steady(Pattern::UniformRandom, Process::periodic(50)),
+        scheme: Scheme::Tuned(tune),
+        cycles: scale.cycles(),
+        warmup: scale.warmup(),
+        seed: 0xF16_0004,
+    }
+}
+
 /// Runs the two Figure 4 traces (threshold and throughput vs time) on the
 /// paper network.
 ///
 /// # Errors
 ///
 /// Returns the first failing trace.
-pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
-    generate_on(NetPreset::Paper, scale, pool)
+pub fn generate(scale: Scale, ctx: &SweepCtx) -> Result<Table, SweepError> {
+    generate_on(NetPreset::Paper, scale, ctx)
 }
 
 /// Runs the two Figure 4 traces on a chosen network preset.
@@ -40,7 +60,7 @@ pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
 /// # Errors
 ///
 /// Returns the first failing trace.
-pub fn generate_on(net: NetPreset, scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
+pub fn generate_on(net: NetPreset, scale: Scale, ctx: &SweepCtx) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Figure 4 — self-tuning operation (threshold & throughput vs time, avoidance, interval 100)",
         &["variant", "t", "threshold", "tput_flits"],
@@ -50,37 +70,24 @@ pub fn generate_on(net: NetPreset, scale: Scale, pool: &Pool) -> Result<Table, S
         (false, "hill-climbing-only"),
         (true, "hill-climbing+avoid-max"),
     ];
-    let results = pool.try_run(
+    let rows = ctx.try_run_rows(
         variants,
         |&(_, name)| format!("fig4 {name}"),
         |(avoid, name)| {
-            let tune = TuneConfig {
-                sideband: net.sideband(),
-                avoid_local_maxima: avoid,
-                ..TuneConfig::paper()
-            };
-            let cfg = SimConfig {
-                net: net.net(DeadlockMode::PAPER_RECOVERY),
-                workload: Workload::steady(Pattern::UniformRandom, Process::periodic(50)),
-                scheme: Scheme::Tuned(tune),
-                cycles: scale.cycles(),
-                warmup: scale.warmup(),
-                seed: 0xF16_0004,
-            };
-            try_run_series(cfg, window).map(|r| (name, r))
+            let r = try_run_series(sim_config(net, scale, avoid), window)?;
+            let thresholds: Vec<_> = r.threshold.points().to_vec();
+            Ok::<_, JobError>(
+                r.tput
+                    .normalized(r.nodes)
+                    .enumerate()
+                    .map(|(i, (time, tput))| {
+                        let thr = thresholds.get(i).map_or(f64::NAN, |&(_, v)| v);
+                        vec![name.to_owned(), time.to_string(), fnum(thr), fnum(tput)]
+                    })
+                    .collect(),
+            )
         },
     )?;
-    for (name, r) in results {
-        let thresholds: Vec<_> = r.threshold.points().to_vec();
-        for (i, (time, tput)) in r.tput.normalized(r.nodes).enumerate() {
-            let thr = thresholds.get(i).map_or(f64::NAN, |&(_, v)| v);
-            t.push(vec![
-                name.to_owned(),
-                time.to_string(),
-                fnum(thr),
-                fnum(tput),
-            ]);
-        }
-    }
+    t.extend(rows);
     Ok(t)
 }

@@ -6,9 +6,9 @@
 //! prevent butterfly saturation, 50 protects butterfly but over-throttles
 //! uniform random, and the self-tuner adapts to both.
 
-use crate::runner::{Pool, SweepError};
+use crate::runner::{JobError, SweepError};
 use crate::table::fnum;
-use crate::{steady_config, sweep_rates_for, try_run_point, NetPreset, Scale, Table};
+use crate::{steady_config, sweep_rates_for, try_run_point, NetPreset, Scale, SweepCtx, Table};
 use stcc::Scheme;
 use traffic::Pattern;
 use wormsim::DeadlockMode;
@@ -17,13 +17,14 @@ use wormsim::DeadlockMode;
 /// Other presets rescale these: see [`NetPreset::static_thresholds`].
 pub const STATIC_THRESHOLDS: [u32; 2] = [250, 50];
 
-/// Runs the Figure 5 sweeps on the paper network, fanned across `pool`.
+/// Runs the Figure 5 sweeps on the paper network, fanned across `ctx`'s
+/// pool.
 ///
 /// # Errors
 ///
 /// Returns the first failing sweep point.
-pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
-    generate_on(NetPreset::Paper, scale, pool)
+pub fn generate(scale: Scale, ctx: &SweepCtx) -> Result<Table, SweepError> {
+    generate_on(NetPreset::Paper, scale, ctx)
 }
 
 /// Runs the Figure 5 sweeps on a chosen network preset.
@@ -31,7 +32,7 @@ pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
 /// # Errors
 ///
 /// Returns the first failing sweep point.
-pub fn generate_on(net: NetPreset, scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
+pub fn generate_on(net: NetPreset, scale: Scale, ctx: &SweepCtx) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Figure 5 — static thresholds vs self-tuning (deadlock recovery)",
         &[
@@ -63,7 +64,7 @@ pub fn generate_on(net: NetPreset, scale: Scale, pool: &Pool) -> Result<Table, S
             }
         }
     }
-    let results = pool.try_run(
+    let rows = ctx.try_run_rows(
         jobs,
         |(pattern, scheme, rate, _)| format!("fig5 {} {} @ {rate}", pattern.name(), scheme.label()),
         |(pattern, scheme, rate, i)| {
@@ -75,18 +76,17 @@ pub fn generate_on(net: NetPreset, scale: Scale, pool: &Pool) -> Result<Table, S
                 scale,
                 0xF16_0005 + i as u64,
             );
-            try_run_point(cfg).map(|r| (pattern, scheme, rate, r))
+            let r = try_run_point(cfg)?;
+            Ok::<_, JobError>(vec![vec![
+                pattern.name().to_owned(),
+                scheme.label(),
+                fnum(rate),
+                fnum(r.tput_packets),
+                fnum(r.tput_flits),
+                fnum(r.latency),
+            ]])
         },
     )?;
-    for (pattern, scheme, rate, r) in results {
-        t.push(vec![
-            pattern.name().to_owned(),
-            scheme.label(),
-            fnum(rate),
-            fnum(r.tput_packets),
-            fnum(r.tput_flits),
-            fnum(r.latency),
-        ]);
-    }
+    t.extend(rows);
     Ok(t)
 }

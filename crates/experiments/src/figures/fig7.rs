@@ -8,9 +8,9 @@
 //! burst ends); Tune delivers sustained throughput and far lower latency.
 
 use crate::figures::fig6;
-use crate::runner::{Pool, SweepError};
+use crate::runner::{JobError, SweepError};
 use crate::table::fnum;
-use crate::{try_run_series, Scale, Table};
+use crate::{try_run_series, Scale, SweepCtx, Table};
 use stcc::{Scheme, SimConfig};
 use wormsim::{DeadlockMode, NetConfig};
 
@@ -28,14 +28,14 @@ fn combos() -> Vec<(DeadlockMode, &'static str, Scheme)> {
     v
 }
 
-/// Runs the six bursty traces, fanned across `pool`. Each row is one time
-/// window; the `latency` columns repeat each run's whole-run averages on
-/// every row of that run (self-describing CSV).
+/// Runs the six bursty traces, fanned across `ctx`'s pool. Each row is one
+/// time window; the `latency` columns repeat each run's whole-run averages
+/// on every row of that run (self-describing CSV).
 ///
 /// # Errors
 ///
 /// Returns the first failing trace.
-pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
+pub fn generate(scale: Scale, ctx: &SweepCtx) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Figure 7 — bursty-load performance (throughput vs time; run-average latencies)",
         &[
@@ -50,7 +50,7 @@ pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
     );
     let cycles = fig6::cycles(scale);
     let window = (cycles / 90).max(1);
-    let results = pool.try_run(
+    let rows = ctx.try_run_rows(
         combos(),
         |(_, mode_name, scheme)| format!("fig7 {mode_name} {}", scheme.label()),
         |(mode, mode_name, scheme)| {
@@ -64,22 +64,26 @@ pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
                 warmup: scale.bursty_phase() / 2,
                 seed: 0xF16_0007,
             };
-            try_run_series(cfg, window).map(|r| (mode_name, scheme, r))
+            let r = try_run_series(cfg, window)?;
+            Ok::<_, JobError>(
+                r.tput
+                    .normalized(r.nodes)
+                    .map(|(time, tput)| {
+                        vec![
+                            mode_name.to_owned(),
+                            scheme.label(),
+                            time.to_string(),
+                            fnum(tput),
+                            fnum(r.latency),
+                            fnum(r.latency_total),
+                            r.recovered.to_string(),
+                        ]
+                    })
+                    .collect(),
+            )
         },
     )?;
-    for (mode_name, scheme, r) in results {
-        for (time, tput) in r.tput.normalized(r.nodes) {
-            t.push(vec![
-                mode_name.to_owned(),
-                scheme.label(),
-                time.to_string(),
-                fnum(tput),
-                fnum(r.latency),
-                fnum(r.latency_total),
-                r.recovered.to_string(),
-            ]);
-        }
-    }
+    t.extend(rows);
     Ok(t)
 }
 
@@ -89,13 +93,13 @@ pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
 /// # Errors
 ///
 /// Returns the first failing trace.
-pub fn latency_summary(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
+pub fn latency_summary(scale: Scale, ctx: &SweepCtx) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Figure 7 (text) — average packet latency under the bursty load",
         &["deadlock", "scheme", "avg_net_latency", "avg_total_latency"],
     );
     let cycles = fig6::cycles(scale);
-    let results = pool.try_run(
+    let rows = ctx.try_run_rows(
         combos(),
         |(_, mode_name, scheme)| format!("fig7-latency {mode_name} {}", scheme.label()),
         |(mode, mode_name, scheme)| {
@@ -107,16 +111,15 @@ pub fn latency_summary(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
                 warmup: scale.bursty_phase() / 2,
                 seed: 0xF16_0007,
             };
-            try_run_series(cfg, cycles / 8).map(|r| (mode_name, scheme, r))
+            let r = try_run_series(cfg, cycles / 8)?;
+            Ok::<_, JobError>(vec![vec![
+                mode_name.to_owned(),
+                scheme.label(),
+                fnum(r.latency),
+                fnum(r.latency_total),
+            ]])
         },
     )?;
-    for (mode_name, scheme, r) in results {
-        t.push(vec![
-            mode_name.to_owned(),
-            scheme.label(),
-            fnum(r.latency),
-            fnum(r.latency_total),
-        ]);
-    }
+    t.extend(rows);
     Ok(t)
 }

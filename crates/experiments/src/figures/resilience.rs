@@ -11,14 +11,13 @@
 //! must neither panic nor collapse: it fails open and lands within a few
 //! percent of Static.
 
-use crate::runner::{Pool, SweepError};
+use crate::runner::{JobError, SweepError};
 use crate::table::fnum;
-use crate::{steady_config, try_run_point_with_faults, Scale, Table};
+use crate::{steady_config, try_run_point_with_faults, NetPreset, Scale, SweepCtx, Table};
 use faults::{FaultPlan, SidebandFaults};
-use sideband::SidebandConfig;
 use stcc::Scheme;
 use traffic::Pattern;
-use wormsim::{DeadlockMode, NetConfig};
+use wormsim::DeadlockMode;
 
 /// The swept snapshot loss rates.
 #[must_use]
@@ -30,26 +29,42 @@ pub fn loss_rates() -> Vec<f64> {
 /// throttling (or its faulted absence) is what decides the outcome.
 pub const LOAD: f64 = 0.028;
 
-/// The three compared schemes.
+/// The three compared schemes on the paper network.
 #[must_use]
 pub fn schemes() -> Vec<Scheme> {
+    schemes_on(NetPreset::Paper)
+}
+
+/// The three compared schemes, with the static threshold and side-band
+/// radix matched to the preset's topology.
+#[must_use]
+pub fn schemes_on(net: NetPreset) -> Vec<Scheme> {
     vec![
         Scheme::Base,
         Scheme::Static {
-            threshold: 250,
-            sideband: SidebandConfig::paper(),
+            threshold: net.static_thresholds()[0],
+            sideband: net.sideband(),
         },
-        Scheme::tuned_paper(),
+        net.tuned(),
     ]
 }
 
-/// Runs the resilience sweep (deadlock recovery, uniform random), fanned
-/// across `pool`.
+/// Runs the resilience sweep (deadlock recovery, uniform random) on the
+/// paper network, fanned across `ctx`'s pool.
 ///
 /// # Errors
 ///
 /// Returns the first failing sweep point.
-pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
+pub fn generate(scale: Scale, ctx: &SweepCtx) -> Result<Table, SweepError> {
+    generate_on(NetPreset::Paper, scale, ctx)
+}
+
+/// Runs the resilience sweep on a chosen network preset.
+///
+/// # Errors
+///
+/// Returns the first failing sweep point.
+pub fn generate_on(net: NetPreset, scale: Scale, ctx: &SweepCtx) -> Result<Table, SweepError> {
     let mut t = Table::new(
         "Resilience — delivered bandwidth under side-band snapshot loss (uniform random @ 0.028)",
         &[
@@ -66,16 +81,16 @@ pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
     );
     let mut jobs = Vec::new();
     for &loss in &loss_rates() {
-        for scheme in schemes() {
+        for scheme in schemes_on(net) {
             jobs.push((loss, scheme));
         }
     }
-    let results = pool.try_run(
+    let rows = ctx.try_run_rows(
         jobs,
         |(loss, scheme)| format!("resilience {} loss={loss}", scheme.label()),
         |(loss, scheme)| {
             let cfg = steady_config(
-                NetConfig::paper(DeadlockMode::PAPER_RECOVERY),
+                net.net(DeadlockMode::PAPER_RECOVERY),
                 scheme.clone(),
                 Pattern::UniformRandom,
                 LOAD,
@@ -89,22 +104,21 @@ pub fn generate(scale: Scale, pool: &Pool) -> Result<Table, SweepError> {
                     ..SidebandFaults::none()
                 },
             );
-            try_run_point_with_faults(cfg, plan).map(|(p, f)| (loss, scheme, p, f))
+            let (p, f) = try_run_point_with_faults(cfg, plan)?;
+            let sb = f.sideband.unwrap_or_default();
+            Ok::<_, JobError>(vec![vec![
+                fnum(loss),
+                scheme.label(),
+                fnum(p.tput_flits),
+                fnum(p.latency),
+                p.throttled.to_string(),
+                sb.lost_snapshots.to_string(),
+                sb.rejected().to_string(),
+                f.watchdog_trips.to_string(),
+                f.watchdog_rearms.to_string(),
+            ]])
         },
     )?;
-    for (loss, scheme, p, f) in results {
-        let sb = f.sideband.unwrap_or_default();
-        t.push(vec![
-            fnum(loss),
-            scheme.label(),
-            fnum(p.tput_flits),
-            fnum(p.latency),
-            p.throttled.to_string(),
-            sb.lost_snapshots.to_string(),
-            sb.rejected().to_string(),
-            f.watchdog_trips.to_string(),
-            f.watchdog_rearms.to_string(),
-        ]);
-    }
+    t.extend(rows);
     Ok(t)
 }

@@ -1,0 +1,267 @@
+//! Per-sweep resume journal.
+//!
+//! An append-only, fsync'd text file recording the rendered rows of every
+//! completed sweep point, so a killed run (crash, SIGKILL, SIGINT) can be
+//! re-entered with `--resume` and only re-simulate what never finished.
+//! Because every job is deterministic, replaying journaled rows is
+//! bit-identical to re-running them — the golden CSVs prove it.
+//!
+//! Format (one record per line, human-inspectable):
+//!
+//! ```text
+//! stcc-journal v1 <16-hex sweep fingerprint>
+//! <job index> <8-hex crc32 of payload> <escaped payload>
+//! ```
+//!
+//! The payload is the job's rows: cells escaped (`\` `\t` `\n` `\v` →
+//! `\\` `\t` `\n` `\v` escape sequences), joined by tabs within a row and
+//! by vertical tabs between rows. Each record is flushed and fsync'd before
+//! the job is considered complete, so at most the final line can be torn
+//! by a crash; loading tolerates (and drops) torn or corrupt lines, and
+//! re-opening for resume compacts the file back to only its valid records.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::Path;
+
+/// Rendered rows of one completed job.
+pub type Rows = Vec<Vec<String>>;
+
+const HEADER_TAG: &str = "stcc-journal v1";
+
+/// An open, append-only sweep journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Opens the journal at `path` for a sweep identified by `fingerprint`.
+    ///
+    /// With `resume` set, any valid records from a previous run (same
+    /// fingerprint) are loaded and returned, and the file is compacted to
+    /// exactly those records. Otherwise — or when the existing file belongs
+    /// to a different sweep or is unreadable — the journal starts fresh.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating or rewriting the file.
+    pub fn begin(
+        path: &Path,
+        fingerprint: u64,
+        resume: bool,
+    ) -> io::Result<(Journal, BTreeMap<u64, Rows>)> {
+        let done = if resume {
+            load(path, fingerprint)
+        } else {
+            BTreeMap::new()
+        };
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        // Rewrite from scratch either way: a fresh start truncates stale
+        // records, and a resume compacts away any torn tail line so new
+        // appends land on a clean line boundary.
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        writeln!(file, "{HEADER_TAG} {fingerprint:016x}")?;
+        for (idx, rows) in &done {
+            write_record(&mut file, *idx, rows)?;
+        }
+        file.sync_data()?;
+        Ok((Journal { file }, done))
+    }
+
+    /// Appends (and fsyncs) one completed job's rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; an unrecorded job must not count as
+    /// complete.
+    pub fn append(&mut self, idx: u64, rows: &Rows) -> io::Result<()> {
+        write_record(&mut self.file, idx, rows)?;
+        self.file.sync_data()
+    }
+}
+
+fn write_record(file: &mut File, idx: u64, rows: &Rows) -> io::Result<()> {
+    let payload = escape_rows(rows);
+    let crc = checkpoint::crc32(payload.as_bytes());
+    writeln!(file, "{idx} {crc:08x} {payload}")
+}
+
+/// Loads every valid record of a journal with a matching fingerprint;
+/// anything unreadable, foreign or corrupt yields an empty map.
+fn load(path: &Path, fingerprint: u64) -> BTreeMap<u64, Rows> {
+    let mut text = String::new();
+    let ok = File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .is_ok();
+    if !ok {
+        return BTreeMap::new();
+    }
+    let mut lines = text.lines();
+    if lines.next() != Some(&format!("{HEADER_TAG} {fingerprint:016x}")) {
+        return BTreeMap::new();
+    }
+    let mut done = BTreeMap::new();
+    for line in lines {
+        if let Some((idx, rows)) = parse_record(line) {
+            done.insert(idx, rows);
+        }
+    }
+    done
+}
+
+fn parse_record(line: &str) -> Option<(u64, Rows)> {
+    let mut parts = line.splitn(3, ' ');
+    let idx: u64 = parts.next()?.parse().ok()?;
+    let crc: u32 = u32::from_str_radix(parts.next()?, 16).ok()?;
+    let payload = parts.next()?;
+    if checkpoint::crc32(payload.as_bytes()) != crc {
+        return None;
+    }
+    unescape_rows(payload).map(|rows| (idx, rows))
+}
+
+fn escape_cell(cell: &str) -> String {
+    let mut out = String::with_capacity(cell.len());
+    for c in cell.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\x0b' => out.push_str("\\v"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn escape_rows(rows: &Rows) -> String {
+    rows.iter()
+        .map(|row| {
+            row.iter()
+                .map(|c| escape_cell(c))
+                .collect::<Vec<_>>()
+                .join("\t")
+        })
+        .collect::<Vec<_>>()
+        .join("\x0b")
+}
+
+fn unescape_cell(cell: &str) -> Option<String> {
+    let mut out = String::with_capacity(cell.len());
+    let mut chars = cell.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'v' => out.push('\x0b'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn unescape_rows(payload: &str) -> Option<Rows> {
+    payload
+        .split('\x0b')
+        .map(|row| {
+            row.split('\t')
+                .map(unescape_cell)
+                .collect::<Option<Vec<_>>>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: u64) -> Rows {
+        vec![
+            vec![format!("r{n}"), "0.5".to_owned()],
+            vec![
+                "x,\"y\"".to_owned(),
+                "tab\there\nand\\slash\x0btoo".to_owned(),
+            ],
+        ]
+    }
+
+    #[test]
+    fn round_trips_awkward_cells() {
+        let dir = std::env::temp_dir().join("stcc-journal-test-rt");
+        let path = dir.join("fig.test.journal");
+        let _ = fs::remove_file(&path);
+        let (mut j, done) = Journal::begin(&path, 0xabcd, false).unwrap();
+        assert!(done.is_empty());
+        j.append(3, &rows(3)).unwrap();
+        j.append(1, &rows(1)).unwrap();
+        drop(j);
+        let (_, done) = Journal::begin(&path, 0xabcd, true).unwrap();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[&3], rows(3));
+        assert_eq!(done[&1], rows(1));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fresh_start_truncates_and_mismatched_fingerprint_ignores() {
+        let dir = std::env::temp_dir().join("stcc-journal-test-fp");
+        let path = dir.join("fig.test.journal");
+        let _ = fs::remove_file(&path);
+        let (mut j, _) = Journal::begin(&path, 1, false).unwrap();
+        j.append(0, &rows(0)).unwrap();
+        drop(j);
+        // Different fingerprint: the journal belongs to another sweep.
+        let (_, done) = Journal::begin(&path, 2, true).unwrap();
+        assert!(done.is_empty());
+        // Fresh (non-resume) start discards records even with a match.
+        let (mut j, _) = Journal::begin(&path, 1, false).unwrap();
+        j.append(5, &rows(5)).unwrap();
+        drop(j);
+        let (_, done) = Journal::begin(&path, 1, true).unwrap();
+        assert_eq!(done.keys().copied().collect::<Vec<_>>(), vec![5]);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_and_corrupt_lines_are_dropped() {
+        let dir = std::env::temp_dir().join("stcc-journal-test-torn");
+        let path = dir.join("fig.test.journal");
+        let _ = fs::remove_file(&path);
+        let (mut j, _) = Journal::begin(&path, 9, false).unwrap();
+        j.append(0, &rows(0)).unwrap();
+        j.append(1, &rows(1)).unwrap();
+        drop(j);
+        // Simulate a crash mid-append: a torn final line.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("2 0badc0de r2\ttorn-without-newl");
+        fs::write(&path, &text).unwrap();
+        let (_, done) = Journal::begin(&path, 9, true).unwrap();
+        assert_eq!(done.keys().copied().collect::<Vec<_>>(), vec![0, 1]);
+        // The reopened journal was compacted: reloading again is clean.
+        let (_, done) = Journal::begin(&path, 9, true).unwrap();
+        assert_eq!(done.len(), 2);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_resumes_empty() {
+        let path = std::env::temp_dir().join("stcc-journal-test-none/no.journal");
+        let _ = fs::remove_file(&path);
+        let (_, done) = Journal::begin(&path, 7, true).unwrap();
+        assert!(done.is_empty());
+        fs::remove_file(&path).unwrap();
+    }
+}

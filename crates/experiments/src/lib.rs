@@ -9,12 +9,20 @@
 //! the network itself, and `--jobs N` (or `STCC_JOBS`) to fan the sweep's
 //! independent points across the deterministic [`runner::Pool`] — the
 //! output is bit-identical at every job count (see `tests/golden.rs`).
+//!
+//! Sweeps are crash-safe: every binary journals completed points
+//! ([`journal`]), accepts `--resume` to skip them after a kill, writes its
+//! CSV atomically, and guards each job against livelock and blown budgets
+//! (see `EXPERIMENTS.md`, "Interrupting and resuming sweeps").
 
 pub mod cli;
 pub mod figures;
+pub mod journal;
 mod run;
 pub mod runner;
 mod scale;
+pub mod sigint;
+pub mod sweep;
 pub mod table;
 
 pub use cli::Cli;
@@ -22,6 +30,7 @@ pub use run::{
     run_point, run_point_with_faults, run_series, steady_config, sweep_rates, sweep_rates_for,
     try_run_point, try_run_point_with_faults, try_run_series, NetPreset, PointResult, SeriesResult,
 };
-pub use runner::{JobError, Pool, SweepError};
+pub use runner::{JobBudget, JobError, Pool, SweepError};
 pub use scale::Scale;
+pub use sweep::SweepCtx;
 pub use table::Table;

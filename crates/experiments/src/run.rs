@@ -1,10 +1,138 @@
+use crate::runner::{active_budget, JobError};
 use crate::Scale;
 use faults::FaultPlan;
 use sideband::SidebandConfig;
 use simstats::{GaugeSeries, RunSummary, WindowSeries};
-use stcc::{FaultReport, Scheme, SimConfig, Simulation, TuneConfig};
+use stcc::{FaultReport, LivelockDiag, Scheme, SimConfig, Simulation, DEFAULT_LIVELOCK_WINDOW};
+use stcc::{RunGuard, TuneConfig};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use std::{fs, io};
 use traffic::{Pattern, Process, Workload};
 use wormsim::{DeadlockMode, NetConfig};
+
+/// The [`RunGuard`] for the job running on this worker thread: the default
+/// livelock window (overridable via `STCC_LIVELOCK_WINDOW`; `0` disables)
+/// plus whatever cycle/wall-clock budget the pool published
+/// ([`crate::runner::JobBudget`]).
+fn job_guard() -> RunGuard {
+    let (deadline, max_cycles) = active_budget();
+    let livelock_window = std::env::var("STCC_LIVELOCK_WINDOW")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(Some(DEFAULT_LIVELOCK_WINDOW), |w| (w > 0).then_some(w));
+    RunGuard {
+        livelock_window,
+        max_cycles,
+        deadline,
+    }
+}
+
+/// Checkpoint cadence from the environment: write a snapshot every
+/// `STCC_CKPT_EVERY` cycles (0/unset disables) into `STCC_CKPT_DIR`
+/// (default `checkpoints/`).
+fn ckpt_cadence() -> Option<(u64, PathBuf)> {
+    let every = std::env::var("STCC_CKPT_EVERY").ok()?.parse::<u64>().ok()?;
+    if every == 0 {
+        return None;
+    }
+    let dir =
+        std::env::var("STCC_CKPT_DIR").map_or_else(|_| PathBuf::from("checkpoints"), PathBuf::from);
+    Some((every, dir))
+}
+
+fn livelock_diag(sim: &Simulation, window: u64) -> LivelockDiag {
+    let net = sim.network();
+    LivelockDiag {
+        cycle: sim.now(),
+        window,
+        live_packets: net.live_packets(),
+        full_buffers: net.full_buffer_count(),
+        token_queue: net.token_queue_len(),
+        recovery_active: net.recovery_active(),
+        last_progress_at: net.last_progress_at(),
+        last_delivery_at: net.last_delivery_at(),
+        delivered_packets: net.counters().delivered_packets,
+    }
+}
+
+/// Atomically writes this job's snapshot (one file per job, keyed by a hash
+/// of its label; overwritten at every cadence point). The temp name is
+/// unique per process and writer so that two jobs whose labels collide
+/// (e.g. fig4's two tuner variants share a point label) can never
+/// interleave bytes in one temp file — each rename publishes a complete
+/// snapshot, last writer wins.
+fn write_checkpoint(dir: &Path, label: &str, sim: &Simulation) -> io::Result<()> {
+    static WRITER: AtomicU64 = AtomicU64::new(0);
+    fs::create_dir_all(dir)?;
+    let key = checkpoint::fnv1a64(label.as_bytes());
+    let tmp = dir.join(format!(
+        "ckpt-{key:016x}.{}-{}.tmp",
+        std::process::id(),
+        WRITER.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::write(&tmp, sim.checkpoint())?;
+    fs::rename(&tmp, dir.join(format!("ckpt-{key:016x}.bin")))
+}
+
+/// Steps `sim` to its configured end under the worker's [`RunGuard`],
+/// calling `after_step` after every cycle (series sampling), honoring the
+/// `STCC_CKPT_EVERY` checkpoint cadence and bailing promptly on SIGINT.
+///
+/// A guarded drive that completes is bit-identical to
+/// [`Simulation::run_to_end`]: the guard and the checkpoints only observe.
+pub(crate) fn drive(
+    sim: &mut Simulation,
+    label: &str,
+    mut after_step: impl FnMut(&mut Simulation),
+) -> Result<(), JobError> {
+    let guard = job_guard();
+    let cadence = ckpt_cadence();
+    let cycles = sim.config().cycles;
+    let mut stepped: u64 = 0;
+    while sim.now() < cycles {
+        if let Some(max) = guard.max_cycles {
+            if stepped >= max {
+                return Err(JobError::TimedOut(format!(
+                    "{label}: cycle budget ({max}) exhausted at cycle {}",
+                    sim.now()
+                )));
+            }
+        }
+        if stepped.is_multiple_of(1024) {
+            if crate::sigint::interrupted() {
+                return Err(JobError::Interrupted);
+            }
+            if let Some(deadline) = guard.deadline {
+                if Instant::now() >= deadline {
+                    return Err(JobError::TimedOut(format!(
+                        "{label}: wall-clock budget exhausted at cycle {}",
+                        sim.now()
+                    )));
+                }
+            }
+        }
+        sim.step();
+        stepped += 1;
+        after_step(sim);
+        if let Some(window) = guard.livelock_window {
+            if sim.network().livelocked(window) {
+                return Err(JobError::TimedOut(format!(
+                    "{label}: livelock: {}",
+                    livelock_diag(sim, window)
+                )));
+            }
+        }
+        if let Some((every, dir)) = &cadence {
+            if sim.now().is_multiple_of(*every) && sim.now() < cycles {
+                write_checkpoint(dir, label, sim)
+                    .map_err(|e| JobError::Failed(format!("{label}: checkpoint write: {e}")))?;
+            }
+        }
+    }
+    Ok(())
+}
 
 /// The measurements of one sweep point, in the units the paper plots.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,20 +154,23 @@ pub struct PointResult {
     pub throttled: u64,
 }
 
-/// Runs one simulation and condenses its summary.
+/// Runs one simulation (guarded; see [`drive`]) and condenses its summary.
 ///
 /// # Errors
 ///
-/// Returns a message naming the offending point on an invalid
-/// configuration or a summary taken before warm-up — a `String` so the
-/// error crosses [`crate::runner::Pool`] worker threads untouched.
-pub fn try_run_point(cfg: SimConfig) -> Result<PointResult, String> {
+/// Returns a typed [`JobError`] naming the offending point on an invalid
+/// configuration, a summary taken before warm-up, a tripped
+/// livelock/budget guard ([`JobError::TimedOut`]) or SIGINT
+/// ([`JobError::Interrupted`]); the error crosses
+/// [`crate::runner::Pool`] worker threads untouched.
+pub fn try_run_point(cfg: SimConfig) -> Result<PointResult, JobError> {
     let label = point_label(&cfg);
-    let mut sim = Simulation::new(cfg).map_err(|e| format!("bad experiment ({label}): {e}"))?;
-    sim.run_to_end();
+    let mut sim = Simulation::new(cfg)
+        .map_err(|e| JobError::Failed(format!("bad experiment ({label}): {e}")))?;
+    drive(&mut sim, &label, |_| {})?;
     let s = sim
         .summary()
-        .map_err(|e| format!("summary failed ({label}): {e}"))?;
+        .map_err(|e| JobError::Failed(format!("summary failed ({label}): {e}")))?;
     Ok(condense(&s))
 }
 
@@ -60,20 +191,20 @@ pub fn run_point(cfg: SimConfig) -> PointResult {
 ///
 /// # Errors
 ///
-/// Returns a message naming the offending point on an invalid
-/// configuration or fault plan.
+/// Returns a typed [`JobError`] naming the offending point on an invalid
+/// configuration or fault plan, a tripped guard, or SIGINT.
 pub fn try_run_point_with_faults(
     cfg: SimConfig,
     plan: FaultPlan,
-) -> Result<(PointResult, FaultReport), String> {
+) -> Result<(PointResult, FaultReport), JobError> {
     let label = point_label(&cfg);
-    let mut sim =
-        Simulation::with_faults(cfg, plan).map_err(|e| format!("bad experiment ({label}): {e}"))?;
-    sim.run_to_end();
+    let mut sim = Simulation::with_faults(cfg, plan)
+        .map_err(|e| JobError::Failed(format!("bad experiment ({label}): {e}")))?;
+    drive(&mut sim, &label, |_| {})?;
     let report = sim.fault_report();
     let s = sim
         .summary()
-        .map_err(|e| format!("summary failed ({label}): {e}"))?;
+        .map_err(|e| JobError::Failed(format!("summary failed ({label}): {e}")))?;
     Ok((condense(&s), report))
 }
 
@@ -138,19 +269,19 @@ pub struct SeriesResult {
 ///
 /// # Errors
 ///
-/// Returns a message naming the offending point on an invalid
-/// configuration or a summary taken before warm-up.
-pub fn try_run_series(cfg: SimConfig, window: u64) -> Result<SeriesResult, String> {
+/// Returns a typed [`JobError`] naming the offending point on an invalid
+/// configuration, a summary taken before warm-up, a tripped guard, or
+/// SIGINT.
+pub fn try_run_series(cfg: SimConfig, window: u64) -> Result<SeriesResult, JobError> {
     let label = point_label(&cfg);
-    let cycles = cfg.cycles;
-    let mut sim = Simulation::new(cfg).map_err(|e| format!("bad experiment ({label}): {e}"))?;
+    let mut sim = Simulation::new(cfg)
+        .map_err(|e| JobError::Failed(format!("bad experiment ({label}): {e}")))?;
     let nodes = sim.network().torus().node_count();
     let mut tput = WindowSeries::new(window);
     let mut threshold = GaugeSeries::new();
     let mut full = GaugeSeries::new();
     let mut last_flits = 0u64;
-    while sim.now() < cycles {
-        sim.step();
+    drive(&mut sim, &label, |sim| {
         let now = sim.now() - 1;
         let cum = sim.network().delivered_flits_cum();
         tput.add(now, cum - last_flits);
@@ -163,10 +294,10 @@ pub fn try_run_series(cfg: SimConfig, window: u64) -> Result<SeriesResult, Strin
             }
             full.sample(now, f64::from(sim.network().full_buffer_count()));
         }
-    }
+    })?;
     let s = sim
         .summary()
-        .map_err(|e| format!("summary failed ({label}): {e}"))?;
+        .map_err(|e| JobError::Failed(format!("summary failed ({label}): {e}")))?;
     Ok(SeriesResult {
         window,
         nodes,

@@ -17,9 +17,11 @@
 //! committed reference CSVs must match byte-for-byte at `--jobs 1`, `2`
 //! and `8`.
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Why one job of a sweep produced no result.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +30,13 @@ pub enum JobError {
     Failed(String),
     /// The job panicked; the payload is the panic message.
     Panicked(String),
+    /// The job's watchdog fired: a livelocked simulation or an exhausted
+    /// cycle/wall-clock budget (see [`JobBudget`]); the payload is the
+    /// diagnostic.
+    TimedOut(String),
+    /// The sweep was interrupted (SIGINT) before this job ran; completed
+    /// points are journaled, so the sweep can be resumed with `--resume`.
+    Interrupted,
 }
 
 impl std::fmt::Display for JobError {
@@ -35,11 +44,56 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::Failed(m) => write!(f, "job failed: {m}"),
             JobError::Panicked(m) => write!(f, "job panicked: {m}"),
+            JobError::TimedOut(m) => write!(f, "job timed out: {m}"),
+            JobError::Interrupted => f.write_str("interrupted before the job ran"),
         }
     }
 }
 
 impl std::error::Error for JobError {}
+
+impl From<String> for JobError {
+    fn from(m: String) -> Self {
+        JobError::Failed(m)
+    }
+}
+
+/// Per-job soft deadlines, enforced cooperatively by the guarded run
+/// helpers (`try_run_point` & friends) on whichever worker thread picks the
+/// job up.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobBudget {
+    /// Wall-clock limit per job, measured from when a worker starts it.
+    pub wall: Option<Duration>,
+    /// Simulated-cycle limit per job.
+    pub cycles: Option<u64>,
+}
+
+impl JobBudget {
+    /// The unlimited budget.
+    #[must_use]
+    pub fn none() -> Self {
+        JobBudget::default()
+    }
+
+    fn is_none(&self) -> bool {
+        self.wall.is_none() && self.cycles.is_none()
+    }
+}
+
+thread_local! {
+    // (wall-clock deadline, remaining-cycle budget) of the job currently
+    // running on this worker thread.
+    static ACTIVE_BUDGET: Cell<(Option<Instant>, Option<u64>)> = const { Cell::new((None, None)) };
+}
+
+/// The deadline and cycle budget of the job currently running on this
+/// thread (both `None` outside a budgeted [`Pool::run`]). Guarded
+/// simulation helpers fold this into their [`stcc::RunGuard`].
+#[must_use]
+pub fn active_budget() -> (Option<Instant>, Option<u64>) {
+    ACTIVE_BUDGET.with(Cell::get)
+}
 
 /// A sweep-level error: which labelled point failed, and how.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +117,7 @@ impl std::error::Error for SweepError {}
 pub struct Pool {
     jobs: usize,
     progress: bool,
+    budget: JobBudget,
 }
 
 impl Pool {
@@ -72,6 +127,7 @@ impl Pool {
         Pool {
             jobs: jobs.max(1),
             progress: false,
+            budget: JobBudget::none(),
         }
     }
 
@@ -96,6 +152,21 @@ impl Pool {
         self
     }
 
+    /// Sets per-job soft deadlines. The budget is published to the worker
+    /// thread ([`active_budget`]) for the duration of each job; the guarded
+    /// simulation helpers turn it into [`JobError::TimedOut`].
+    #[must_use]
+    pub fn with_budget(mut self, budget: JobBudget) -> Pool {
+        self.budget = budget;
+        self
+    }
+
+    /// The per-job budget.
+    #[must_use]
+    pub fn budget(&self) -> JobBudget {
+        self.budget
+    }
+
     /// The worker count.
     #[must_use]
     pub fn jobs(&self) -> usize {
@@ -107,13 +178,16 @@ impl Pool {
     ///
     /// `label(job)` names a job for progress/error reporting. Each job's
     /// outcome is independent: a failed or panicked job yields an `Err`
-    /// slot without disturbing the others.
-    pub fn run<J, R, F, L>(&self, jobs: Vec<J>, label: L, work: F) -> Vec<Result<R, SweepError>>
+    /// slot without disturbing the others. Once a SIGINT is observed
+    /// ([`crate::sigint`]) workers stop claiming jobs; every unstarted
+    /// job's slot comes back as [`JobError::Interrupted`].
+    pub fn run<J, R, F, L, E>(&self, jobs: Vec<J>, label: L, work: F) -> Vec<Result<R, SweepError>>
     where
         J: Send,
         R: Send,
-        F: Fn(J) -> Result<R, String> + Sync,
+        F: Fn(J) -> Result<R, E> + Sync,
         L: Fn(&J) -> String + Sync,
+        E: Into<JobError>,
     {
         let n = jobs.len();
         let labels: Vec<String> = jobs.iter().map(&label).collect();
@@ -129,6 +203,9 @@ impl Pool {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    if crate::sigint::interrupted() {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -138,14 +215,21 @@ impl Pool {
                         .expect("job cell lock")
                         .take()
                         .expect("each job index is claimed once");
+                    if !self.budget.is_none() {
+                        let deadline = self.budget.wall.map(|w| Instant::now() + w);
+                        ACTIVE_BUDGET.with(|b| b.set((deadline, self.budget.cycles)));
+                    }
                     let outcome = match catch_unwind(AssertUnwindSafe(|| work(job))) {
                         Ok(Ok(r)) => Ok(r),
-                        Ok(Err(e)) => Err(JobError::Failed(e)),
+                        Ok(Err(e)) => Err(e.into()),
                         // `&*payload`, not `&payload`: a `&Box<dyn Any>`
                         // would itself coerce to `&dyn Any` and hide the
                         // real payload behind a second indirection.
                         Err(payload) => Err(JobError::Panicked(panic_message(&*payload))),
                     };
+                    if !self.budget.is_none() {
+                        ACTIVE_BUDGET.with(|b| b.set((None, None)));
+                    }
                     *slots[i].lock().expect("result slot lock") = Some(outcome);
                     let k = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if self.progress {
@@ -161,7 +245,9 @@ impl Pool {
             .map(|(slot, label)| {
                 slot.into_inner()
                     .expect("result slot lock")
-                    .expect("scope joined: every slot is filled")
+                    // A slot left unfilled means no worker ever claimed the
+                    // job: the sweep was interrupted.
+                    .unwrap_or(Err(JobError::Interrupted))
                     .map_err(|error| SweepError { label, error })
             })
             .collect()
@@ -173,12 +259,18 @@ impl Pool {
     /// # Errors
     ///
     /// Returns the first failing point's [`SweepError`].
-    pub fn try_run<J, R, F, L>(&self, jobs: Vec<J>, label: L, work: F) -> Result<Vec<R>, SweepError>
+    pub fn try_run<J, R, F, L, E>(
+        &self,
+        jobs: Vec<J>,
+        label: L,
+        work: F,
+    ) -> Result<Vec<R>, SweepError>
     where
         J: Send,
         R: Send,
-        F: Fn(J) -> Result<R, String> + Sync,
+        F: Fn(J) -> Result<R, E> + Sync,
         L: Fn(&J) -> String + Sync,
+        E: Into<JobError>,
     {
         self.run(jobs, label, work).into_iter().collect()
     }
@@ -215,7 +307,7 @@ mod tests {
                     // Stagger completion so scheduling order differs from
                     // input order.
                     std::thread::sleep(std::time::Duration::from_micros(100 - j));
-                    Ok(j * 2)
+                    Ok::<_, String>(j * 2)
                 },
             )
             .unwrap();
@@ -229,7 +321,7 @@ mod tests {
                 .try_run(
                     (0..37u64).collect(),
                     |j| j.to_string(),
-                    |j| Ok(j.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    |j| Ok::<_, String>(j.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                 )
                 .unwrap()
         };
@@ -246,7 +338,7 @@ mod tests {
             |j| format!("p{j}"),
             |j| {
                 assert!(j != 2, "boom on {j}");
-                Ok(j)
+                Ok::<_, String>(j)
             },
         );
         assert_eq!(out[0], Ok(1));
@@ -284,8 +376,41 @@ mod tests {
     #[test]
     fn empty_job_list_is_fine() {
         let out: Vec<u32> = Pool::new(4)
-            .try_run(Vec::<u32>::new(), |_| String::new(), Ok)
+            .try_run(Vec::<u32>::new(), |_| String::new(), Ok::<u32, String>)
             .unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn typed_errors_pass_through_untouched() {
+        let pool = Pool::new(2);
+        let err = pool
+            .try_run(
+                vec![0u32],
+                |j| format!("t{j}"),
+                |_| Err::<u32, _>(JobError::TimedOut("wedged".into())),
+            )
+            .unwrap_err();
+        assert_eq!(err.error, JobError::TimedOut("wedged".into()));
+    }
+
+    #[test]
+    fn budget_is_published_to_the_worker_thread() {
+        let pool = Pool::new(1).with_budget(JobBudget {
+            wall: Some(std::time::Duration::from_secs(3600)),
+            cycles: Some(42),
+        });
+        let seen = pool
+            .try_run(
+                vec![()],
+                |()| "b".to_owned(),
+                |()| Ok::<_, String>(active_budget()),
+            )
+            .unwrap();
+        let (deadline, cycles) = seen[0];
+        assert!(deadline.is_some(), "wall budget becomes a deadline");
+        assert_eq!(cycles, Some(42));
+        // Cleared once the job is done.
+        assert_eq!(active_budget(), (None, None));
     }
 }

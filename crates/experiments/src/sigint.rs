@@ -1,0 +1,48 @@
+//! Cooperative SIGINT handling for sweep binaries.
+//!
+//! A raw, zero-dependency handler (std already links libc, so `signal(2)`
+//! is available without adding a crate) that only sets an atomic flag. The
+//! pool's workers stop claiming new jobs once the flag is up and the
+//! in-flight simulations bail at their next guard check, so an interrupted
+//! sweep leaves a valid journal of every completed point instead of a
+//! corrupt CSV.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Installs the SIGINT handler (idempotent; a no-op off Unix).
+pub fn install() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_sigint(_signum: i32) {
+            INTERRUPTED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        // SAFETY: `signal` is async-signal-safe to install, and the handler
+        // only stores to an atomic (itself async-signal-safe).
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+/// Whether a SIGINT has been received since [`install`].
+#[must_use]
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Raises the interrupt flag programmatically (what the signal handler
+/// does; exposed so tests can exercise the drain path).
+pub fn trigger() {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Clears the interrupt flag (test support: the flag is process-global).
+pub fn reset() {
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}

@@ -1,0 +1,212 @@
+//! Resumable sweep execution: a [`Pool`] plus an optional journal of
+//! completed points.
+//!
+//! Figure modules render their final row strings *inside* the worker
+//! closure and fan out through [`SweepCtx::try_run_rows`]; each finished
+//! job's rows are journaled (fsync'd) before the job counts as done, and on
+//! `--resume` journaled jobs are replayed from disk instead of
+//! re-simulated. Jobs are numbered by a context-global counter in issue
+//! order, so a binary that runs several sweeps (e.g. `fig7`) gets stable
+//! indices across runs.
+
+use crate::journal::{Journal, Rows};
+use crate::runner::{JobError, Pool, SweepError};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Execution context of one sweep binary: worker pool, resume state and the
+/// journal of completed points.
+#[derive(Debug)]
+pub struct SweepCtx {
+    pool: Pool,
+    journal: Option<Mutex<Journal>>,
+    done: BTreeMap<u64, Rows>,
+    next_id: AtomicU64,
+}
+
+impl SweepCtx {
+    /// A journal-less context (tests and library callers): every job runs.
+    #[must_use]
+    pub fn bare(pool: Pool) -> SweepCtx {
+        SweepCtx {
+            pool,
+            journal: None,
+            done: BTreeMap::new(),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// A journaling context seeded with previously completed jobs
+    /// (see [`Journal::begin`]).
+    #[must_use]
+    pub fn with_journal(pool: Pool, journal: Journal, done: BTreeMap<u64, Rows>) -> SweepCtx {
+        SweepCtx {
+            pool,
+            journal: Some(Mutex::new(journal)),
+            done,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// The worker pool.
+    #[must_use]
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// Number of journaled (already completed) jobs this context resumed
+    /// with.
+    #[must_use]
+    pub fn resumed_jobs(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Runs `work(job)` for every job not already journaled, fanned across
+    /// the pool, and returns every job's rendered rows — journaled and
+    /// fresh alike — flattened in input order.
+    ///
+    /// `work` must render the job's final table rows: they are what the
+    /// journal replays on resume, byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing point's [`SweepError`]; completed points
+    /// stay journaled, so the sweep can be resumed.
+    pub fn try_run_rows<J, L, F, E>(
+        &self,
+        jobs: Vec<J>,
+        label: L,
+        work: F,
+    ) -> Result<Vec<Vec<String>>, SweepError>
+    where
+        J: Send,
+        L: Fn(&J) -> String + Sync,
+        F: Fn(J) -> Result<Rows, E> + Sync,
+        E: Into<JobError>,
+    {
+        let base = self.next_id.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        let mut slots: Vec<Option<Rows>> = Vec::with_capacity(jobs.len());
+        let mut pending: Vec<(u64, usize, J)> = Vec::new();
+        for (i, job) in jobs.into_iter().enumerate() {
+            let id = base + i as u64;
+            if let Some(rows) = self.done.get(&id) {
+                slots.push(Some(rows.clone()));
+            } else {
+                slots.push(None);
+                pending.push((id, i, job));
+            }
+        }
+        let fresh = self.pool.try_run(
+            pending,
+            |(_, _, job)| label(job),
+            |(id, i, job)| {
+                let rows = work(job).map_err(Into::into)?;
+                if let Some(journal) = &self.journal {
+                    journal
+                        .lock()
+                        .expect("journal lock")
+                        .append(id, &rows)
+                        .map_err(|e| JobError::Failed(format!("journal write: {e}")))?;
+                }
+                Ok::<_, JobError>((i, rows))
+            },
+        )?;
+        for (i, rows) in fresh {
+            slots[i] = Some(rows);
+        }
+        Ok(slots
+            .into_iter()
+            .flat_map(|s| s.expect("done or freshly run: every slot is filled"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn rowset(tag: &str) -> Rows {
+        vec![vec![tag.to_owned(), "1".to_owned()]]
+    }
+
+    #[test]
+    fn bare_context_runs_everything_in_order() {
+        let ctx = SweepCtx::bare(Pool::new(4));
+        let rows = ctx
+            .try_run_rows(
+                (0..10u32).collect(),
+                |j| format!("j{j}"),
+                |j| Ok::<_, String>(vec![vec![j.to_string()]]),
+            )
+            .unwrap();
+        assert_eq!(
+            rows,
+            (0..10).map(|j| vec![j.to_string()]).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn journaled_jobs_are_replayed_not_rerun() {
+        let dir = std::env::temp_dir().join("stcc-sweep-test-replay");
+        let path = dir.join("x.tiny.journal");
+        let _ = fs::remove_file(&path);
+        // Seed the journal with job 1's rows — but a *sentinel* payload a
+        // fresh run would never produce, proving the journal is the source.
+        let (mut j, _) = Journal::begin(&path, 42, false).unwrap();
+        j.append(1, &rowset("from-journal")).unwrap();
+        drop(j);
+        let (j, done) = Journal::begin(&path, 42, true).unwrap();
+        let ctx = SweepCtx::with_journal(Pool::new(2), j, done);
+        let rows = ctx
+            .try_run_rows(
+                vec!["a", "b", "c"],
+                |j| (*j).to_owned(),
+                |j| Ok::<_, String>(rowset(&format!("ran-{j}"))),
+            )
+            .unwrap();
+        assert_eq!(rows[0][0], "ran-a");
+        assert_eq!(rows[1][0], "from-journal", "job 1 came from the journal");
+        assert_eq!(rows[2][0], "ran-c");
+        // Jobs a and c were appended, so a second resume replays all three.
+        let (j, done) = Journal::begin(&path, 42, true).unwrap();
+        assert_eq!(done.len(), 3);
+        let ctx = SweepCtx::with_journal(Pool::new(2), j, done);
+        assert_eq!(ctx.resumed_jobs(), 3);
+        let rows = ctx
+            .try_run_rows(
+                vec!["a", "b", "c"],
+                |j| (*j).to_owned(),
+                |_| Err::<Rows, _>("must not re-run".to_owned()),
+            )
+            .unwrap();
+        assert_eq!(rows[1][0], "from-journal");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn ids_advance_across_multiple_sweeps_in_one_context() {
+        let dir = std::env::temp_dir().join("stcc-sweep-test-multi");
+        let path = dir.join("m.tiny.journal");
+        let _ = fs::remove_file(&path);
+        let (j, done) = Journal::begin(&path, 7, false).unwrap();
+        let ctx = SweepCtx::with_journal(Pool::new(1), j, done);
+        ctx.try_run_rows(
+            vec![0u32, 1],
+            |j| j.to_string(),
+            |j| Ok::<_, String>(rowset(&format!("first-{j}"))),
+        )
+        .unwrap();
+        ctx.try_run_rows(
+            vec![0u32],
+            |j| j.to_string(),
+            |j| Ok::<_, String>(rowset(&format!("second-{j}"))),
+        )
+        .unwrap();
+        let (_, done) = Journal::begin(&path, 7, true).unwrap();
+        assert_eq!(done.keys().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(done[&2], rowset("second-0"));
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -33,6 +33,18 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// Appends every row (the flattened output of
+    /// [`SweepCtx::try_run_rows`](crate::SweepCtx::try_run_rows)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's cell count does not match the header count.
+    pub fn extend(&mut self, rows: Vec<Vec<String>>) {
+        for row in rows {
+            self.push(row);
+        }
+    }
+
     /// The table title.
     #[must_use]
     pub fn title(&self) -> &str {
@@ -112,16 +124,24 @@ impl Table {
         out
     }
 
-    /// Writes the CSV rendering to `path`, creating parent directories.
+    /// Writes the CSV rendering to `path` atomically (temp file in the same
+    /// directory, then rename), creating parent directories. A crash mid-run
+    /// can therefore never leave a truncated CSV behind: readers see either
+    /// the previous complete file or the new one.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        if let Some(parent) = path.as_ref().parent() {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
             fs::create_dir_all(parent)?;
         }
-        fs::write(path, self.to_csv())
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        fs::write(&tmp, self.to_csv())?;
+        fs::rename(&tmp, path)
     }
 }
 

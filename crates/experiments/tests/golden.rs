@@ -1,6 +1,6 @@
 //! Golden snapshot tests: the committed `tests/golden/*.tiny.csv` files
-//! are the reference outputs of fig2/fig4/fig5 on the small network
-//! preset (8-ary 2-cube) at tiny scale. Each test re-simulates and
+//! are the reference outputs of fig2/fig4/fig5/resilience on the small
+//! network preset (8-ary 2-cube) at tiny scale. Each test re-simulates and
 //! asserts the CSV rendering is **byte-identical** to the snapshot —
 //! at `--jobs 1`, `2` and `8`, and across two runs at the same seed —
 //! which is the determinism guarantee the parallel runner advertises.
@@ -8,15 +8,15 @@
 //! Regenerate after an intentional simulator change with:
 //!
 //! ```text
-//! for f in fig2 fig4 fig5; do
+//! for f in fig2 fig4 fig5 resilience; do
 //!   cargo run --release -p experiments --bin $f -- \
 //!     --scale tiny --net small --out crates/experiments/tests/golden
 //! done
 //! ```
 
-use experiments::figures::{fig2, fig4, fig5};
+use experiments::figures::{fig2, fig4, fig5, resilience};
 use experiments::runner::{Pool, SweepError};
-use experiments::{NetPreset, Scale, Table};
+use experiments::{NetPreset, Scale, SweepCtx, Table};
 
 fn golden(name: &str) -> String {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -26,10 +26,15 @@ fn golden(name: &str) -> String {
         .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()))
 }
 
-fn check(name: &str, job_counts: &[usize], generate: impl Fn(&Pool) -> Result<Table, SweepError>) {
+fn check(
+    name: &str,
+    job_counts: &[usize],
+    generate: impl Fn(&SweepCtx) -> Result<Table, SweepError>,
+) {
     let want = golden(name);
     for &jobs in job_counts {
-        let t = generate(&Pool::new(jobs)).unwrap_or_else(|e| panic!("{name} @ jobs={jobs}: {e}"));
+        let ctx = SweepCtx::bare(Pool::new(jobs));
+        let t = generate(&ctx).unwrap_or_else(|e| panic!("{name} @ jobs={jobs}: {e}"));
         assert_eq!(
             t.to_csv(),
             want,
@@ -40,30 +45,36 @@ fn check(name: &str, job_counts: &[usize], generate: impl Fn(&Pool) -> Result<Ta
 
 #[test]
 fn fig2_matches_golden_at_every_job_count() {
-    check("fig2.tiny.csv", &[1, 2, 8], |pool| {
-        fig2::generate_on(NetPreset::Small, Scale::Tiny, pool)
+    check("fig2.tiny.csv", &[1, 2, 8], |ctx| {
+        fig2::generate_on(NetPreset::Small, Scale::Tiny, ctx)
     });
 }
 
 #[test]
 fn fig4_matches_golden_at_every_job_count() {
-    check("fig4.tiny.csv", &[1, 2, 8], |pool| {
-        fig4::generate_on(NetPreset::Small, Scale::Tiny, pool)
+    check("fig4.tiny.csv", &[1, 2, 8], |ctx| {
+        fig4::generate_on(NetPreset::Small, Scale::Tiny, ctx)
     });
 }
 
 #[test]
 fn fig5_matches_golden_at_every_job_count() {
-    check("fig5.tiny.csv", &[1, 8], |pool| {
-        fig5::generate_on(NetPreset::Small, Scale::Tiny, pool)
+    check("fig5.tiny.csv", &[1, 8], |ctx| {
+        fig5::generate_on(NetPreset::Small, Scale::Tiny, ctx)
+    });
+}
+
+#[test]
+fn resilience_matches_golden_at_every_job_count() {
+    check("resilience.tiny.csv", &[1, 2, 8], |ctx| {
+        resilience::generate_on(NetPreset::Small, Scale::Tiny, ctx)
     });
 }
 
 #[test]
 fn two_runs_same_seed_are_identical() {
-    let pool = Pool::new(8);
     let run = || {
-        fig2::generate_on(NetPreset::Small, Scale::Tiny, &pool)
+        fig2::generate_on(NetPreset::Small, Scale::Tiny, &SweepCtx::bare(Pool::new(8)))
             .expect("fig2 tiny sweep")
             .to_csv()
     };

@@ -1,0 +1,45 @@
+//! SIGINT semantics of the pool: once the flag is up, workers stop
+//! claiming jobs and every unstarted slot surfaces as
+//! [`JobError::Interrupted`] — the sweep flushes instead of hanging.
+//!
+//! Lives in its own integration-test binary because the interrupt flag is
+//! process-global; sharing a process with the golden/resume tests would
+//! race them.
+
+use experiments::journal::Journal;
+use experiments::runner::{JobError, Pool};
+use experiments::{sigint, SweepCtx};
+use std::fs;
+
+#[test]
+fn interrupt_stops_unstarted_jobs_and_keeps_journaled_ones() {
+    let path = std::env::temp_dir().join("stcc-interrupt-test/x.journal");
+    let _ = fs::remove_file(&path);
+    let (journal, done) = Journal::begin(&path, 5, false).unwrap();
+    let ctx = SweepCtx::with_journal(Pool::new(1), journal, done);
+
+    // Job 0 completes (and is journaled), then raises the interrupt flag;
+    // the single worker must refuse to claim job 1.
+    let err = ctx
+        .try_run_rows(
+            vec![0u32, 1],
+            |j| format!("job{j}"),
+            |j| {
+                if j == 0 {
+                    sigint::trigger();
+                    Ok(vec![vec!["done-0".to_owned()]])
+                } else {
+                    Err::<_, String>("job 1 must never run".to_owned())
+                }
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err.error, JobError::Interrupted);
+    sigint::reset();
+
+    // The completed point survived the interrupt: a resume replays it.
+    let (_, done) = Journal::begin(&path, 5, true).unwrap();
+    assert_eq!(done.keys().copied().collect::<Vec<_>>(), vec![0]);
+    assert_eq!(done[&0], vec![vec!["done-0".to_owned()]]);
+    let _ = fs::remove_file(&path);
+}

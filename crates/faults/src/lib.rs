@@ -10,9 +10,11 @@
 //! * **Side-band snapshot delay** — a gather arrives up to `max_delay`
 //!   cycles late (possibly out of order with later gathers).
 //! * **Side-band corruption** — bit flips in the *transmitted* full-buffer
-//!   and delivered-flit counts, composing with the narrow-side-band
-//!   [`Quantizer`](https://example.invalid) model: flips land in the bits
-//!   that are actually on the wire.
+//!   and delivered-flit counts, composing with the `sideband` crate's
+//!   narrow-side-band `Quantizer` model: flips land in the bits that are
+//!   actually on the wire. (Plain code formatting, not an intra-doc link:
+//!   `sideband` depends on this crate, so the link target cannot be named
+//!   from here without a dependency cycle.)
 //! * **Link stalls** — a router output port is dead for `[start, end)`
 //!   cycles; nothing traverses it.
 //! * **Node hotspots** — a node's delivery (ejection) channel is stalled

@@ -29,6 +29,42 @@ impl LatencyStats {
         }
     }
 
+    /// Serializes the collector into `enc` (for checkpointing).
+    pub fn save_state(&self, enc: &mut checkpoint::Enc) {
+        enc.u64(self.count);
+        enc.u64(self.sum);
+        enc.u64(self.min);
+        enc.u64(self.max);
+        for &b in &self.buckets {
+            enc.u64(b);
+        }
+    }
+
+    /// Reads a collector serialized with [`LatencyStats::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`checkpoint::CheckpointError`] on a truncated stream.
+    pub fn restore_state(
+        dec: &mut checkpoint::Dec<'_>,
+    ) -> Result<Self, checkpoint::CheckpointError> {
+        let count = dec.u64()?;
+        let sum = dec.u64()?;
+        let min = dec.u64()?;
+        let max = dec.u64()?;
+        let mut buckets = [0u64; 40];
+        for b in &mut buckets {
+            *b = dec.u64()?;
+        }
+        Ok(LatencyStats {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        })
+    }
+
     /// Records one latency sample (in cycles).
     pub fn record(&mut self, latency: u64) {
         self.count += 1;

@@ -35,4 +35,47 @@ impl Counters {
     pub fn undelivered(&self) -> u64 {
         self.generated_packets - self.delivered_packets
     }
+
+    /// Serializes every counter into `enc` (for checkpointing). Field
+    /// order is part of the checkpoint format.
+    pub fn save_state(&self, enc: &mut checkpoint::Enc) {
+        for v in [
+            self.generated_packets,
+            self.refused_generations,
+            self.injected_packets,
+            self.delivered_packets,
+            self.delivered_flits,
+            self.recovered_packets,
+            self.recovery_timeouts,
+            self.escape_allocations,
+            self.throttled_injections,
+            self.link_stall_cycles,
+            self.hotspot_stall_cycles,
+        ] {
+            enc.u64(v);
+        }
+    }
+
+    /// Reads counters serialized with [`Counters::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`checkpoint::CheckpointError`] on a truncated stream.
+    pub fn restore_state(
+        dec: &mut checkpoint::Dec<'_>,
+    ) -> Result<Self, checkpoint::CheckpointError> {
+        Ok(Counters {
+            generated_packets: dec.u64()?,
+            refused_generations: dec.u64()?,
+            injected_packets: dec.u64()?,
+            delivered_packets: dec.u64()?,
+            delivered_flits: dec.u64()?,
+            recovered_packets: dec.u64()?,
+            recovery_timeouts: dec.u64()?,
+            escape_allocations: dec.u64()?,
+            throttled_injections: dec.u64()?,
+            link_stall_cycles: dec.u64()?,
+            hotspot_stall_cycles: dec.u64()?,
+        })
+    }
 }

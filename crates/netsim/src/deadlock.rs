@@ -89,6 +89,12 @@ impl Network {
                 continue;
             }
             if i == last {
+                // A hot, non-consuming destination stalls the recovery
+                // drain exactly as it stalls the normal delivery channel.
+                if self.delivery_stalled(r, now) {
+                    self.counters.hotspot_stall_cycles += 1;
+                    continue;
+                }
                 let flit = self.dl_buf[r].pop_front().expect("front checked");
                 let is_tail = flit.idx + 1 == self.packets.get(flit.packet).len;
                 self.deliver_flit(now, flit, true);
@@ -101,6 +107,7 @@ impl Network {
                     let mut flit = self.dl_buf[r].pop_front().expect("front checked");
                     flit.ready_at = now + self.config().hop_latency;
                     self.dl_buf[next].push_back(flit);
+                    self.last_progress_at = now;
                 }
             }
         }
@@ -126,6 +133,7 @@ impl Network {
                         self.note_vc_popped(job.src_vc);
                         flit.ready_at = now + 1;
                         self.dl_buf[entry].push_back(flit);
+                        self.last_progress_at = now;
                     }
                 }
             }

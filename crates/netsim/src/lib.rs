@@ -51,6 +51,7 @@ mod deadlock;
 mod network;
 mod packet;
 mod routing;
+mod snapshot;
 
 pub use config::{ConfigError, DeadlockMode, NetConfig};
 pub use control::{CongestionControl, NoControl};

@@ -121,11 +121,11 @@ pub struct Network {
     pub(crate) recovery: Option<RecoveryJob>,
 
     /// Demand-slotted round-robin cursor of each router's routing arbiter.
-    route_rr: Vec<usize>,
+    pub(crate) route_rr: Vec<usize>,
     /// Round-robin cursor per output channel (network ports + delivery).
-    out_rr: Vec<usize>,
+    pub(crate) out_rr: Vec<usize>,
 
-    now: u64,
+    pub(crate) now: u64,
     pub(crate) counters: Counters,
     /// Incrementally maintained count of completely full input VC buffers.
     pub(crate) full_buffers: u32,
@@ -134,14 +134,17 @@ pub struct Network {
     /// switch and starvation stages iterate set bits instead of scanning
     /// every VC, so an idle router costs one integer test per cycle.
     /// (Config validation caps feeders at 64, so a `u64` always fits.)
-    vc_busy: Vec<u64>,
-    deliveries: Vec<DeliveredRecord>,
+    pub(crate) vc_busy: Vec<u64>,
+    pub(crate) deliveries: Vec<DeliveredRecord>,
     /// Scratch: per-node injection allowance for the current cycle.
     allow: Vec<bool>,
     /// FIFO of suspected-deadlocked input VCs awaiting the recovery token.
     pub(crate) token_queue: VecDeque<usize>,
     /// Cycle of the most recent flit delivery (watchdog aid).
-    last_delivery_at: u64,
+    pub(crate) last_delivery_at: u64,
+    /// Cycle any flit last moved anywhere — normal hops, injections,
+    /// deliveries or recovery-network steps (drives livelock detection).
+    pub(crate) last_progress_at: u64,
     /// Scheduled link/hotspot faults (`None` = fault-free network; the hot
     /// path is untouched until a non-quiet plan is installed).
     faults: Option<FaultPlan>,
@@ -187,6 +190,7 @@ impl Network {
             allow: vec![true; nodes],
             token_queue: VecDeque::new(),
             last_delivery_at: 0,
+            last_progress_at: 0,
             faults: None,
             cfg,
         })
@@ -284,6 +288,42 @@ impl Network {
     #[must_use]
     pub fn progress_stalled(&self, window: u64) -> bool {
         self.packets.live() > 0 && self.now.saturating_sub(self.last_delivery_at) >= window
+    }
+
+    /// Cycle any flit of any packet last moved — a normal hop, an
+    /// injection, a delivery or a recovery-network step. The livelock
+    /// watchdog's progress marker.
+    #[must_use]
+    pub fn last_progress_at(&self) -> u64 {
+        self.last_progress_at
+    }
+
+    /// Cycle of the most recent flit delivery.
+    #[must_use]
+    pub fn last_delivery_at(&self) -> u64 {
+        self.last_delivery_at
+    }
+
+    /// Whether the network is wedged: traffic is in flight but *no flit has
+    /// moved anywhere* — not even through the recovery network — for at
+    /// least `window` cycles. A correctly configured network always keeps
+    /// some flit moving, so this only trips on genuine livelock (e.g. every
+    /// delivery channel stalled by a permanent hotspot fault).
+    #[must_use]
+    pub fn livelocked(&self, window: u64) -> bool {
+        self.packets.live() > 0 && self.now.saturating_sub(self.last_progress_at) >= window
+    }
+
+    /// Number of suspected-deadlocked VCs waiting for the recovery token.
+    #[must_use]
+    pub fn token_queue_len(&self) -> usize {
+        self.token_queue.len()
+    }
+
+    /// Whether a Disha recovery drain is currently holding the token.
+    #[must_use]
+    pub fn recovery_active(&self) -> bool {
+        self.recovery.is_some()
     }
 
     // ------------------------------------------------------------------
@@ -773,6 +813,7 @@ impl Network {
         };
 
         self.packets.get_mut(flit.packet).last_move = now;
+        self.last_progress_at = now;
         match assign {
             Assign::Out { port, vc } => {
                 let oidx = self.vc_idx(node, usize::from(port), usize::from(vc));
@@ -797,10 +838,21 @@ impl Network {
         }
     }
 
+    /// Whether a fault plan currently stalls `node`'s delivery channel
+    /// (consulted by both the switch stage and the recovery drain: a hot,
+    /// non-consuming node cannot consume recovery flits either).
+    #[inline]
+    pub(crate) fn delivery_stalled(&self, node: NodeId, now: u64) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|plan| plan.delivery_down(node, now))
+    }
+
     /// Consumes a flit at its destination's delivery channel.
     pub(crate) fn deliver_flit(&mut self, now: u64, flit: Flit, via_recovery: bool) {
         self.counters.delivered_flits += 1;
         self.last_delivery_at = now;
+        self.last_progress_at = now;
         let len = {
             let p = self.packets.get_mut(flit.packet);
             p.delivered_flits += 1;

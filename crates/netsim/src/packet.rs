@@ -123,6 +123,66 @@ impl PacketStore {
     pub fn live(&self) -> usize {
         self.slots.len() - self.free.len()
     }
+
+    /// Serializes the whole store — live slots, recycled slots and the free
+    /// list order (which determines future id assignment) — into `enc`.
+    pub fn save_state(&self, enc: &mut checkpoint::Enc) {
+        enc.usize(self.slots.len());
+        for p in &self.slots {
+            enc.usize(p.src);
+            enc.usize(p.dst);
+            enc.u64(p.generated_at);
+            enc.u64(p.injected_at);
+            enc.u16(p.len);
+            enc.u16(p.delivered_flits);
+            enc.u64(p.last_move);
+        }
+        enc.usize(self.free.len());
+        for &id in &self.free {
+            enc.u32(id);
+        }
+    }
+
+    /// Reads a store serialized with [`PacketStore::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`checkpoint::CheckpointError`] on a truncated stream or a
+    /// free-list entry outside the slot range.
+    pub fn restore_state(
+        dec: &mut checkpoint::Dec<'_>,
+    ) -> Result<Self, checkpoint::CheckpointError> {
+        let nslots = dec.usize()?;
+        let mut slots = Vec::with_capacity(nslots.min(1 << 20));
+        for _ in 0..nslots {
+            slots.push(PacketInfo {
+                src: dec.usize()?,
+                dst: dec.usize()?,
+                generated_at: dec.u64()?,
+                injected_at: dec.u64()?,
+                len: dec.u16()?,
+                delivered_flits: dec.u16()?,
+                last_move: dec.u64()?,
+            });
+        }
+        let nfree = dec.usize()?;
+        if nfree > nslots {
+            return Err(checkpoint::CheckpointError::Corrupt(
+                "free list longer than slot array",
+            ));
+        }
+        let mut free = Vec::with_capacity(nfree);
+        for _ in 0..nfree {
+            let id = dec.u32()?;
+            if id as usize >= nslots {
+                return Err(checkpoint::CheckpointError::Corrupt(
+                    "free list entry out of range",
+                ));
+            }
+            free.push(id);
+        }
+        Ok(PacketStore { slots, free })
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,404 @@
+//! Full-state capture of a [`Network`] for deterministic checkpoint/restore.
+//!
+//! The serialized state covers *everything* the cycle pipeline reads or
+//! writes: edge buffers and routing assignments of every input VC, output
+//! VC allocations, injection interfaces, source queues, the packet store
+//! (including free-list order, which determines future id assignment),
+//! sticky escape flags, the Disha deadlock buffers and in-progress recovery
+//! job, both round-robin cursor families, the active-VC worklist, counters
+//! and watchdog markers. Configuration (`NetConfig`, topology, installed
+//! fault plan) is *not* serialized: a snapshot is restored into a network
+//! freshly built from the same configuration, and the caller guards that
+//! with a configuration fingerprint at the container level.
+//!
+//! The golden property — restore + run to end is bit-identical to the
+//! uninterrupted run — holds because after [`Network::restore_state`] every
+//! field that influences any future cycle equals the original's. The only
+//! skipped field is the per-cycle injection-allowance scratch, which the
+//! pipeline rewrites for every node before reading it.
+
+use crate::network::{Assign, InVc, InjState, Network, RecoveryJob};
+use crate::packet::{DeliveredRecord, Flit, PacketStore};
+use checkpoint::{CheckpointError, Dec, Enc};
+use std::collections::VecDeque;
+
+use crate::counters::Counters;
+
+fn enc_assign(enc: &mut Enc, a: Assign) {
+    match a {
+        Assign::None => enc.u8(0),
+        Assign::Out { port, vc } => {
+            enc.u8(1);
+            enc.u8(port);
+            enc.u8(vc);
+        }
+        Assign::Delivery => enc.u8(2),
+        Assign::AwaitToken => enc.u8(3),
+        Assign::Recovery => enc.u8(4),
+    }
+}
+
+fn dec_assign(dec: &mut Dec<'_>) -> Result<Assign, CheckpointError> {
+    Ok(match dec.u8()? {
+        0 => Assign::None,
+        1 => Assign::Out {
+            port: dec.u8()?,
+            vc: dec.u8()?,
+        },
+        2 => Assign::Delivery,
+        3 => Assign::AwaitToken,
+        4 => Assign::Recovery,
+        _ => return Err(CheckpointError::Corrupt("bad assignment tag")),
+    })
+}
+
+fn enc_flit(enc: &mut Enc, f: Flit) {
+    enc.u32(f.packet);
+    enc.u16(f.idx);
+    enc.u64(f.ready_at);
+}
+
+fn dec_flit(dec: &mut Dec<'_>) -> Result<Flit, CheckpointError> {
+    Ok(Flit {
+        packet: dec.u32()?,
+        idx: dec.u16()?,
+        ready_at: dec.u64()?,
+    })
+}
+
+fn enc_flit_q(enc: &mut Enc, q: &VecDeque<Flit>) {
+    enc.usize(q.len());
+    for &f in q {
+        enc_flit(enc, f);
+    }
+}
+
+fn dec_flit_q(dec: &mut Dec<'_>, max: usize) -> Result<VecDeque<Flit>, CheckpointError> {
+    let n = dec.usize()?;
+    if n > max {
+        return Err(CheckpointError::Corrupt("flit queue exceeds capacity"));
+    }
+    let mut q = VecDeque::with_capacity(max);
+    for _ in 0..n {
+        q.push_back(dec_flit(dec)?);
+    }
+    Ok(q)
+}
+
+impl Network {
+    /// Serializes the complete mutable state into `enc`.
+    pub fn save_state(&self, enc: &mut Enc) {
+        enc.u64(self.now);
+        enc.u64(self.last_delivery_at);
+        enc.u64(self.last_progress_at);
+        enc.u32(self.full_buffers);
+        self.counters.save_state(enc);
+
+        enc.usize(self.in_vcs.len());
+        for vc in &self.in_vcs {
+            enc_flit_q(enc, &vc.buf);
+            enc_assign(enc, vc.assign);
+            enc.u64(vc.routed_at);
+            enc.u64(vc.blocked);
+            enc.bool(vc.queued_for_token);
+        }
+        for &b in &self.out_alloc {
+            enc.bool(b);
+        }
+        for inj in &self.inj {
+            enc.bool(inj.active.is_some());
+            enc.u32(inj.active.unwrap_or(0));
+            enc.u16(inj.sent);
+            enc_assign(enc, inj.assign);
+            enc.u64(inj.routed_at);
+        }
+        for q in &self.source_q {
+            enc.usize(q.len());
+            for &id in q {
+                enc.u32(id);
+            }
+        }
+        self.packets.save_state(enc);
+        enc.usize(self.escaped.len());
+        for &b in &self.escaped {
+            enc.bool(b);
+        }
+        for q in &self.dl_buf {
+            enc_flit_q(enc, q);
+        }
+        match &self.recovery {
+            None => enc.bool(false),
+            Some(job) => {
+                enc.bool(true);
+                enc.u32(job.packet);
+                enc.usize(job.path.len());
+                for &n in &job.path {
+                    enc.usize(n);
+                }
+                enc.usize(job.src_vc);
+                enc.bool(job.tail_in);
+            }
+        }
+        for &c in &self.route_rr {
+            enc.usize(c);
+        }
+        for &c in &self.out_rr {
+            enc.usize(c);
+        }
+        for &m in &self.vc_busy {
+            enc.u64(m);
+        }
+        enc.usize(self.token_queue.len());
+        for &idx in &self.token_queue {
+            enc.usize(idx);
+        }
+        enc.usize(self.deliveries.len());
+        for d in &self.deliveries {
+            enc.usize(d.src);
+            enc.usize(d.dst);
+            enc.u64(d.generated_at);
+            enc.u64(d.injected_at);
+            enc.u64(d.delivered_at);
+            enc.u16(d.len);
+            enc.bool(d.recovered);
+        }
+    }
+
+    /// Restores state captured with [`Network::save_state`] into a network
+    /// built from the *same* configuration (same radix, dimensions, VCs,
+    /// buffer depth). Any installed fault plan is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`checkpoint::CheckpointError`] on a truncated stream, a
+    /// structurally impossible value, or a shape mismatch against this
+    /// network's configuration.
+    pub fn restore_state(&mut self, dec: &mut Dec<'_>) -> Result<(), CheckpointError> {
+        let nodes = self.torus().node_count();
+        let n_vcs = self.in_vcs.len();
+        let depth = self.config().buf_depth;
+
+        let now = dec.u64()?;
+        let last_delivery_at = dec.u64()?;
+        let last_progress_at = dec.u64()?;
+        let full_buffers = dec.u32()?;
+        let counters = Counters::restore_state(dec)?;
+
+        if dec.usize()? != n_vcs {
+            return Err(CheckpointError::Corrupt("input VC count mismatch"));
+        }
+        let mut in_vcs = Vec::with_capacity(n_vcs);
+        for _ in 0..n_vcs {
+            in_vcs.push(InVc {
+                buf: dec_flit_q(dec, depth)?,
+                assign: dec_assign(dec)?,
+                routed_at: dec.u64()?,
+                blocked: dec.u64()?,
+                queued_for_token: dec.bool()?,
+            });
+        }
+        let mut out_alloc = Vec::with_capacity(n_vcs);
+        for _ in 0..n_vcs {
+            out_alloc.push(dec.bool()?);
+        }
+        let mut inj = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let some = dec.bool()?;
+            let id = dec.u32()?;
+            inj.push(InjState {
+                active: some.then_some(id),
+                sent: dec.u16()?,
+                assign: dec_assign(dec)?,
+                routed_at: dec.u64()?,
+            });
+        }
+        let mut source_q = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let n = dec.usize()?;
+            if n > self.config().source_queue_cap {
+                return Err(CheckpointError::Corrupt("source queue exceeds capacity"));
+            }
+            let mut q = VecDeque::with_capacity(n);
+            for _ in 0..n {
+                q.push_back(dec.u32()?);
+            }
+            source_q.push(q);
+        }
+        let packets = PacketStore::restore_state(dec)?;
+        let n_escaped = dec.usize()?;
+        if n_escaped > u32::MAX as usize {
+            return Err(CheckpointError::Corrupt("escape flag count implausible"));
+        }
+        let mut escaped = Vec::with_capacity(n_escaped);
+        for _ in 0..n_escaped {
+            escaped.push(dec.bool()?);
+        }
+        let mut dl_buf = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            dl_buf.push(dec_flit_q(dec, crate::network::DL_DEPTH)?);
+        }
+        let recovery = if dec.bool()? {
+            let packet = dec.u32()?;
+            let path_len = dec.usize()?;
+            if path_len == 0 || path_len > nodes {
+                return Err(CheckpointError::Corrupt("recovery path length"));
+            }
+            let mut path = Vec::with_capacity(path_len);
+            for _ in 0..path_len {
+                let n = dec.usize()?;
+                if n >= nodes {
+                    return Err(CheckpointError::Corrupt("recovery path node"));
+                }
+                path.push(n);
+            }
+            let src_vc = dec.usize()?;
+            if src_vc >= n_vcs {
+                return Err(CheckpointError::Corrupt("recovery source VC"));
+            }
+            Some(RecoveryJob {
+                packet,
+                path,
+                src_vc,
+                tail_in: dec.bool()?,
+            })
+        } else {
+            None
+        };
+        let mut route_rr = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            route_rr.push(dec.usize()?);
+        }
+        let n_out_rr = self.out_rr.len();
+        let mut out_rr = Vec::with_capacity(n_out_rr);
+        for _ in 0..n_out_rr {
+            out_rr.push(dec.usize()?);
+        }
+        let mut vc_busy = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            vc_busy.push(dec.u64()?);
+        }
+        let n_tok = dec.usize()?;
+        if n_tok > n_vcs {
+            return Err(CheckpointError::Corrupt("token queue implausibly long"));
+        }
+        let mut token_queue = VecDeque::with_capacity(n_tok);
+        for _ in 0..n_tok {
+            let idx = dec.usize()?;
+            if idx >= n_vcs {
+                return Err(CheckpointError::Corrupt("token queue entry out of range"));
+            }
+            token_queue.push_back(idx);
+        }
+        let n_del = dec.usize()?;
+        if n_del > counters.delivered_packets as usize {
+            return Err(CheckpointError::Corrupt("undrained delivery count"));
+        }
+        let mut deliveries = Vec::with_capacity(n_del);
+        for _ in 0..n_del {
+            deliveries.push(DeliveredRecord {
+                src: dec.usize()?,
+                dst: dec.usize()?,
+                generated_at: dec.u64()?,
+                injected_at: dec.u64()?,
+                delivered_at: dec.u64()?,
+                len: dec.u16()?,
+                recovered: dec.bool()?,
+            });
+        }
+
+        self.now = now;
+        self.last_delivery_at = last_delivery_at;
+        self.last_progress_at = last_progress_at;
+        self.full_buffers = full_buffers;
+        self.counters = counters;
+        self.in_vcs = in_vcs;
+        self.out_alloc = out_alloc;
+        self.inj = inj;
+        self.source_q = source_q;
+        self.packets = packets;
+        self.escaped = escaped;
+        self.dl_buf = dl_buf;
+        self.recovery = recovery;
+        self.route_rr = route_rr;
+        self.out_rr = out_rr;
+        self.vc_busy = vc_busy;
+        self.token_queue = token_queue;
+        self.deliveries = deliveries;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{DeadlockMode, NetConfig};
+    use crate::control::NoControl;
+    use crate::Network;
+    use checkpoint::{Dec, Enc};
+
+    /// A deterministic little traffic source: every node sends to the
+    /// opposite node every `interval` cycles.
+    fn source(interval: u64) -> impl FnMut(u64, usize) -> Option<usize> {
+        move |now, node| {
+            (now % interval == node as u64 % interval).then_some({
+                let nodes = 16usize;
+                (node + nodes / 2) % nodes
+            })
+        }
+    }
+
+    fn small_cfg() -> NetConfig {
+        NetConfig {
+            radix: 4,
+            dimensions: 2,
+            ..NetConfig::small(DeadlockMode::Recovery { timeout: 8 })
+        }
+    }
+
+    fn snapshot(net: &Network) -> Vec<u8> {
+        let mut enc = Enc::new();
+        net.save_state(&mut enc);
+        enc.into_vec()
+    }
+
+    #[test]
+    fn save_restore_resume_is_bit_identical() {
+        let cfg = small_cfg();
+        let mut src_a = source(3);
+        let mut a = Network::new(cfg.clone()).unwrap();
+        for _ in 0..500 {
+            a.cycle(&mut src_a, &mut NoControl);
+        }
+        let snap = snapshot(&a);
+
+        // Restore into a fresh network and run both 500 more cycles.
+        let mut b = Network::new(cfg).unwrap();
+        let mut dec = Dec::new(&snap);
+        b.restore_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(snapshot(&b), snap, "restore must reproduce the snapshot");
+
+        let mut src_b = source(3);
+        // The source is a pure function of (now, node); fast-forward needs
+        // nothing, but keep the closures separate to prove independence.
+        for _ in 0..500 {
+            a.cycle(&mut src_a, &mut NoControl);
+            b.cycle(&mut src_b, &mut NoControl);
+        }
+        assert_eq!(snapshot(&a), snapshot(&b), "diverged after restore");
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let mut a = Network::new(small_cfg()).unwrap();
+        let mut src = source(3);
+        for _ in 0..100 {
+            a.cycle(&mut src, &mut NoControl);
+        }
+        let snap = snapshot(&a);
+        // A network with a different radix has different vector shapes.
+        let mut b = Network::new(NetConfig::small(DeadlockMode::Avoidance)).unwrap();
+        let mut dec = Dec::new(&snap);
+        assert!(b.restore_state(&mut dec).is_err());
+    }
+}

@@ -164,6 +164,94 @@ impl Sideband {
         }
     }
 
+    /// Serializes the runtime state (in-flight and visible snapshots, EWMA,
+    /// window base, cycle tracking, fault counters) into `enc`. The
+    /// configuration and fault plan are not written; restore into a
+    /// side-band built from the same configuration.
+    pub fn save_state(&self, enc: &mut checkpoint::Enc) {
+        fn snap(enc: &mut checkpoint::Enc, s: Option<&Snapshot>) {
+            enc.bool(s.is_some());
+            let s = s.copied().unwrap_or(Snapshot {
+                taken_at: 0,
+                available_at: 0,
+                full_buffers: 0,
+                delivered_flits: 0,
+            });
+            enc.u64(s.taken_at);
+            enc.u64(s.available_at);
+            enc.u32(s.full_buffers);
+            enc.u32(s.delivered_flits);
+        }
+        enc.usize(self.in_flight.len());
+        for s in &self.in_flight {
+            snap(enc, Some(s));
+        }
+        for s in &self.visible {
+            snap(enc, s.as_ref());
+        }
+        enc.opt_f64(self.ewma);
+        enc.u64(self.window_base);
+        enc.opt_u64(self.last_cycle_seen);
+        enc.u64(self.stats.lost_snapshots);
+        enc.u64(self.stats.delayed_snapshots);
+        enc.u64(self.stats.corrupted_snapshots);
+        enc.u64(self.stats.rejected_stale);
+        enc.u64(self.stats.rejected_range);
+    }
+
+    /// Restores state captured with [`Sideband::save_state`] into a
+    /// side-band built from the same configuration. In particular the
+    /// cycle-sequencing state is restored, so [`Sideband::on_cycle`] resumes
+    /// mid-gather exactly where the snapshot was taken.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`checkpoint::CheckpointError`] on a truncated stream or a
+    /// structurally impossible value.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut checkpoint::Dec<'_>,
+    ) -> Result<(), checkpoint::CheckpointError> {
+        fn snap(
+            dec: &mut checkpoint::Dec<'_>,
+        ) -> Result<Option<Snapshot>, checkpoint::CheckpointError> {
+            let some = dec.bool()?;
+            let s = Snapshot {
+                taken_at: dec.u64()?,
+                available_at: dec.u64()?,
+                full_buffers: dec.u32()?,
+                delivered_flits: dec.u32()?,
+            };
+            Ok(some.then_some(s))
+        }
+        let n = dec.usize()?;
+        if n > 1024 {
+            return Err(checkpoint::CheckpointError::Corrupt(
+                "implausible in-flight snapshot count",
+            ));
+        }
+        let mut in_flight = VecDeque::with_capacity(n.max(4));
+        for _ in 0..n {
+            in_flight.push_back(snap(dec)?.ok_or(checkpoint::CheckpointError::Corrupt(
+                "absent in-flight snapshot",
+            ))?);
+        }
+        let visible = [snap(dec)?, snap(dec)?];
+        self.in_flight = in_flight;
+        self.visible = visible;
+        self.ewma = dec.opt_f64()?;
+        self.window_base = dec.u64()?;
+        self.last_cycle_seen = dec.opt_u64()?;
+        self.stats = SidebandStats {
+            lost_snapshots: dec.u64()?,
+            delayed_snapshots: dec.u64()?,
+            corrupted_snapshots: dec.u64()?,
+            rejected_stale: dec.u64()?,
+            rejected_range: dec.u64()?,
+        };
+        Ok(())
+    }
+
     /// Installs a fault plan: every subsequent gather is subject to the
     /// plan's side-band loss, delay and corruption. A plan whose side-band
     /// portion is quiet leaves the perfect-side-band fast path untouched.

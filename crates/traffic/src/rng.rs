@@ -57,6 +57,19 @@ impl SimRng {
         }
     }
 
+    /// The raw generator state (for checkpointing).
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured with [`SimRng::state`],
+    /// resuming the stream exactly where it left off.
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SimRng { s }
+    }
+
     /// The next 64 uniformly distributed bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -258,6 +258,58 @@ impl WorkloadRunner {
     pub fn workload(&self) -> &Workload {
         &self.workload
     }
+
+    /// Serializes the runtime state (RNG, per-node timers, phase tracking)
+    /// into `enc`. The workload and node count are configuration and are
+    /// not written; restore into a runner built from the same workload.
+    pub fn save_state(&self, enc: &mut checkpoint::Enc) {
+        for w in self.rng.state() {
+            enc.u64(w);
+        }
+        enc.usize(self.next_gen.len());
+        for &t in &self.next_gen {
+            enc.u64(t);
+        }
+        enc.usize(self.cur_phase);
+        enc.u64(self.phase_start);
+    }
+
+    /// Restores state captured with [`WorkloadRunner::save_state`] into a
+    /// runner built from the same workload and node count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`checkpoint::CheckpointError`] on a truncated stream or a
+    /// shape mismatch against this runner's configuration.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut checkpoint::Dec<'_>,
+    ) -> Result<(), checkpoint::CheckpointError> {
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = dec.u64()?;
+        }
+        if dec.usize()? != self.nodes {
+            return Err(checkpoint::CheckpointError::Corrupt(
+                "workload node count mismatch",
+            ));
+        }
+        let mut next_gen = vec![0u64; self.nodes];
+        for t in &mut next_gen {
+            *t = dec.u64()?;
+        }
+        let cur_phase = dec.usize()?;
+        if cur_phase >= self.workload.phases.len() {
+            return Err(checkpoint::CheckpointError::Corrupt(
+                "workload phase index out of range",
+            ));
+        }
+        self.rng = SimRng::from_state(s);
+        self.next_gen = next_gen;
+        self.cur_phase = cur_phase;
+        self.phase_start = dec.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

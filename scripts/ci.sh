@@ -2,9 +2,11 @@
 # The repository's CI gate, runnable locally and fully offline:
 #   1. formatting        (cargo fmt --check)
 #   2. lints             (cargo clippy, warnings are errors)
-#   3. tier-1 verify     (cargo build --release && cargo test -q)
-#   4. workspace tests   (incl. the golden determinism suite)
-#   5. parallel smoke    (a --jobs 4 sweep through the runner)
+#   3. rustdoc audit     (broken intra-doc links are errors)
+#   4. tier-1 verify     (cargo build --release && cargo test -q)
+#   5. workspace tests   (incl. the golden determinism suite)
+#   6. parallel smoke    (a --jobs 4 sweep through the runner)
+#   7. kill-and-resume   (SIGKILL a sweep mid-run, finish it with --resume)
 # Everything is hermetic — no network access is required (see README,
 # "Hermetic build"). Each step reports its wall time.
 set -eu
@@ -23,6 +25,13 @@ step "fmt" cargo fmt --all --check
 
 step "clippy" cargo clippy --workspace --all-targets -- -D warnings
 
+# Rustdoc audit: a placeholder or rotted intra-doc link is a build error.
+rustdoc_audit() {
+    RUSTDOCFLAGS="-D rustdoc::broken_intra_doc_links" \
+        cargo doc --workspace --no-deps --quiet
+}
+step "rustdoc audit" rustdoc_audit
+
 step "tier-1: build" cargo build --release
 
 step "tier-1: test" cargo test -q
@@ -38,5 +47,41 @@ step "golden determinism" cargo test -q -p experiments --test golden
 step "parallel smoke (--jobs 4)" \
     cargo run --release -q -p experiments --bin fig2 -- \
     --scale tiny --net small --jobs 4 --out target/ci-smoke
+
+# Kill-and-resume: start the tiny fig4 sweep, SIGKILL it as soon as its
+# journal records the first completed point, then finish with --resume and
+# require the final CSV to be byte-identical to the committed golden. If
+# the run wins the race and completes before the kill lands, the resume
+# pass degenerates to a fresh run — the byte-compare still gates.
+resume_gate() {
+    out=target/ci-resume
+    rm -rf "$out"
+    bin=target/release/fig4
+    "$bin" --scale tiny --net small --jobs 1 --out "$out" >/dev/null 2>&1 &
+    pid=$!
+    for _ in $(seq 1 500); do
+        if [ -f "$out/fig4.tiny.journal" ] &&
+            [ "$(wc -l <"$out/fig4.tiny.journal")" -ge 2 ]; then
+            break
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            break
+        fi
+        sleep 0.01
+    done
+    if kill -9 "$pid" 2>/dev/null; then
+        echo "  (killed sweep pid $pid mid-run)"
+    else
+        echo "  (sweep finished before the kill; resume runs fresh)"
+    fi
+    wait "$pid" 2>/dev/null || true
+    "$bin" --scale tiny --net small --jobs 1 --out "$out" --resume >/dev/null
+    cmp "$out/fig4.tiny.csv" crates/experiments/tests/golden/fig4.tiny.csv
+    if [ -f "$out/fig4.tiny.journal" ]; then
+        echo "journal not cleaned up after a successful sweep" >&2
+        return 1
+    fi
+}
+step "kill-and-resume smoke" resume_gate
 
 echo "CI green."
