@@ -1,0 +1,280 @@
+//! Machine-readable netsim performance baselines.
+//!
+//! Measures the simulator's headline numbers — idle and saturated
+//! cycles/s on the paper's 256-node network, and checkpoint
+//! serialize/restore time — with the same methodology as the `micro`
+//! bench, then either writes them as a flat JSON baseline or gates the
+//! current build against a committed one:
+//!
+//! ```text
+//! bench_netsim --out BENCH_netsim.json     # write a new baseline
+//! bench_netsim --gate BENCH_netsim.json    # fail on >15% regression
+//! ```
+//!
+//! `scripts/ci.sh` runs the gate when `STCC_BENCH_GATE=1` (opt-in: the
+//! tolerance assumes the baseline was measured on the same host). The JSON
+//! is hand-rolled and hand-parsed — one metric per line, no dependencies —
+//! keeping the build hermetic.
+
+use bench::harness::{BenchConfig, Group};
+use std::hint::black_box;
+use std::process::ExitCode;
+use wormsim::{DeadlockMode, NetConfig, Network, NoControl};
+
+/// Schema tag written into (and required of) every baseline file.
+const SCHEMA: &str = "stcc-bench-netsim-v1";
+
+/// Largest tolerated regression per metric, as a fraction.
+const TOLERANCE: f64 = 0.15;
+
+/// One measured metric: name, value, and whether bigger is better
+/// (throughputs) or worse (latencies).
+struct Metric {
+    name: &'static str,
+    value: f64,
+    higher_is_better: bool,
+}
+
+fn measure() -> Vec<Metric> {
+    let mut g = Group::new(
+        "netsim baseline (1000 cycles/iter)",
+        BenchConfig {
+            samples: 10,
+            iters_per_sample: 1,
+            warmup_iters: 1,
+        },
+    );
+    let cycles_per_iter = 1_000u64;
+
+    // Idle 16-ary 2-cube: the floor cost of one cycle over 256 routers.
+    {
+        let mut net = Network::new(NetConfig::paper(DeadlockMode::PAPER_RECOVERY)).unwrap();
+        let mut src = |_: u64, _: usize| None;
+        g.bench_units("idle_256_nodes", cycles_per_iter as f64, || {
+            net.run(cycles_per_iter, &mut src, &mut NoControl);
+            black_box(net.now())
+        });
+    }
+
+    // Saturated: worst-case per-cycle cost (pre-warmed network).
+    {
+        let mut net = Network::new(NetConfig::paper(DeadlockMode::PAPER_RECOVERY)).unwrap();
+        let nodes = net.torus().node_count();
+        let mut x = 0usize;
+        let mut src = move |_: u64, node: usize| {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(node + 1);
+            Some((x >> 33) % nodes)
+        };
+        net.run(5_000, &mut src, &mut NoControl); // warm into saturation
+        g.bench_units("saturated_256_nodes", cycles_per_iter as f64, || {
+            net.run(cycles_per_iter, &mut src, &mut NoControl);
+            black_box(net.counters().delivered_flits)
+        });
+    }
+
+    // Checkpoint codec cost on a warmed tuned simulation.
+    {
+        use stcc::{Scheme, SimConfig, Simulation, TuneConfig};
+        use traffic::{Pattern, Process, Workload};
+        let cfg = SimConfig {
+            net: NetConfig::paper(DeadlockMode::PAPER_RECOVERY),
+            workload: Workload::steady(Pattern::UniformRandom, Process::bernoulli(0.014)),
+            scheme: Scheme::Tuned(TuneConfig::paper()),
+            cycles: 1 << 40,
+            warmup: 1_000,
+            seed: 0xBE7C4,
+        };
+        let mut sim = Simulation::new(cfg.clone()).unwrap();
+        for _ in 0..2_000 {
+            sim.step();
+        }
+        g.bench("ckpt_serialize", || black_box(sim.checkpoint().len()));
+        let snap = sim.checkpoint();
+        g.bench("ckpt_restore", || {
+            let restored = Simulation::restore(cfg.clone(), None, &snap).unwrap();
+            black_box(restored.now())
+        });
+    }
+
+    let r = g.results();
+    vec![
+        Metric {
+            name: "idle_cycles_per_sec",
+            value: r[0].units_per_second().unwrap(),
+            higher_is_better: true,
+        },
+        Metric {
+            name: "saturated_cycles_per_sec",
+            value: r[1].units_per_second().unwrap(),
+            higher_is_better: true,
+        },
+        Metric {
+            name: "ckpt_serialize_ns",
+            value: r[2].median_ns,
+            higher_is_better: false,
+        },
+        Metric {
+            name: "ckpt_restore_ns",
+            value: r[3].median_ns,
+            higher_is_better: false,
+        },
+    ]
+}
+
+/// Renders the baseline as flat JSON, one metric per line.
+fn render_json(metrics: &[Metric]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    for (i, m) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        out.push_str(&format!("  \"{}\": {:.1}{comma}\n", m.name, m.value));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts `"key": <number>` from the flat baseline format. Returns `None`
+/// when the key is absent or its value does not parse.
+fn parse_metric(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares a fresh measurement against a baseline value; returns an error
+/// line when it regressed beyond [`TOLERANCE`].
+fn check(m: &Metric, baseline: f64) -> Result<String, String> {
+    let ratio = m.value / baseline;
+    let (regressed, direction) = if m.higher_is_better {
+        (ratio < 1.0 - TOLERANCE, "slower")
+    } else {
+        (ratio > 1.0 + TOLERANCE, "costlier")
+    };
+    let line = format!(
+        "{:<26} baseline {:>14.1}  now {:>14.1}  ({:+.1}%)",
+        m.name,
+        baseline,
+        m.value,
+        (ratio - 1.0) * 100.0
+    );
+    if regressed {
+        Err(format!(
+            "{line}  REGRESSED: >{:.0}% {direction}",
+            TOLERANCE * 100.0
+        ))
+    } else {
+        Ok(line)
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_netsim --out <file.json> | --gate <baseline.json>");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [mode, path] = args.as_slice() else {
+        return usage();
+    };
+    match mode.as_str() {
+        "--out" => {
+            let metrics = measure();
+            let json = render_json(&metrics);
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("bench_netsim: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("\nwrote {path}:\n{json}");
+            ExitCode::SUCCESS
+        }
+        "--gate" => {
+            let baseline = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("bench_netsim: cannot read baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if parse_metric(&baseline, "schema").is_some()
+                || !baseline.contains(&format!("\"schema\": \"{SCHEMA}\""))
+            {
+                eprintln!("bench_netsim: {path} is not a {SCHEMA} baseline");
+                return ExitCode::FAILURE;
+            }
+            let metrics = measure();
+            println!(
+                "\n== gate vs {path} (tolerance {:.0}%) ==",
+                TOLERANCE * 100.0
+            );
+            let mut failed = false;
+            for m in &metrics {
+                let Some(base) = parse_metric(&baseline, m.name) else {
+                    eprintln!("{:<26} missing from baseline", m.name);
+                    failed = true;
+                    continue;
+                };
+                match check(m, base) {
+                    Ok(line) => println!("{line}"),
+                    Err(line) => {
+                        eprintln!("{line}");
+                        failed = true;
+                    }
+                }
+            }
+            if failed {
+                eprintln!("bench gate FAILED");
+                ExitCode::FAILURE
+            } else {
+                println!("bench gate passed");
+                ExitCode::SUCCESS
+            }
+        }
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(name: &'static str, value: f64, higher_is_better: bool) -> Metric {
+        Metric {
+            name,
+            value,
+            higher_is_better,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let metrics = vec![
+            metric("idle_cycles_per_sec", 627_690.4, true),
+            metric("ckpt_serialize_ns", 1_151_000.0, false),
+        ];
+        let json = render_json(&metrics);
+        assert!(json.contains("\"schema\": \"stcc-bench-netsim-v1\""));
+        assert_eq!(parse_metric(&json, "idle_cycles_per_sec"), Some(627_690.4));
+        assert_eq!(parse_metric(&json, "ckpt_serialize_ns"), Some(1_151_000.0));
+        assert_eq!(parse_metric(&json, "no_such_metric"), None);
+    }
+
+    #[test]
+    fn gate_tolerates_noise_but_fails_real_regressions() {
+        // Throughput: 10% slower passes, 20% slower fails, faster passes.
+        let base = 1_000.0;
+        assert!(check(&metric("t", 900.0, true), base).is_ok());
+        assert!(check(&metric("t", 800.0, true), base).is_err());
+        assert!(check(&metric("t", 2_000.0, true), base).is_ok());
+        // Latency: 10% costlier passes, 20% costlier fails, cheaper passes.
+        assert!(check(&metric("l", 1_100.0, false), base).is_ok());
+        assert!(check(&metric("l", 1_200.0, false), base).is_err());
+        assert!(check(&metric("l", 500.0, false), base).is_ok());
+    }
+}

@@ -351,6 +351,12 @@ impl Simulation {
     }
 
     /// Advances one cycle and folds deliveries into the statistics.
+    ///
+    /// Draining the network's delivery queue *every* step is what bounds a
+    /// long (guarded or not) run's memory at the per-cycle delivery
+    /// high-water mark instead of the whole run's delivery count: the
+    /// network buffers undrained records in a ring that only grows while a
+    /// consumer lets them pile up.
     pub fn step(&mut self) {
         let now = self.net.now();
         if !self.warmup_snapped && now >= self.cfg.warmup {

@@ -1,6 +1,16 @@
 use core::fmt;
 use kncube::{TopologyError, Torus};
 
+/// Deepest supported VC edge buffer, in flits. The flit arenas index ring
+/// slots with `u32` cursors, and real router buffers are orders of
+/// magnitude shallower.
+pub const MAX_BUF_DEPTH: usize = 1 << 16;
+
+/// Largest supported source queue, in packets. Source queues are
+/// fixed-capacity rings allocated eagerly per node, so an absurd capacity
+/// would be an absurd allocation.
+pub const MAX_SOURCE_QUEUE_CAP: usize = 1 << 20;
+
 /// How the network deals with deadlock among fully adaptive channels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeadlockMode {
@@ -104,6 +114,11 @@ impl NetConfig {
         if self.buf_depth == 0 {
             return Err(ConfigError::ZeroBufferDepth);
         }
+        if self.buf_depth > MAX_BUF_DEPTH {
+            return Err(ConfigError::BufferTooDeep {
+                depth: self.buf_depth,
+            });
+        }
         if self.packet_len == 0 || self.packet_len > usize::from(u16::MAX) {
             return Err(ConfigError::BadPacketLen {
                 len: self.packet_len,
@@ -114,6 +129,11 @@ impl NetConfig {
         }
         if self.source_queue_cap == 0 {
             return Err(ConfigError::ZeroSourceQueue);
+        }
+        if self.source_queue_cap > MAX_SOURCE_QUEUE_CAP {
+            return Err(ConfigError::SourceQueueTooLarge {
+                cap: self.source_queue_cap,
+            });
         }
         if let DeadlockMode::Recovery { timeout: 0 } = self.deadlock {
             return Err(ConfigError::ZeroTimeout);
@@ -170,6 +190,11 @@ pub enum ConfigError {
     },
     /// Buffers must hold at least one flit.
     ZeroBufferDepth,
+    /// Buffers are capped at [`MAX_BUF_DEPTH`] flits.
+    BufferTooDeep {
+        /// The rejected buffer depth.
+        depth: usize,
+    },
     /// Packets must have between 1 and `u16::MAX` flits.
     BadPacketLen {
         /// The rejected packet length.
@@ -179,6 +204,11 @@ pub enum ConfigError {
     ZeroHopLatency,
     /// Source queues must hold at least one packet.
     ZeroSourceQueue,
+    /// Source queues are capped at [`MAX_SOURCE_QUEUE_CAP`] packets.
+    SourceQueueTooLarge {
+        /// The rejected capacity.
+        cap: usize,
+    },
     /// Recovery timeout must be nonzero.
     ZeroTimeout,
 }
@@ -198,9 +228,18 @@ impl fmt::Display for ConfigError {
                 )
             }
             ConfigError::ZeroBufferDepth => f.write_str("buffer depth must be nonzero"),
+            ConfigError::BufferTooDeep { depth } => {
+                write!(f, "buffer depth {depth} exceeds {MAX_BUF_DEPTH}")
+            }
             ConfigError::BadPacketLen { len } => write!(f, "packet length {len} out of range"),
             ConfigError::ZeroHopLatency => f.write_str("hop latency must be nonzero"),
             ConfigError::ZeroSourceQueue => f.write_str("source queue capacity must be nonzero"),
+            ConfigError::SourceQueueTooLarge { cap } => {
+                write!(
+                    f,
+                    "source queue capacity {cap} exceeds {MAX_SOURCE_QUEUE_CAP}"
+                )
+            }
             ConfigError::ZeroTimeout => f.write_str("recovery timeout must be nonzero"),
         }
     }
@@ -287,6 +326,22 @@ mod tests {
             }
             .validate(),
             Err(ConfigError::ZeroTimeout)
+        ));
+        assert!(matches!(
+            NetConfig {
+                buf_depth: MAX_BUF_DEPTH + 1,
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::BufferTooDeep { .. })
+        ));
+        assert!(matches!(
+            NetConfig {
+                source_queue_cap: MAX_SOURCE_QUEUE_CAP + 1,
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::SourceQueueTooLarge { .. })
         ));
         assert!(matches!(
             NetConfig { radix: 1, ..base }.validate(),

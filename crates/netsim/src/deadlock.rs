@@ -30,6 +30,8 @@ impl Network {
         let finished = self.advance_recovery(now, &mut job);
         if finished {
             debug_assert!(job.tail_in, "tail delivered before leaving the source VC");
+            // Recycle the path's backing storage for the next grant.
+            self.path_scratch = job.path;
         } else {
             self.recovery = Some(job);
         }
@@ -40,25 +42,29 @@ impl Network {
         // hand-off). Entries whose packet escaped back to normal routing in
         // the meantime are skipped.
         let idx = loop {
-            let Some(idx) = self.token_queue.pop_front() else {
+            if self.token_queue.is_empty(0) {
                 return;
-            };
-            self.in_vcs[idx].queued_for_token = false;
-            if matches!(self.in_vcs[idx].assign, Assign::AwaitToken) {
+            }
+            let idx = self.token_queue.pop_front(0) as usize;
+            self.vc_queued[idx] = false;
+            if matches!(self.vc_assign[idx], Assign::AwaitToken) {
                 break idx;
             }
         };
-        let vc = &mut self.in_vcs[idx];
-        let pid = vc
-            .buf
-            .front()
+        let pid = self
+            .vc_bufs
+            .front(idx)
             .expect("candidate VC has a blocked header")
             .packet;
-        vc.assign = Assign::Recovery;
-        vc.blocked = 0;
+        self.vc_assign[idx] = Assign::Recovery;
+        self.vc_blocked[idx] = 0;
         let node = idx / (self.torus().channels_per_node() * self.config().vcs);
         let dst = self.packets.get(pid).dst;
-        let mut path = Vec::with_capacity(self.torus().distance(node, dst) + 1);
+        // The scratch vector is kept at diameter+1 capacity, so building the
+        // path allocates nothing in steady state.
+        let mut path = std::mem::take(&mut self.path_scratch);
+        path.clear();
+        path.reserve(self.max_path);
         path.push(node);
         let mut cur = node;
         while let Some((dim, dir)) = self.torus().dimension_order_hop(cur, dst) {
@@ -82,10 +88,10 @@ impl Network {
 
         for i in (0..=last).rev() {
             let r = job.path[i];
-            let Some(front) = self.dl_buf[r].front() else {
+            if self.dl_bufs.is_empty(r) {
                 continue;
-            };
-            if front.ready_at > now {
+            }
+            if self.dl_bufs.front_ready_at(r) > now {
                 continue;
             }
             if i == last {
@@ -95,7 +101,7 @@ impl Network {
                     self.counters.hotspot_stall_cycles += 1;
                     continue;
                 }
-                let flit = self.dl_buf[r].pop_front().expect("front checked");
+                let flit = self.dl_bufs.pop_front(r);
                 let is_tail = flit.idx + 1 == self.packets.get(flit.packet).len;
                 self.deliver_flit(now, flit, true);
                 if is_tail {
@@ -103,10 +109,10 @@ impl Network {
                 }
             } else {
                 let next = job.path[i + 1];
-                if self.dl_buf[next].len() < DL_DEPTH {
-                    let mut flit = self.dl_buf[r].pop_front().expect("front checked");
+                if self.dl_bufs.len(next) < DL_DEPTH {
+                    let mut flit = self.dl_bufs.pop_front(r);
                     flit.ready_at = now + self.config().hop_latency;
-                    self.dl_buf[next].push_back(flit);
+                    self.dl_bufs.push_back(next, flit);
                     self.last_progress_at = now;
                 }
             }
@@ -116,25 +122,23 @@ impl Network {
         // into the local deadlock buffer.
         if !job.tail_in {
             let entry = job.path[0];
-            if self.dl_buf[entry].len() < DL_DEPTH {
+            if self.dl_bufs.len(entry) < DL_DEPTH {
                 let depth = self.config().buf_depth;
-                let vc = &mut self.in_vcs[job.src_vc];
-                debug_assert!(matches!(vc.assign, Assign::Recovery));
-                if let Some(front) = vc.buf.front() {
-                    if front.ready_at <= now {
-                        debug_assert_eq!(front.packet, job.packet);
-                        let was_full = vc.buf.len() >= depth;
-                        let mut flit = vc.buf.pop_front().expect("front checked");
-                        self.full_buffers -= u32::from(was_full);
-                        if flit.idx + 1 == self.packets.get(flit.packet).len {
-                            vc.assign = Assign::None;
-                            job.tail_in = true;
-                        }
-                        self.note_vc_popped(job.src_vc);
-                        flit.ready_at = now + 1;
-                        self.dl_buf[entry].push_back(flit);
-                        self.last_progress_at = now;
+                let src = job.src_vc;
+                debug_assert!(matches!(self.vc_assign[src], Assign::Recovery));
+                if !self.vc_bufs.is_empty(src) && self.vc_bufs.front_ready_at(src) <= now {
+                    debug_assert_eq!(self.vc_bufs.front_packet(src), job.packet);
+                    let was_full = self.vc_bufs.len(src) >= depth;
+                    let mut flit = self.vc_bufs.pop_front(src);
+                    self.full_buffers -= u32::from(was_full);
+                    if flit.idx + 1 == self.packets.get(flit.packet).len {
+                        self.vc_assign[src] = Assign::None;
+                        job.tail_in = true;
                     }
+                    self.note_vc_popped(src);
+                    flit.ready_at = now + 1;
+                    self.dl_bufs.push_back(entry, flit);
+                    self.last_progress_at = now;
                 }
             }
         }

@@ -50,10 +50,11 @@ mod counters;
 mod deadlock;
 mod network;
 mod packet;
+mod ring;
 mod routing;
 mod snapshot;
 
-pub use config::{ConfigError, DeadlockMode, NetConfig};
+pub use config::{ConfigError, DeadlockMode, NetConfig, MAX_BUF_DEPTH, MAX_SOURCE_QUEUE_CAP};
 pub use control::{CongestionControl, NoControl};
 pub use counters::Counters;
 pub use network::Network;

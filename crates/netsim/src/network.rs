@@ -2,9 +2,10 @@ use crate::config::{DeadlockMode, NetConfig};
 use crate::control::CongestionControl;
 use crate::counters::Counters;
 use crate::packet::{DeliveredRecord, Flit, PacketId, PacketInfo, PacketStore};
+use crate::ring::{DeliveryDrain, DeliveryRing, FlitRings, IdRing};
+use crate::routing::RouteTables;
 use faults::{FaultPlan, FaultPlanError};
 use kncube::{Dir, NodeId, Torus};
-use std::collections::VecDeque;
 
 /// Capacity of each per-router Disha deadlock buffer, in flits. Two slots
 /// allow the recovery path to stream at full rate despite the 2-cycle hop
@@ -25,34 +26,6 @@ pub(crate) enum Assign {
     AwaitToken,
     /// Draining through the Disha recovery network.
     Recovery,
-}
-
-/// One input virtual channel: its edge buffer and the routing state of the
-/// packet currently being forwarded out of it.
-#[derive(Debug, Clone)]
-pub(crate) struct InVc {
-    pub buf: VecDeque<Flit>,
-    pub assign: Assign,
-    /// Cycle the current assignment was made (headers move one cycle later:
-    /// the paper's 1-cycle routing delay).
-    pub routed_at: u64,
-    /// Consecutive cycles the front header has been ready but unrouted
-    /// (drives Disha's timeout detection).
-    pub blocked: u64,
-    /// Whether this VC currently has an entry in the recovery token queue.
-    pub queued_for_token: bool,
-}
-
-impl InVc {
-    fn new(depth: usize) -> Self {
-        InVc {
-            buf: VecDeque::with_capacity(depth),
-            assign: Assign::None,
-            routed_at: 0,
-            blocked: 0,
-            queued_for_token: false,
-        }
-    }
 }
 
 /// Per-node injection interface: the packet currently streaming from the
@@ -81,7 +54,8 @@ impl InjState {
 pub(crate) struct RecoveryJob {
     pub packet: PacketId,
     /// Dimension-order path from the transition router (inclusive) to the
-    /// destination (inclusive).
+    /// destination (inclusive). The backing vector is recycled through
+    /// `Network::path_scratch` so steady-state recoveries never allocate.
     pub path: Vec<NodeId>,
     /// Input VC (global index) whose flits transition into the deadlock
     /// network, until the tail has passed.
@@ -91,6 +65,13 @@ pub(crate) struct RecoveryJob {
 }
 
 /// The simulated wormhole network: all router state, flat for speed.
+///
+/// All per-cycle queues live in flat structure-of-arrays arenas allocated
+/// once at construction ([`crate::ring`]), and routing decisions come from
+/// tables precomputed at construction ([`RouteTables`]), so the steady-state
+/// cycle pipeline performs **zero heap allocations** — a counting test
+/// allocator enforces this (`tests/zero_alloc.rs`), and DESIGN.md
+/// ("Simulator memory layout") documents the invariants.
 ///
 /// Drive it with [`Network::cycle`]; read results with
 /// [`Network::drain_deliveries`] and [`Network::counters`].
@@ -104,21 +85,43 @@ pub struct Network {
     v: usize,
     depth: usize,
     packet_len: u16,
+    /// Longest possible recovery drain path (torus diameter + 1), the
+    /// capacity floor kept on `path_scratch`.
+    pub(crate) max_path: usize,
 
-    /// Input VCs, indexed by `(node * d + port) * v + vc`.
-    pub(crate) in_vcs: Vec<InVc>,
-    /// Output VC allocation flags, same indexing as `in_vcs` (an output VC
-    /// of node `u` is the upstream side of a neighbor's input VC).
+    /// Edge buffers of every input VC, one flat SoA arena indexed by
+    /// `(node * d + port) * v + vc` (ring `r` holds VC `r`'s flits).
+    pub(crate) vc_bufs: FlitRings,
+    /// Routing assignment of the packet at the front of each input VC.
+    pub(crate) vc_assign: Vec<Assign>,
+    /// Cycle each VC's current assignment was made (headers move one cycle
+    /// later: the paper's 1-cycle routing delay).
+    pub(crate) vc_routed_at: Vec<u64>,
+    /// Consecutive cycles each VC's front header has been ready but
+    /// unrouted (drives Disha's timeout detection).
+    pub(crate) vc_blocked: Vec<u64>,
+    /// Whether each VC currently has an entry in the recovery token queue.
+    pub(crate) vc_queued: Vec<bool>,
+    /// Output VC allocation flags, same indexing as the VC arrays (an
+    /// output VC of node `u` is the upstream side of a neighbor's input VC).
     pub(crate) out_alloc: Vec<bool>,
     pub(crate) inj: Vec<InjState>,
-    pub(crate) source_q: Vec<VecDeque<PacketId>>,
+    /// Per-node source queues of waiting packet ids (ring `node`).
+    pub(crate) source_q: IdRing,
     pub(crate) packets: PacketStore,
     /// Whether each packet ever took an escape VC (sticky escape).
     pub(crate) escaped: Vec<bool>,
 
-    /// Per-router Disha deadlock buffers (recovery mode only).
-    pub(crate) dl_buf: Vec<VecDeque<Flit>>,
+    /// Per-router Disha deadlock buffers (ring `node`, depth [`DL_DEPTH`];
+    /// recovery mode only).
+    pub(crate) dl_bufs: FlitRings,
     pub(crate) recovery: Option<RecoveryJob>,
+    /// Recycled backing storage for [`RecoveryJob::path`], kept at capacity
+    /// `max_path` so granting the token never allocates in steady state.
+    pub(crate) path_scratch: Vec<NodeId>,
+
+    /// Precomputed next-hop / productive-port / downstream-index tables.
+    pub(crate) tables: RouteTables,
 
     /// Demand-slotted round-robin cursor of each router's routing arbiter.
     pub(crate) route_rr: Vec<usize>,
@@ -135,11 +138,14 @@ pub struct Network {
     /// every VC, so an idle router costs one integer test per cycle.
     /// (Config validation caps feeders at 64, so a `u64` always fits.)
     pub(crate) vc_busy: Vec<u64>,
-    pub(crate) deliveries: Vec<DeliveredRecord>,
+    /// Delivered-packet records awaiting [`Network::drain_deliveries`]; a
+    /// consumer draining every gather period bounds this at O(period).
+    pub(crate) deliveries: DeliveryRing,
     /// Scratch: per-node injection allowance for the current cycle.
     allow: Vec<bool>,
-    /// FIFO of suspected-deadlocked input VCs awaiting the recovery token.
-    pub(crate) token_queue: VecDeque<usize>,
+    /// FIFO of suspected-deadlocked input VCs awaiting the recovery token
+    /// (single ring; `vc_queued` caps it at one entry per VC).
+    pub(crate) token_queue: IdRing,
     /// Cycle of the most recent flit delivery (watchdog aid).
     pub(crate) last_delivery_at: u64,
     /// Cycle any flit last moved anywhere — normal hops, injections,
@@ -162,33 +168,39 @@ impl Network {
         let nodes = torus.node_count();
         let d = torus.channels_per_node();
         let v = cfg.vcs;
+        let n_vcs = nodes * d * v;
+        let max_path = torus.dimensions() * (cfg.radix / 2) + 1;
+        let tables = RouteTables::build(&torus, v);
         Ok(Network {
             torus,
             d,
             v,
             depth: cfg.buf_depth,
             packet_len: cfg.packet_len as u16,
-            in_vcs: (0..nodes * d * v)
-                .map(|_| InVc::new(cfg.buf_depth))
-                .collect(),
-            out_alloc: vec![false; nodes * d * v],
+            max_path,
+            vc_bufs: FlitRings::new(n_vcs, cfg.buf_depth),
+            vc_assign: vec![Assign::None; n_vcs],
+            vc_routed_at: vec![0; n_vcs],
+            vc_blocked: vec![0; n_vcs],
+            vc_queued: vec![false; n_vcs],
+            out_alloc: vec![false; n_vcs],
             inj: vec![InjState::idle(); nodes],
-            source_q: vec![VecDeque::new(); nodes],
+            source_q: IdRing::new(nodes, cfg.source_queue_cap),
             packets: PacketStore::new(),
             escaped: Vec::new(),
-            dl_buf: (0..nodes)
-                .map(|_| VecDeque::with_capacity(DL_DEPTH))
-                .collect(),
+            dl_bufs: FlitRings::new(nodes, DL_DEPTH),
             recovery: None,
+            path_scratch: Vec::with_capacity(max_path),
+            tables,
             route_rr: vec![0; nodes],
             out_rr: vec![0; nodes * (d + 1)],
             now: 0,
             counters: Counters::default(),
             full_buffers: 0,
             vc_busy: vec![0; nodes],
-            deliveries: Vec::new(),
+            deliveries: DeliveryRing::default(),
             allow: vec![true; nodes],
-            token_queue: VecDeque::new(),
+            token_queue: IdRing::new(1, n_vcs),
             last_delivery_at: 0,
             last_progress_at: 0,
             faults: None,
@@ -249,7 +261,7 @@ impl Network {
     /// percentages; 3072 for the paper's network).
     #[must_use]
     pub fn total_vc_buffers(&self) -> u32 {
-        self.in_vcs.len() as u32
+        self.vc_assign.len() as u32
     }
 
     /// Cumulative flits delivered since the start of the simulation.
@@ -268,7 +280,7 @@ impl Network {
     /// Number of packets waiting in `node`'s source queue.
     #[must_use]
     pub fn source_queue_len(&self, node: NodeId) -> usize {
-        self.source_q[node].len()
+        self.source_q.len(node)
     }
 
     /// Number of packets generated but not yet fully delivered.
@@ -278,8 +290,12 @@ impl Network {
     }
 
     /// Takes the records of packets delivered since the last drain.
-    pub fn drain_deliveries(&mut self) -> std::vec::Drain<'_, DeliveredRecord> {
-        self.deliveries.drain(..)
+    ///
+    /// Draining regularly (the simulation driver drains every cycle) bounds
+    /// the undrained backlog — and thus this queue's memory — at the
+    /// between-drain high-water mark rather than the whole run's deliveries.
+    pub fn drain_deliveries(&mut self) -> DeliveryDrain<'_> {
+        self.deliveries.drain()
     }
 
     /// Whether the network has had traffic in flight but delivered nothing
@@ -317,7 +333,7 @@ impl Network {
     /// Number of suspected-deadlocked VCs waiting for the recovery token.
     #[must_use]
     pub fn token_queue_len(&self) -> usize {
-        self.token_queue.len()
+        self.token_queue.len(0)
     }
 
     /// Whether a Disha recovery drain is currently holding the token.
@@ -335,12 +351,11 @@ impl Network {
         (node * self.d + port) * self.v + vc
     }
 
-    /// The downstream input VC fed by output VC `(port, vc)` of `node`.
+    /// The downstream input VC fed by output VC `(port, vc)` of `node`
+    /// (precomputed; see [`RouteTables`]).
     #[inline]
     pub(crate) fn downstream_idx(&self, node: NodeId, port: usize, vc: usize) -> usize {
-        let (dim, dir) = dim_dir_of(port);
-        let nb = self.torus.neighbor(node, dim, dir);
-        self.vc_idx(nb, port_of(dim, dir.opposite()), vc)
+        self.tables.downstream(self.vc_idx(node, port, vc))
     }
 
     #[inline]
@@ -360,7 +375,7 @@ impl Network {
     /// Call after popping a flit from it.
     #[inline]
     pub(crate) fn note_vc_popped(&mut self, idx: usize) {
-        let empty = self.in_vcs[idx].buf.is_empty();
+        let empty = self.vc_bufs.is_empty(idx);
         let fpn = self.d * self.v;
         self.vc_busy[idx / fpn] &= !(u64::from(empty) << (idx % fpn));
     }
@@ -371,7 +386,7 @@ impl Network {
         let fpn = self.d * self.v;
         for (node, &mask) in self.vc_busy.iter().enumerate() {
             for f in 0..fpn {
-                let busy = !self.in_vcs[node * fpn + f].buf.is_empty();
+                let busy = !self.vc_bufs.is_empty(node * fpn + f);
                 debug_assert_eq!(
                     mask >> f & 1 == 1,
                     busy,
@@ -433,7 +448,7 @@ impl Network {
                 dst < nodes,
                 "traffic source produced destination {dst} out of range"
             );
-            if self.source_q[node].len() >= self.cfg.source_queue_cap {
+            if self.source_q.is_full(node) {
                 self.counters.refused_generations += 1;
                 continue;
             }
@@ -450,7 +465,7 @@ impl Network {
                 self.escaped.resize(id as usize + 1, false);
             }
             self.escaped[id as usize] = false;
-            self.source_q[node].push_back(id);
+            self.source_q.push_back(node, id);
             self.counters.generated_packets += 1;
         }
     }
@@ -459,9 +474,9 @@ impl Network {
         let nodes = self.torus.node_count();
         for node in 0..nodes {
             // Only consult the gate when a new packet could actually start.
-            let waiting = self.inj[node].active.is_none() && !self.source_q[node].is_empty();
+            let waiting = self.inj[node].active.is_none() && !self.source_q.is_empty(node);
             self.allow[node] = if waiting {
-                let dst = self.packets.get(self.source_q[node][0]).dst;
+                let dst = self.packets.get(self.source_q.front(node)).dst;
                 let ok = ctl.allow_injection(now, node, dst, self);
                 self.counters.throttled_injections += u64::from(!ok);
                 ok
@@ -496,19 +511,18 @@ impl Network {
             while mask != 0 {
                 let f = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
-                let vc = &self.in_vcs[base + f];
+                let idx = base + f;
                 // Unrouted headers request routing; suspected (token-queued)
                 // headers keep requesting too — only capturing the token
                 // commits a packet to the recovery path, so a transiently
                 // congested packet resumes normal routing when a channel
                 // frees. Truly deadlocked packets never see a free channel.
-                if matches!(vc.assign, Assign::None | Assign::AwaitToken) {
-                    if let Some(front) = vc.buf.front() {
-                        if front.idx == 0 && front.ready_at <= now {
-                            requests[nreq] = f as u16;
-                            nreq += 1;
-                        }
-                    }
+                if matches!(self.vc_assign[idx], Assign::None | Assign::AwaitToken)
+                    && self.vc_bufs.front_idx(idx) == 0
+                    && self.vc_bufs.front_ready_at(idx) <= now
+                {
+                    requests[nreq] = f as u16;
+                    nreq += 1;
                 }
             }
             if self.allow[node] {
@@ -540,23 +554,23 @@ impl Network {
                 }
                 let idx = base + f;
                 if routed && f == winner {
-                    self.in_vcs[idx].blocked = 0;
-                } else if self.in_vcs[idx].assign == Assign::None {
-                    self.in_vcs[idx].blocked += 1;
+                    self.vc_blocked[idx] = 0;
+                } else if self.vc_assign[idx] == Assign::None {
+                    self.vc_blocked[idx] += 1;
                     // Disha suspicion: the header has starved for `timeout`
                     // cycles AND no flit of the whole worm has moved for
                     // `timeout` cycles (transient contention keeps body
                     // flits crawling and does not trip this). A suspected
                     // packet queues for the recovery token but keeps
                     // retrying normal routing until the token is captured.
-                    if self.in_vcs[idx].blocked >= timeout {
-                        let pid = self.in_vcs[idx].buf.front().expect("requester").packet;
+                    if self.vc_blocked[idx] >= timeout {
+                        let pid = self.vc_bufs.front_packet(idx);
                         if now.saturating_sub(self.packets.get(pid).last_move) >= timeout {
-                            self.in_vcs[idx].assign = Assign::AwaitToken;
-                            self.in_vcs[idx].blocked = 0;
-                            if !self.in_vcs[idx].queued_for_token {
-                                self.in_vcs[idx].queued_for_token = true;
-                                self.token_queue.push_back(idx);
+                            self.vc_assign[idx] = Assign::AwaitToken;
+                            self.vc_blocked[idx] = 0;
+                            if !self.vc_queued[idx] {
+                                self.vc_queued[idx] = true;
+                                self.token_queue.push_back(0, idx as u32);
                             }
                             self.counters.recovery_timeouts += 1;
                         }
@@ -592,17 +606,16 @@ impl Network {
 
     /// One VC's starved-head check (see [`Self::detect_starved_heads`]).
     fn check_starved_head(&mut self, now: u64, timeout: u64, idx: usize) {
-        let vc = &self.in_vcs[idx];
-        let Assign::Out { port, vc: ovc } = vc.assign else {
+        let Assign::Out { port, vc: ovc } = self.vc_assign[idx] else {
             return;
         };
-        let Some(front) = vc.buf.front() else {
-            return;
-        };
-        if front.idx != 0 || front.ready_at > now {
+        if self.vc_bufs.is_empty(idx) {
             return;
         }
-        let pid = front.packet;
+        if self.vc_bufs.front_idx(idx) != 0 || self.vc_bufs.front_ready_at(idx) > now {
+            return;
+        }
+        let pid = self.vc_bufs.front_packet(idx);
         if now.saturating_sub(self.packets.get(pid).last_move) < timeout {
             return;
         }
@@ -610,12 +623,11 @@ impl Network {
         let oidx = self.vc_idx(node, usize::from(port), usize::from(ovc));
         debug_assert!(self.out_alloc[oidx]);
         self.out_alloc[oidx] = false;
-        let vc = &mut self.in_vcs[idx];
-        vc.assign = Assign::AwaitToken;
-        vc.blocked = 0;
-        if !vc.queued_for_token {
-            vc.queued_for_token = true;
-            self.token_queue.push_back(idx);
+        self.vc_assign[idx] = Assign::AwaitToken;
+        self.vc_blocked[idx] = 0;
+        if !self.vc_queued[idx] {
+            self.vc_queued[idx] = true;
+            self.token_queue.push_back(0, idx as u32);
         }
         self.counters.recovery_timeouts += 1;
     }
@@ -624,17 +636,10 @@ impl Network {
     /// assignment was made.
     fn try_route(&mut self, now: u64, node: NodeId, feeder: usize, inj_feeder: usize) -> bool {
         let (pid, is_inj) = if feeder == inj_feeder {
-            (self.source_q[node][0], true)
+            (self.source_q.front(node), true)
         } else {
             let idx = self.vc_idx(node, 0, 0) + feeder;
-            (
-                self.in_vcs[idx]
-                    .buf
-                    .front()
-                    .expect("requester has front")
-                    .packet,
-                false,
-            )
+            (self.vc_bufs.front_packet(idx), false)
         };
         let dst = self.packets.get(pid).dst;
         let assign = if dst == node {
@@ -653,7 +658,7 @@ impl Network {
             }
         }
         if is_inj {
-            let id = self.source_q[node].pop_front().expect("queue head checked");
+            let id = self.source_q.pop_front(node);
             debug_assert_eq!(id, pid);
             self.inj[node] = InjState {
                 active: Some(id),
@@ -663,10 +668,9 @@ impl Network {
             };
         } else {
             let idx = self.vc_idx(node, 0, 0) + feeder;
-            let vc = &mut self.in_vcs[idx];
-            vc.assign = assign;
-            vc.routed_at = now;
-            vc.blocked = 0;
+            self.vc_assign[idx] = assign;
+            self.vc_routed_at[idx] = now;
+            self.vc_blocked[idx] = 0;
         }
         true
     }
@@ -695,21 +699,21 @@ impl Network {
             while mask != 0 {
                 let f = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
-                let vc = &self.in_vcs[base + f];
-                let port = match vc.assign {
+                let idx = base + f;
+                let assign = self.vc_assign[idx];
+                let port = match assign {
                     Assign::Out { port, .. } => usize::from(port),
                     Assign::Delivery => self.d,
                     Assign::None | Assign::AwaitToken | Assign::Recovery => continue,
                 };
-                let Some(front) = vc.buf.front() else {
-                    continue;
-                };
-                if front.ready_at > now || (front.idx == 0 && vc.routed_at >= now) {
+                if self.vc_bufs.front_ready_at(idx) > now
+                    || (self.vc_bufs.front_idx(idx) == 0 && self.vc_routed_at[idx] >= now)
+                {
                     continue;
                 }
-                if let Assign::Out { port, vc: ovc } = vc.assign {
+                if let Assign::Out { port, vc: ovc } = assign {
                     let didx = self.downstream_idx(node, usize::from(port), usize::from(ovc));
-                    if self.in_vcs[didx].buf.len() >= self.depth {
+                    if self.vc_bufs.len(didx) >= self.depth {
                         continue; // no credit
                     }
                 }
@@ -730,7 +734,7 @@ impl Network {
                         Assign::Out { port, vc } => {
                             let didx =
                                 self.downstream_idx(node, usize::from(port), usize::from(vc));
-                            self.in_vcs[didx].buf.len() < self.depth
+                            self.vc_bufs.len(didx) < self.depth
                         }
                         _ => true,
                     };
@@ -799,14 +803,13 @@ impl Network {
             )
         } else {
             let idx = self.vc_idx(node, 0, 0) + f;
-            let vc = &mut self.in_vcs[idx];
-            let was_full = vc.buf.len() >= self.depth;
-            let flit = vc.buf.pop_front().expect("bucketed feeder has a flit");
+            let was_full = self.vc_bufs.len(idx) >= self.depth;
+            let flit = self.vc_bufs.pop_front(idx);
             self.full_buffers -= u32::from(was_full);
-            let assign = vc.assign;
+            let assign = self.vc_assign[idx];
             let is_tail = flit.idx + 1 == self.packets.get(flit.packet).len;
             if is_tail {
-                vc.assign = Assign::None;
+                self.vc_assign[idx] = Assign::None;
             }
             self.note_vc_popped(idx);
             (flit, assign, is_tail)
@@ -817,17 +820,19 @@ impl Network {
         match assign {
             Assign::Out { port, vc } => {
                 let oidx = self.vc_idx(node, usize::from(port), usize::from(vc));
-                let didx = self.downstream_idx(node, usize::from(port), usize::from(vc));
+                let didx = self.tables.downstream(oidx);
                 if is_tail {
                     debug_assert!(self.out_alloc[oidx]);
                     self.out_alloc[oidx] = false;
                 }
-                let down = &mut self.in_vcs[didx];
-                down.buf.push_back(Flit {
-                    ready_at: now + self.cfg.hop_latency,
-                    ..flit
-                });
-                let now_full = down.buf.len() >= self.depth;
+                self.vc_bufs.push_back(
+                    didx,
+                    Flit {
+                        ready_at: now + self.cfg.hop_latency,
+                        ..flit
+                    },
+                );
+                let now_full = self.vc_bufs.len(didx) >= self.depth;
                 self.full_buffers += u32::from(now_full);
                 self.note_vc_filled(didx);
             }

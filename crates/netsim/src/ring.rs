@@ -1,0 +1,511 @@
+//! Fixed-capacity ring buffers over flat per-network arenas.
+//!
+//! The cycle pipeline must be allocation-free in steady state (a counting
+//! test allocator enforces this; see `tests/zero_alloc.rs`). Every queue the
+//! pipeline touches per cycle therefore lives in one of these arenas,
+//! allocated once at [`Network`](crate::Network) construction:
+//!
+//! * [`FlitRings`] — all flit edge buffers of one family (the input VCs, or
+//!   the Disha deadlock buffers) as a structure-of-arrays arena: one flat
+//!   array per flit field (`packet`, `idx`, `ready_at`) plus flat head/len
+//!   cursors. Ring `r` owns slots `r * cap .. (r + 1) * cap`. A scan that
+//!   only polls `ready_at` (the common case in the switch stage) touches a
+//!   single densely packed array instead of striding over heap-scattered
+//!   `VecDeque`s.
+//! * [`IdRing`] — the same shape for `u32` payloads (source queues of
+//!   `PacketId`, the recovery token queue of VC indices).
+//! * [`DeliveryRing`] — the drained delivery-record queue. Capacity grows
+//!   (amortized doubling) only while the consumer is *not* draining; a
+//!   consumer that drains every gather period bounds it to O(period), and
+//!   the steady-state push path never allocates.
+//!
+//! All rings are FIFO and preserve exactly the ordering semantics of the
+//! `VecDeque`s they replaced, so simulation results are bit-identical.
+
+use crate::packet::{DeliveredRecord, Flit, PacketId};
+
+/// Structure-of-arrays arena of `rings` fixed-capacity flit FIFOs.
+#[derive(Debug, Clone)]
+pub(crate) struct FlitRings {
+    cap: u32,
+    head: Vec<u32>,
+    len: Vec<u32>,
+    packet: Vec<PacketId>,
+    idx: Vec<u16>,
+    ready: Vec<u64>,
+}
+
+impl FlitRings {
+    /// An arena of `rings` empty rings of `cap` flits each.
+    pub(crate) fn new(rings: usize, cap: usize) -> Self {
+        let cap32 = u32::try_from(cap).expect("ring capacity fits u32");
+        let slots = rings * cap;
+        FlitRings {
+            cap: cap32,
+            head: vec![0; rings],
+            len: vec![0; rings],
+            packet: vec![0; slots],
+            idx: vec![0; slots],
+            ready: vec![0; slots],
+        }
+    }
+
+    /// Slot index of logical position `i` of ring `r`.
+    #[inline]
+    fn slot(&self, r: usize, i: u32) -> usize {
+        debug_assert!(i < self.len[r], "ring position out of range");
+        let mut pos = self.head[r] + i;
+        if pos >= self.cap {
+            pos -= self.cap;
+        }
+        r * self.cap as usize + pos as usize
+    }
+
+    /// Number of flits currently in ring `r`.
+    #[inline]
+    pub(crate) fn len(&self, r: usize) -> usize {
+        self.len[r] as usize
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self, r: usize) -> bool {
+        self.len[r] == 0
+    }
+
+    #[inline]
+    pub(crate) fn is_full(&self, r: usize) -> bool {
+        self.len[r] == self.cap
+    }
+
+    /// The front flit of ring `r`, if any.
+    #[inline]
+    pub(crate) fn front(&self, r: usize) -> Option<Flit> {
+        (self.len[r] != 0).then(|| self.get(r, 0))
+    }
+
+    /// `ready_at` of the front flit (ring must be non-empty).
+    #[inline]
+    pub(crate) fn front_ready_at(&self, r: usize) -> u64 {
+        self.ready[self.slot(r, 0)]
+    }
+
+    /// `idx` of the front flit (ring must be non-empty).
+    #[inline]
+    pub(crate) fn front_idx(&self, r: usize) -> u16 {
+        self.idx[self.slot(r, 0)]
+    }
+
+    /// Owning packet of the front flit (ring must be non-empty).
+    #[inline]
+    pub(crate) fn front_packet(&self, r: usize) -> PacketId {
+        self.packet[self.slot(r, 0)]
+    }
+
+    /// The flit at logical position `i` (0 = front) of ring `r`.
+    #[inline]
+    pub(crate) fn get(&self, r: usize, i: usize) -> Flit {
+        let s = self.slot(r, i as u32);
+        Flit {
+            packet: self.packet[s],
+            idx: self.idx[s],
+            ready_at: self.ready[s],
+        }
+    }
+
+    /// Appends `f` to ring `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the ring is full; callers check credit
+    /// before pushing, exactly as they did with the bounded `VecDeque`s.
+    #[inline]
+    pub(crate) fn push_back(&mut self, r: usize, f: Flit) {
+        debug_assert!(!self.is_full(r), "flit ring overflow");
+        let mut pos = self.head[r] + self.len[r];
+        if pos >= self.cap {
+            pos -= self.cap;
+        }
+        let s = r * self.cap as usize + pos as usize;
+        self.packet[s] = f.packet;
+        self.idx[s] = f.idx;
+        self.ready[s] = f.ready_at;
+        self.len[r] += 1;
+    }
+
+    /// Removes and returns the front flit of ring `r`.
+    #[inline]
+    pub(crate) fn pop_front(&mut self, r: usize) -> Flit {
+        debug_assert!(self.len[r] != 0, "pop from empty flit ring");
+        let f = self.get(r, 0);
+        let mut h = self.head[r] + 1;
+        if h >= self.cap {
+            h = 0;
+        }
+        self.head[r] = h;
+        self.len[r] -= 1;
+        f
+    }
+
+    /// Empties ring `r`, resetting its head to slot 0.
+    #[cfg(test)]
+    pub(crate) fn reset(&mut self, r: usize) {
+        self.head[r] = 0;
+        self.len[r] = 0;
+    }
+}
+
+/// Arena of `rings` fixed-capacity `u32` FIFOs (packet ids, VC indices).
+#[derive(Debug, Clone)]
+pub(crate) struct IdRing {
+    cap: u32,
+    head: Vec<u32>,
+    len: Vec<u32>,
+    data: Vec<u32>,
+}
+
+impl IdRing {
+    /// An arena of `rings` empty rings of `cap` entries each.
+    pub(crate) fn new(rings: usize, cap: usize) -> Self {
+        let cap32 = u32::try_from(cap).expect("ring capacity fits u32");
+        IdRing {
+            cap: cap32,
+            head: vec![0; rings],
+            len: vec![0; rings],
+            data: vec![0; rings * cap],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self, r: usize) -> usize {
+        self.len[r] as usize
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self, r: usize) -> bool {
+        self.len[r] == 0
+    }
+
+    #[inline]
+    pub(crate) fn is_full(&self, r: usize) -> bool {
+        self.len[r] == self.cap
+    }
+
+    /// The entry at logical position `i` (0 = front) of ring `r`.
+    #[inline]
+    pub(crate) fn get(&self, r: usize, i: usize) -> u32 {
+        debug_assert!((i as u32) < self.len[r], "ring position out of range");
+        let mut pos = self.head[r] + i as u32;
+        if pos >= self.cap {
+            pos -= self.cap;
+        }
+        self.data[r * self.cap as usize + pos as usize]
+    }
+
+    /// The front entry of ring `r` (ring must be non-empty).
+    #[inline]
+    pub(crate) fn front(&self, r: usize) -> u32 {
+        self.get(r, 0)
+    }
+
+    /// Appends `v` to ring `r`.
+    #[inline]
+    pub(crate) fn push_back(&mut self, r: usize, v: u32) {
+        debug_assert!(!self.is_full(r), "id ring overflow");
+        let mut pos = self.head[r] + self.len[r];
+        if pos >= self.cap {
+            pos -= self.cap;
+        }
+        self.data[r * self.cap as usize + pos as usize] = v;
+        self.len[r] += 1;
+    }
+
+    /// Removes and returns the front entry of ring `r`.
+    #[inline]
+    pub(crate) fn pop_front(&mut self, r: usize) -> u32 {
+        let v = self.front(r);
+        let mut h = self.head[r] + 1;
+        if h >= self.cap {
+            h = 0;
+        }
+        self.head[r] = h;
+        self.len[r] -= 1;
+        v
+    }
+
+    /// Empties ring `r`, resetting its head to slot 0.
+    #[cfg(test)]
+    pub(crate) fn reset(&mut self, r: usize) {
+        self.head[r] = 0;
+        self.len[r] = 0;
+    }
+}
+
+/// The delivery-record queue: a circular buffer drained by the consumer.
+///
+/// Pushing never allocates while spare capacity exists; when the ring is
+/// full it doubles (the only allocation), so a consumer that drains every
+/// gather period pins the capacity at the per-period high-water mark —
+/// memory is O(period), not O(run length).
+#[derive(Debug, Default)]
+pub(crate) struct DeliveryRing {
+    buf: Vec<DeliveredRecord>,
+    head: usize,
+    len: usize,
+}
+
+impl DeliveryRing {
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The record at logical position `i` (0 = oldest undrained).
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> DeliveredRecord {
+        debug_assert!(i < self.len, "delivery ring position out of range");
+        let mut pos = self.head + i;
+        if pos >= self.buf.len() {
+            pos -= self.buf.len();
+        }
+        self.buf[pos]
+    }
+
+    /// Appends a record, doubling the backing storage only when full.
+    pub(crate) fn push(&mut self, rec: DeliveredRecord) {
+        if self.len == self.buf.len() {
+            self.grow();
+        }
+        let mut pos = self.head + self.len;
+        if pos >= self.buf.len() {
+            pos -= self.buf.len();
+        }
+        self.buf[pos] = rec;
+        self.len += 1;
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let new_cap = (self.buf.len() * 2).max(64);
+        let mut buf = Vec::with_capacity(new_cap);
+        for i in 0..self.len {
+            buf.push(self.get(i));
+        }
+        buf.resize(
+            new_cap,
+            DeliveredRecord {
+                src: 0,
+                dst: 0,
+                generated_at: 0,
+                injected_at: 0,
+                delivered_at: 0,
+                len: 0,
+                recovered: false,
+            },
+        );
+        self.buf = buf;
+        self.head = 0;
+    }
+
+    /// Drains every record in FIFO order. Records not consumed by the
+    /// returned iterator are still removed when it drops (the semantics of
+    /// the `Vec::drain` this replaces).
+    pub(crate) fn drain(&mut self) -> DeliveryDrain<'_> {
+        DeliveryDrain { ring: self }
+    }
+}
+
+/// Draining iterator over a [`DeliveryRing`]; see [`DeliveryRing::drain`].
+#[derive(Debug)]
+pub struct DeliveryDrain<'a> {
+    ring: &'a mut DeliveryRing,
+}
+
+impl Iterator for DeliveryDrain<'_> {
+    type Item = DeliveredRecord;
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.ring.len == 0 {
+            return None;
+        }
+        let rec = self.ring.get(0);
+        self.ring.head += 1;
+        if self.ring.head >= self.ring.buf.len() {
+            self.ring.head = 0;
+        }
+        self.ring.len -= 1;
+        Some(rec)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.ring.len, Some(self.ring.len))
+    }
+}
+
+impl ExactSizeIterator for DeliveryDrain<'_> {}
+
+impl Drop for DeliveryDrain<'_> {
+    fn drop(&mut self) {
+        // Unconsumed records are removed, as with `Vec::drain(..)`.
+        self.ring.head = 0;
+        self.ring.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Case count, widened under the `slow-proptests` feature (repo
+    /// convention; see `tests/flow_prop.rs`).
+    const CASES: u64 = if cfg!(feature = "slow-proptests") {
+        64
+    } else {
+        8
+    };
+
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn flit(tag: u64) -> Flit {
+        Flit {
+            packet: (tag & 0xFFFF) as PacketId,
+            idx: (tag >> 16) as u16 & 0xFF,
+            ready_at: tag >> 24,
+        }
+    }
+
+    /// Property: a FlitRings ring behaves exactly like a capacity-checked
+    /// VecDeque under a random push/pop interleaving (wrap-around included:
+    /// the sequences are much longer than the capacity).
+    #[test]
+    fn flit_ring_matches_vecdeque_model() {
+        for case in 0..CASES {
+            let mut rng = 0xF117_0000 + case;
+            let cap = 1 + (mix(&mut rng) as usize) % 9; // 1..=9
+            let rings = 3;
+            let mut arena = FlitRings::new(rings, cap);
+            let mut model: Vec<VecDeque<Flit>> = vec![VecDeque::new(); rings];
+            for step in 0..2_000u64 {
+                let r = (mix(&mut rng) as usize) % rings;
+                if mix(&mut rng).is_multiple_of(2) && model[r].len() < cap {
+                    let f = flit(step);
+                    arena.push_back(r, f);
+                    model[r].push_back(f);
+                } else if !model[r].is_empty() {
+                    assert_eq!(arena.pop_front(r), model[r].pop_front().unwrap());
+                }
+                assert_eq!(arena.len(r), model[r].len());
+                assert_eq!(arena.is_empty(r), model[r].is_empty());
+                assert_eq!(arena.is_full(r), model[r].len() == cap);
+                assert_eq!(arena.front(r), model[r].front().copied());
+                if let Some(&front) = model[r].front() {
+                    assert_eq!(arena.front_ready_at(r), front.ready_at);
+                    assert_eq!(arena.front_idx(r), front.idx);
+                    assert_eq!(arena.front_packet(r), front.packet);
+                }
+                for (i, &f) in model[r].iter().enumerate() {
+                    assert_eq!(arena.get(r, i), f);
+                }
+            }
+        }
+    }
+
+    /// Same model property for the u32 rings.
+    #[test]
+    fn id_ring_matches_vecdeque_model() {
+        for case in 0..CASES {
+            let mut rng = 0x1D00_0000 + case;
+            let cap = 1 + (mix(&mut rng) as usize) % 7;
+            let mut ring = IdRing::new(2, cap);
+            let mut model: Vec<VecDeque<u32>> = vec![VecDeque::new(); 2];
+            for step in 0..1_500u32 {
+                let r = (mix(&mut rng) as usize) % 2;
+                if !mix(&mut rng).is_multiple_of(3) && model[r].len() < cap {
+                    ring.push_back(r, step);
+                    model[r].push_back(step);
+                } else if !model[r].is_empty() {
+                    assert_eq!(ring.pop_front(r), model[r].pop_front().unwrap());
+                }
+                assert_eq!(ring.len(r), model[r].len());
+                assert_eq!(ring.is_full(r), model[r].len() == cap);
+                for (i, &v) in model[r].iter().enumerate() {
+                    assert_eq!(ring.get(r, i), v);
+                }
+            }
+        }
+    }
+
+    fn rec(tag: u64) -> DeliveredRecord {
+        DeliveredRecord {
+            src: (tag & 0xFF) as usize,
+            dst: ((tag >> 8) & 0xFF) as usize,
+            generated_at: tag,
+            injected_at: tag + 1,
+            delivered_at: tag + 2,
+            len: 16,
+            recovered: tag.is_multiple_of(5),
+        }
+    }
+
+    /// The delivery ring preserves FIFO order across partial drains and
+    /// growth, and a dropped drain discards the remainder.
+    #[test]
+    fn delivery_ring_drains_fifo_across_growth() {
+        for case in 0..CASES {
+            let mut rng = 0xDE11_0000 + case;
+            let mut ring = DeliveryRing::default();
+            let mut model: VecDeque<DeliveredRecord> = VecDeque::new();
+            for step in 0..800u64 {
+                if !mix(&mut rng).is_multiple_of(4) {
+                    ring.push(rec(step));
+                    model.push_back(rec(step));
+                } else {
+                    let drained: Vec<_> = ring.drain().collect();
+                    let expect: Vec<_> = model.drain(..).collect();
+                    assert_eq!(drained, expect);
+                }
+                assert_eq!(ring.len(), model.len());
+            }
+            // A partially consumed drain still removes everything.
+            ring.drain().for_each(drop);
+            for step in 0..10u64 {
+                ring.push(rec(step));
+            }
+            let mut d = ring.drain();
+            assert_eq!(d.next(), Some(rec(0)));
+            assert_eq!(d.len(), 9);
+            drop(d);
+            assert_eq!(ring.len(), 0);
+        }
+    }
+
+    #[test]
+    fn reset_empties_a_wrapped_ring() {
+        let mut arena = FlitRings::new(1, 4);
+        for i in 0..4 {
+            arena.push_back(0, flit(i));
+        }
+        arena.pop_front(0);
+        arena.pop_front(0);
+        arena.push_back(0, flit(9)); // head is now wrapped
+        arena.reset(0);
+        assert!(arena.is_empty(0));
+        arena.push_back(0, flit(7));
+        assert_eq!(arena.get(0, 0), flit(7));
+
+        let mut ids = IdRing::new(1, 3);
+        ids.push_back(0, 1);
+        ids.push_back(0, 2);
+        ids.pop_front(0);
+        ids.push_back(0, 3);
+        ids.reset(0);
+        assert!(ids.is_empty(0));
+    }
+}

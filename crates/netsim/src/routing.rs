@@ -1,9 +1,130 @@
 //! Output-channel selection for headers (adaptive routing with either
-//! escape channels or full adaptivity, per the deadlock mode).
+//! escape channels or full adaptivity, per the deadlock mode), backed by
+//! next-hop tables precomputed once at network construction.
 
-use crate::network::{port_of, Assign, Network};
+use crate::network::{dim_dir_of, port_of, Assign, Network};
 use crate::packet::PacketId;
-use kncube::{Dir, NodeId};
+use kncube::{Dir, NodeId, Torus};
+
+/// Largest node count for which the O(nodes²) pair tables (mesh DOR next
+/// hop, productive-port masks) are precomputed; bigger networks fall back
+/// to computing hops on the fly. At the limit the two tables cost 3 MiB —
+/// negligible next to the VC arenas — while the paper's 256-node network
+/// needs only 192 KiB.
+pub(crate) const TABLE_NODE_LIMIT: usize = 1024;
+
+/// Sentinel in the mesh next-hop table for `cur == dst` (no hop).
+const NO_HOP: u8 = 0xFF;
+
+/// Routing lookup tables, built once per [`Network`].
+///
+/// * `mesh_next[cur * nodes + dst]` — output port of the dimension-order
+///   *mesh* hop (the escape routing function), [`NO_HOP`] when aligned.
+/// * `productive[cur * nodes + dst]` — bitmask of productive (minimal,
+///   wrap-aware) output ports. The torus offers at most one productive
+///   direction per dimension (ties break `Plus`), so iterating set bits in
+///   ascending port order reproduces exactly the ascending-dimension hop
+///   order of [`Torus::productive_hops`] — decisions are bit-identical to
+///   the dynamic path. A port index is `2*dim + (dir == Minus)`, so 16
+///   ports at most (`MAX_DIMS = 8`) and a `u16` always fits.
+/// * `downstream[(node * d + port) * v + vc]` — global index of the
+///   neighbor input VC fed by that output VC, replacing a coordinate
+///   decomposition (`div`/`mod` per dimension) on every flit hop.
+///
+/// The pair tables are only built for networks of at most
+/// [`TABLE_NODE_LIMIT`] nodes; `downstream` is linear in the VC count and
+/// always built.
+#[derive(Debug)]
+pub(crate) struct RouteTables {
+    nodes: usize,
+    mesh_next: Vec<u8>,
+    productive: Vec<u16>,
+    downstream: Vec<u32>,
+}
+
+impl RouteTables {
+    /// Builds the tables for `torus` with `vcs` virtual channels per
+    /// physical channel.
+    pub(crate) fn build(torus: &Torus, vcs: usize) -> Self {
+        let nodes = torus.node_count();
+        let d = torus.channels_per_node();
+        let mut downstream = vec![0u32; nodes * d * vcs];
+        for node in 0..nodes {
+            for port in 0..d {
+                let (dim, dir) = dim_dir_of(port);
+                let nb = torus.neighbor(node, dim, dir);
+                let in_port = port_of(dim, dir.opposite());
+                for vc in 0..vcs {
+                    downstream[(node * d + port) * vcs + vc] =
+                        ((nb * d + in_port) * vcs + vc) as u32;
+                }
+            }
+        }
+        let (mesh_next, productive) = if nodes <= TABLE_NODE_LIMIT {
+            let mut mesh_next = vec![NO_HOP; nodes * nodes];
+            let mut productive = vec![0u16; nodes * nodes];
+            for cur in 0..nodes {
+                for dst in 0..nodes {
+                    if let Some((dim, dir)) = mesh_dor_hop_dyn(torus, cur, dst) {
+                        mesh_next[cur * nodes + dst] = port_of(dim, dir) as u8;
+                    }
+                    productive[cur * nodes + dst] = productive_mask_dyn(torus, cur, dst);
+                }
+            }
+            (mesh_next, productive)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        RouteTables {
+            nodes,
+            mesh_next,
+            productive,
+            downstream,
+        }
+    }
+
+    /// The downstream input VC fed by output VC (global index) `oidx`.
+    #[inline]
+    pub(crate) fn downstream(&self, oidx: usize) -> usize {
+        self.downstream[oidx] as usize
+    }
+
+    /// Whether the O(nodes²) pair tables were built.
+    #[inline]
+    fn has_pair_tables(&self) -> bool {
+        !self.productive.is_empty()
+    }
+}
+
+/// Dimension-order next hop on the *mesh* sub-network (never crosses a
+/// wraparound link): the escape routing function, computed from
+/// coordinates. [`Network::mesh_dor_hop`] serves the same answer from the
+/// precomputed table when one exists.
+pub(crate) fn mesh_dor_hop_dyn(torus: &Torus, cur: NodeId, dst: NodeId) -> Option<(usize, Dir)> {
+    let ca = torus.coords(cur);
+    let cb = torus.coords(dst);
+    for dim in 0..torus.dimensions() {
+        if ca[dim] != cb[dim] {
+            let dir = if cb[dim] > ca[dim] {
+                Dir::Plus
+            } else {
+                Dir::Minus
+            };
+            return Some((dim, dir));
+        }
+    }
+    None
+}
+
+/// Productive-port bitmask computed from coordinates (the table fallback
+/// for networks above [`TABLE_NODE_LIMIT`]).
+pub(crate) fn productive_mask_dyn(torus: &Torus, cur: NodeId, dst: NodeId) -> u16 {
+    let mut mask = 0u16;
+    for (dim, dir) in torus.productive_hops(cur, dst).iter() {
+        mask |= 1 << port_of(dim, dir);
+    }
+    mask
+}
 
 impl Network {
     /// Chooses an output virtual channel for a header at `node` destined for
@@ -30,9 +151,12 @@ impl Network {
 
         if !sticky_escaped {
             // First free adaptive VC in fixed (dimension, direction, VC)
-            // order — the simple selection function of flexsim-era routers.
-            for (dim, dir) in self.torus().productive_hops(node, dst).iter() {
-                let port = port_of(dim, dir);
+            // order — ascending set bits of the productive-port mask visit
+            // dimensions in exactly the order `productive_hops` yields them.
+            let mut mask = self.productive_mask(node, dst);
+            while mask != 0 {
+                let port = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
                 for vc in escape_vcs..self.config().vcs {
                     let oidx = self.vc_idx(node, port, vc);
                     if !self.out_alloc[oidx] {
@@ -46,10 +170,9 @@ impl Network {
         }
 
         if escape_vcs > 0 {
-            let (dim, dir) = self
-                .mesh_dor_hop(node, dst)
+            let port = self
+                .mesh_next_port(node, dst)
                 .expect("mesh DOR hop exists whenever node != dst");
-            let port = port_of(dim, dir);
             for vc in 0..escape_vcs {
                 let oidx = self.vc_idx(node, port, vc);
                 if !self.out_alloc[oidx] {
@@ -63,29 +186,45 @@ impl Network {
         None
     }
 
-    /// Dimension-order next hop on the *mesh* sub-network (never crosses a
-    /// wraparound link): the escape routing function.
-    pub(crate) fn mesh_dor_hop(&self, cur: NodeId, dst: NodeId) -> Option<(usize, Dir)> {
-        let ca = self.torus().coords(cur);
-        let cb = self.torus().coords(dst);
-        for dim in 0..self.torus().dimensions() {
-            if ca[dim] != cb[dim] {
-                let dir = if cb[dim] > ca[dim] {
-                    Dir::Plus
-                } else {
-                    Dir::Minus
-                };
-                return Some((dim, dir));
-            }
+    /// Bitmask of productive output ports from `node` towards `dst` (table
+    /// lookup, with a dynamic fallback above [`TABLE_NODE_LIMIT`]).
+    #[inline]
+    pub(crate) fn productive_mask(&self, node: NodeId, dst: NodeId) -> u16 {
+        if self.tables.has_pair_tables() {
+            self.tables.productive[node * self.tables.nodes + dst]
+        } else {
+            productive_mask_dyn(self.torus(), node, dst)
         }
-        None
+    }
+
+    /// Output port of the mesh dimension-order hop from `cur` towards
+    /// `dst`, `None` when `cur == dst`.
+    #[inline]
+    pub(crate) fn mesh_next_port(&self, cur: NodeId, dst: NodeId) -> Option<usize> {
+        if self.tables.has_pair_tables() {
+            let p = self.tables.mesh_next[cur * self.tables.nodes + dst];
+            (p != NO_HOP).then_some(usize::from(p))
+        } else {
+            mesh_dor_hop_dyn(self.torus(), cur, dst).map(|(dim, dir)| port_of(dim, dir))
+        }
+    }
+
+    /// Dimension-order next hop on the *mesh* sub-network (never crosses a
+    /// wraparound link): the escape routing function. (The hot path uses
+    /// [`Network::mesh_next_port`] directly; this `(dim, dir)` view exists
+    /// for the routing tests.)
+    #[cfg(test)]
+    pub(crate) fn mesh_dor_hop(&self, cur: NodeId, dst: NodeId) -> Option<(usize, Dir)> {
+        self.mesh_next_port(cur, dst).map(dim_dir_of)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::{mesh_dor_hop_dyn, productive_mask_dyn};
     use crate::config::{DeadlockMode, NetConfig};
     use crate::network::Network;
+    use crate::network::{dim_dir_of, port_of};
     use kncube::Dir;
 
     #[test]
@@ -115,6 +254,67 @@ mod tests {
                     assert!(steps < 100, "mesh DOR walk diverged");
                 }
                 assert_eq!(cur, dst);
+            }
+        }
+    }
+
+    /// Exhaustive table-vs-dynamic equivalence over every (cur, dst) pair
+    /// for the Tiny (4-ary), Small (8-ary) and paper (16-ary) presets: the
+    /// precomputed mesh next hop and productive-port mask must agree with
+    /// the coordinate computation everywhere, and the downstream table must
+    /// agree with the topology's neighbor function for every output VC.
+    #[test]
+    fn route_tables_match_dynamic_everywhere() {
+        let cfgs = [
+            NetConfig {
+                radix: 4,
+                ..NetConfig::small(DeadlockMode::PAPER_RECOVERY)
+            },
+            NetConfig::small(DeadlockMode::Avoidance),
+            NetConfig::paper(DeadlockMode::Avoidance),
+        ];
+        for cfg in cfgs {
+            let vcs = cfg.vcs;
+            let net = Network::new(cfg).unwrap();
+            let t = net.torus().clone();
+            let nodes = t.node_count();
+            let d = t.channels_per_node();
+            for cur in 0..nodes {
+                for dst in 0..nodes {
+                    assert_eq!(
+                        net.mesh_dor_hop(cur, dst),
+                        mesh_dor_hop_dyn(&t, cur, dst),
+                        "mesh table diverges at ({cur}, {dst}), k={}",
+                        t.radix()
+                    );
+                    assert_eq!(
+                        net.productive_mask(cur, dst),
+                        productive_mask_dyn(&t, cur, dst),
+                        "productive table diverges at ({cur}, {dst}), k={}",
+                        t.radix()
+                    );
+                    // Mask bit order must reproduce the HopSet hop order.
+                    let mut mask = net.productive_mask(cur, dst);
+                    let mut from_mask = Vec::new();
+                    while mask != 0 {
+                        let port = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        from_mask.push(dim_dir_of(port));
+                    }
+                    let from_hops: Vec<_> = t.productive_hops(cur, dst).iter().collect();
+                    assert_eq!(from_mask, from_hops, "hop order diverges at ({cur}, {dst})");
+                }
+                for port in 0..d {
+                    let (dim, dir) = dim_dir_of(port);
+                    let nb = t.neighbor(cur, dim, dir);
+                    for vc in 0..vcs {
+                        assert_eq!(
+                            net.downstream_idx(cur, port, vc),
+                            net.vc_idx(nb, port_of(dim, dir.opposite()), vc),
+                            "downstream table diverges at node {cur} port {port} vc {vc}"
+                        );
+                    }
+                }
             }
         }
     }

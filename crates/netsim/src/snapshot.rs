@@ -11,16 +11,22 @@
 //! freshly built from the same configuration, and the caller guards that
 //! with a configuration fingerprint at the container level.
 //!
+//! Queues live in ring-buffer arenas ([`crate::ring`]) but serialize as
+//! their *logical* FIFO contents (front to back), so the byte format is
+//! independent of each ring's physical head position — a restored ring
+//! starts at head 0, which is behaviorally and serially equivalent.
+//!
 //! The golden property — restore + run to end is bit-identical to the
 //! uninterrupted run — holds because after [`Network::restore_state`] every
 //! field that influences any future cycle equals the original's. The only
-//! skipped field is the per-cycle injection-allowance scratch, which the
-//! pipeline rewrites for every node before reading it.
+//! skipped fields are per-cycle scratch (the injection allowance, the
+//! recovery path's recycled backing storage), which the pipeline rewrites
+//! before reading.
 
-use crate::network::{Assign, InVc, InjState, Network, RecoveryJob};
-use crate::packet::{DeliveredRecord, Flit, PacketStore};
+use crate::network::{Assign, InjState, Network, RecoveryJob};
+use crate::packet::{Flit, PacketStore};
+use crate::ring::{DeliveryRing, FlitRings, IdRing};
 use checkpoint::{CheckpointError, Dec, Enc};
-use std::collections::VecDeque;
 
 use crate::counters::Counters;
 
@@ -66,23 +72,30 @@ fn dec_flit(dec: &mut Dec<'_>) -> Result<Flit, CheckpointError> {
     })
 }
 
-fn enc_flit_q(enc: &mut Enc, q: &VecDeque<Flit>) {
-    enc.usize(q.len());
-    for &f in q {
-        enc_flit(enc, f);
+/// Serializes ring `r` of a flit arena as its logical front-to-back
+/// contents (the same bytes a `VecDeque` walk would produce).
+fn enc_flit_ring(enc: &mut Enc, rings: &FlitRings, r: usize) {
+    enc.usize(rings.len(r));
+    for i in 0..rings.len(r) {
+        enc_flit(enc, rings.get(r, i));
     }
 }
 
-fn dec_flit_q(dec: &mut Dec<'_>, max: usize) -> Result<VecDeque<Flit>, CheckpointError> {
+/// Decodes a flit queue into ring `r` of a (freshly reset) arena.
+fn dec_flit_ring(
+    dec: &mut Dec<'_>,
+    rings: &mut FlitRings,
+    r: usize,
+    max: usize,
+) -> Result<(), CheckpointError> {
     let n = dec.usize()?;
     if n > max {
         return Err(CheckpointError::Corrupt("flit queue exceeds capacity"));
     }
-    let mut q = VecDeque::with_capacity(max);
     for _ in 0..n {
-        q.push_back(dec_flit(dec)?);
+        rings.push_back(r, dec_flit(dec)?);
     }
-    Ok(q)
+    Ok(())
 }
 
 impl Network {
@@ -94,13 +107,14 @@ impl Network {
         enc.u32(self.full_buffers);
         self.counters.save_state(enc);
 
-        enc.usize(self.in_vcs.len());
-        for vc in &self.in_vcs {
-            enc_flit_q(enc, &vc.buf);
-            enc_assign(enc, vc.assign);
-            enc.u64(vc.routed_at);
-            enc.u64(vc.blocked);
-            enc.bool(vc.queued_for_token);
+        let n_vcs = self.vc_assign.len();
+        enc.usize(n_vcs);
+        for idx in 0..n_vcs {
+            enc_flit_ring(enc, &self.vc_bufs, idx);
+            enc_assign(enc, self.vc_assign[idx]);
+            enc.u64(self.vc_routed_at[idx]);
+            enc.u64(self.vc_blocked[idx]);
+            enc.bool(self.vc_queued[idx]);
         }
         for &b in &self.out_alloc {
             enc.bool(b);
@@ -112,10 +126,10 @@ impl Network {
             enc_assign(enc, inj.assign);
             enc.u64(inj.routed_at);
         }
-        for q in &self.source_q {
-            enc.usize(q.len());
-            for &id in q {
-                enc.u32(id);
+        for node in 0..self.inj.len() {
+            enc.usize(self.source_q.len(node));
+            for i in 0..self.source_q.len(node) {
+                enc.u32(self.source_q.get(node, i));
             }
         }
         self.packets.save_state(enc);
@@ -123,8 +137,8 @@ impl Network {
         for &b in &self.escaped {
             enc.bool(b);
         }
-        for q in &self.dl_buf {
-            enc_flit_q(enc, q);
+        for node in 0..self.inj.len() {
+            enc_flit_ring(enc, &self.dl_bufs, node);
         }
         match &self.recovery {
             None => enc.bool(false),
@@ -148,12 +162,13 @@ impl Network {
         for &m in &self.vc_busy {
             enc.u64(m);
         }
-        enc.usize(self.token_queue.len());
-        for &idx in &self.token_queue {
-            enc.usize(idx);
+        enc.usize(self.token_queue.len(0));
+        for i in 0..self.token_queue.len(0) {
+            enc.usize(self.token_queue.get(0, i) as usize);
         }
         enc.usize(self.deliveries.len());
-        for d in &self.deliveries {
+        for i in 0..self.deliveries.len() {
+            let d = self.deliveries.get(i);
             enc.usize(d.src);
             enc.usize(d.dst);
             enc.u64(d.generated_at);
@@ -166,7 +181,8 @@ impl Network {
 
     /// Restores state captured with [`Network::save_state`] into a network
     /// built from the *same* configuration (same radix, dimensions, VCs,
-    /// buffer depth). Any installed fault plan is left untouched.
+    /// buffer depth). Any installed fault plan is left untouched. A failed
+    /// restore leaves the network unmodified.
     ///
     /// # Errors
     ///
@@ -175,7 +191,7 @@ impl Network {
     /// network's configuration.
     pub fn restore_state(&mut self, dec: &mut Dec<'_>) -> Result<(), CheckpointError> {
         let nodes = self.torus().node_count();
-        let n_vcs = self.in_vcs.len();
+        let n_vcs = self.vc_assign.len();
         let depth = self.config().buf_depth;
 
         let now = dec.u64()?;
@@ -187,15 +203,17 @@ impl Network {
         if dec.usize()? != n_vcs {
             return Err(CheckpointError::Corrupt("input VC count mismatch"));
         }
-        let mut in_vcs = Vec::with_capacity(n_vcs);
-        for _ in 0..n_vcs {
-            in_vcs.push(InVc {
-                buf: dec_flit_q(dec, depth)?,
-                assign: dec_assign(dec)?,
-                routed_at: dec.u64()?,
-                blocked: dec.u64()?,
-                queued_for_token: dec.bool()?,
-            });
+        let mut vc_bufs = FlitRings::new(n_vcs, depth);
+        let mut vc_assign = Vec::with_capacity(n_vcs);
+        let mut vc_routed_at = Vec::with_capacity(n_vcs);
+        let mut vc_blocked = Vec::with_capacity(n_vcs);
+        let mut vc_queued = Vec::with_capacity(n_vcs);
+        for idx in 0..n_vcs {
+            dec_flit_ring(dec, &mut vc_bufs, idx, depth)?;
+            vc_assign.push(dec_assign(dec)?);
+            vc_routed_at.push(dec.u64()?);
+            vc_blocked.push(dec.u64()?);
+            vc_queued.push(dec.bool()?);
         }
         let mut out_alloc = Vec::with_capacity(n_vcs);
         for _ in 0..n_vcs {
@@ -212,17 +230,16 @@ impl Network {
                 routed_at: dec.u64()?,
             });
         }
-        let mut source_q = Vec::with_capacity(nodes);
-        for _ in 0..nodes {
+        let cap = self.config().source_queue_cap;
+        let mut source_q = IdRing::new(nodes, cap);
+        for node in 0..nodes {
             let n = dec.usize()?;
-            if n > self.config().source_queue_cap {
+            if n > cap {
                 return Err(CheckpointError::Corrupt("source queue exceeds capacity"));
             }
-            let mut q = VecDeque::with_capacity(n);
             for _ in 0..n {
-                q.push_back(dec.u32()?);
+                source_q.push_back(node, dec.u32()?);
             }
-            source_q.push(q);
         }
         let packets = PacketStore::restore_state(dec)?;
         let n_escaped = dec.usize()?;
@@ -233,9 +250,9 @@ impl Network {
         for _ in 0..n_escaped {
             escaped.push(dec.bool()?);
         }
-        let mut dl_buf = Vec::with_capacity(nodes);
-        for _ in 0..nodes {
-            dl_buf.push(dec_flit_q(dec, crate::network::DL_DEPTH)?);
+        let mut dl_bufs = FlitRings::new(nodes, crate::network::DL_DEPTH);
+        for node in 0..nodes {
+            dec_flit_ring(dec, &mut dl_bufs, node, crate::network::DL_DEPTH)?;
         }
         let recovery = if dec.bool()? {
             let packet = dec.u32()?;
@@ -281,21 +298,21 @@ impl Network {
         if n_tok > n_vcs {
             return Err(CheckpointError::Corrupt("token queue implausibly long"));
         }
-        let mut token_queue = VecDeque::with_capacity(n_tok);
+        let mut token_queue = IdRing::new(1, n_vcs);
         for _ in 0..n_tok {
             let idx = dec.usize()?;
             if idx >= n_vcs {
                 return Err(CheckpointError::Corrupt("token queue entry out of range"));
             }
-            token_queue.push_back(idx);
+            token_queue.push_back(0, idx as u32);
         }
         let n_del = dec.usize()?;
         if n_del > counters.delivered_packets as usize {
             return Err(CheckpointError::Corrupt("undrained delivery count"));
         }
-        let mut deliveries = Vec::with_capacity(n_del);
+        let mut deliveries = DeliveryRing::default();
         for _ in 0..n_del {
-            deliveries.push(DeliveredRecord {
+            deliveries.push(crate::packet::DeliveredRecord {
                 src: dec.usize()?,
                 dst: dec.usize()?,
                 generated_at: dec.u64()?,
@@ -311,13 +328,17 @@ impl Network {
         self.last_progress_at = last_progress_at;
         self.full_buffers = full_buffers;
         self.counters = counters;
-        self.in_vcs = in_vcs;
+        self.vc_bufs = vc_bufs;
+        self.vc_assign = vc_assign;
+        self.vc_routed_at = vc_routed_at;
+        self.vc_blocked = vc_blocked;
+        self.vc_queued = vc_queued;
         self.out_alloc = out_alloc;
         self.inj = inj;
         self.source_q = source_q;
         self.packets = packets;
         self.escaped = escaped;
-        self.dl_buf = dl_buf;
+        self.dl_bufs = dl_bufs;
         self.recovery = recovery;
         self.route_rr = route_rr;
         self.out_rr = out_rr;
@@ -386,6 +407,34 @@ mod tests {
         }
         assert_eq!(snapshot(&a), snapshot(&b), "diverged after restore");
         assert_eq!(a.counters(), b.counters());
+    }
+
+    /// Ring-buffer physical layout must not leak into the byte format: a
+    /// network whose rings have wrapped (heads far from zero) and a
+    /// restored copy (heads at zero) serialize identically, and both
+    /// continue identically.
+    #[test]
+    fn wrapped_rings_serialize_position_independently() {
+        let cfg = small_cfg();
+        let mut src = source(2); // heavy traffic: rings wrap many times
+        let mut a = Network::new(cfg.clone()).unwrap();
+        for _ in 0..2_000 {
+            a.cycle(&mut src, &mut NoControl);
+        }
+        let snap = snapshot(&a);
+        let mut b = Network::new(cfg).unwrap();
+        let mut dec = Dec::new(&snap);
+        b.restore_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        // b's rings all start at head 0; a's are arbitrarily wrapped.
+        assert_eq!(snapshot(&b), snap);
+        let mut src_a = source(2);
+        let mut src_b = source(2);
+        for _ in 0..300 {
+            a.cycle(&mut src_a, &mut NoControl);
+            b.cycle(&mut src_b, &mut NoControl);
+        }
+        assert_eq!(snapshot(&a), snapshot(&b));
     }
 
     #[test]

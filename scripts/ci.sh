@@ -5,8 +5,10 @@
 #   3. rustdoc audit     (broken intra-doc links are errors)
 #   4. tier-1 verify     (cargo build --release && cargo test -q)
 #   5. workspace tests   (incl. the golden determinism suite)
-#   6. parallel smoke    (a --jobs 4 sweep through the runner)
-#   7. kill-and-resume   (SIGKILL a sweep mid-run, finish it with --resume)
+#   6. zero-alloc gate   (steady-state cycles make no heap allocations)
+#   7. parallel smoke    (a --jobs 4 sweep through the runner)
+#   8. kill-and-resume   (SIGKILL a sweep mid-run, finish it with --resume)
+#   9. bench gate        (opt-in: STCC_BENCH_GATE=1, >15% regression fails)
 # Everything is hermetic — no network access is required (see README,
 # "Hermetic build"). Each step reports its wall time.
 set -eu
@@ -25,6 +27,12 @@ step "fmt" cargo fmt --all --check
 
 step "clippy" cargo clippy --workspace --all-targets -- -D warnings
 
+# The simulator hot path moves state by value; an oversized enum variant
+# there silently turns every copy into a memcpy.
+step "clippy: netsim enum-size audit" \
+    cargo clippy -p wormsim --all-targets -- \
+    -D warnings -D clippy::large_enum_variant
+
 # Rustdoc audit: a placeholder or rotted intra-doc link is a build error.
 rustdoc_audit() {
     RUSTDOCFLAGS="-D rustdoc::broken_intra_doc_links" \
@@ -37,6 +45,11 @@ step "tier-1: build" cargo build --release
 step "tier-1: test" cargo test -q
 
 step "workspace tests" cargo test --workspace -q
+
+# Zero-allocation gate: after warmup, saturated simulation cycles (in both
+# deadlock modes, drains included) must perform zero heap allocations. The
+# counting allocator lives in its own test binary, so this runs alone.
+step "zero-alloc steady state" cargo test -q -p wormsim --test zero_alloc
 
 # Golden determinism: fig2/fig4/fig5 must match the committed snapshots
 # byte-for-byte at --jobs 1, 2 and 8 (already part of the workspace run;
@@ -83,5 +96,13 @@ resume_gate() {
     fi
 }
 step "kill-and-resume smoke" resume_gate
+
+# Perf regression gate, opt-in because the committed BENCH_netsim.json was
+# measured on one specific host: any headline metric >15% worse fails.
+if [ "${STCC_BENCH_GATE:-0}" = "1" ]; then
+    step "bench gate (vs BENCH_netsim.json)" \
+        cargo run --release -q -p bench --bin bench_netsim -- \
+        --gate BENCH_netsim.json
+fi
 
 echo "CI green."
