@@ -1,41 +1,96 @@
 //! Machine-readable netsim performance baselines.
 //!
 //! Measures the simulator's headline numbers — idle and saturated
-//! cycles/s on the paper's 256-node network, and checkpoint
-//! serialize/restore time — with the same methodology as the `micro`
-//! bench, then either writes them as a flat JSON baseline or gates the
-//! current build against a committed one:
+//! cycles/s, and checkpoint serialize/restore time — with the same
+//! methodology as the `micro` bench, then either writes them as a flat
+//! JSON baseline or gates the current build against a committed one:
 //!
 //! ```text
-//! bench_netsim --out BENCH_netsim.json     # write a new baseline
-//! bench_netsim --gate BENCH_netsim.json    # fail on >15% regression
+//! bench_netsim --out BENCH_netsim.json                       # paper preset
+//! bench_netsim --gate BENCH_netsim.json                      # fail on >15% regression
+//! bench_netsim --preset tiny --tolerance 0.5 --gate BENCH_netsim_tiny.json
 //! ```
 //!
-//! `scripts/ci.sh` runs the gate when `STCC_BENCH_GATE=1` (opt-in: the
-//! tolerance assumes the baseline was measured on the same host). The JSON
-//! is hand-rolled and hand-parsed — one metric per line, no dependencies —
-//! keeping the build hermetic.
+//! The `paper` preset runs the 16-ary 2-cube (256 nodes); `tiny` runs the
+//! 8-ary 2-cube (64 nodes) and is cheap enough that `scripts/ci.sh` gates
+//! it unconditionally (with a generous tolerance — it only has to catch
+//! order-of-magnitude cliffs on a shared 1-core host). The full paper
+//! gate stays opt-in via `STCC_BENCH_GATE=1`.
+//!
+//! v2 baselines also record the per-stage work-share breakdown of the
+//! saturated run (inject/route/starvation/switch/drain, in percent).
+//! Those shares are informational: `--gate` prints the drift but never
+//! fails on them, and accepts v1 baselines that lack them entirely. The
+//! JSON is hand-rolled and hand-parsed — one metric per line, no
+//! dependencies — keeping the build hermetic.
 
 use bench::harness::{BenchConfig, Group};
 use std::hint::black_box;
 use std::process::ExitCode;
 use wormsim::{DeadlockMode, NetConfig, Network, NoControl};
 
-/// Schema tag written into (and required of) every baseline file.
-const SCHEMA: &str = "stcc-bench-netsim-v1";
+/// Schema tag written into new baseline files.
+const SCHEMA_V2: &str = "stcc-bench-netsim-v2";
 
-/// Largest tolerated regression per metric, as a fraction.
-const TOLERANCE: f64 = 0.15;
+/// Previous schema, still accepted by `--gate` (no stage shares).
+const SCHEMA_V1: &str = "stcc-bench-netsim-v1";
+
+/// Largest tolerated regression per metric (fraction; `--tolerance`
+/// overrides).
+const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// Which network the baseline measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Preset {
+    /// The paper's 16-ary 2-cube (256 nodes).
+    Paper,
+    /// An 8-ary 2-cube (64 nodes) — fast enough for an always-on CI gate.
+    Tiny,
+}
+
+impl Preset {
+    fn parse(s: &str) -> Option<Preset> {
+        match s {
+            "paper" => Some(Preset::Paper),
+            "tiny" => Some(Preset::Tiny),
+            _ => None,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Preset::Paper => "paper",
+            Preset::Tiny => "tiny",
+        }
+    }
+
+    fn net(self, deadlock: DeadlockMode) -> NetConfig {
+        match self {
+            Preset::Paper => NetConfig::paper(deadlock),
+            Preset::Tiny => NetConfig::small(deadlock),
+        }
+    }
+
+    /// Side-band radix matching the torus (the gather tree must cover it).
+    fn sideband_radix(self) -> usize {
+        match self {
+            Preset::Paper => 16,
+            Preset::Tiny => 8,
+        }
+    }
+}
 
 /// One measured metric: name, value, and whether bigger is better
-/// (throughputs) or worse (latencies).
+/// (throughputs) or worse (latencies). Informational metrics (the stage
+/// shares) are written to baselines but never gated.
 struct Metric {
     name: &'static str,
     value: f64,
     higher_is_better: bool,
+    informational: bool,
 }
 
-fn measure() -> Vec<Metric> {
+fn measure(preset: Preset) -> Vec<Metric> {
     let mut g = Group::new(
         "netsim baseline (1000 cycles/iter)",
         BenchConfig {
@@ -46,19 +101,20 @@ fn measure() -> Vec<Metric> {
     );
     let cycles_per_iter = 1_000u64;
 
-    // Idle 16-ary 2-cube: the floor cost of one cycle over 256 routers.
+    // Idle torus: the floor cost of one cycle with no live flits.
     {
-        let mut net = Network::new(NetConfig::paper(DeadlockMode::PAPER_RECOVERY)).unwrap();
+        let mut net = Network::new(preset.net(DeadlockMode::PAPER_RECOVERY)).unwrap();
         let mut src = |_: u64, _: usize| None;
-        g.bench_units("idle_256_nodes", cycles_per_iter as f64, || {
+        g.bench_units("idle", cycles_per_iter as f64, || {
             net.run(cycles_per_iter, &mut src, &mut NoControl);
             black_box(net.now())
         });
     }
 
-    // Saturated: worst-case per-cycle cost (pre-warmed network).
-    {
-        let mut net = Network::new(NetConfig::paper(DeadlockMode::PAPER_RECOVERY)).unwrap();
+    // Saturated: worst-case per-cycle cost (pre-warmed network). Also the
+    // run whose stage-visit counters become the v2 share breakdown.
+    let stages = {
+        let mut net = Network::new(preset.net(DeadlockMode::PAPER_RECOVERY)).unwrap();
         let nodes = net.torus().node_count();
         let mut x = 0usize;
         let mut src = move |_: u64, node: usize| {
@@ -68,20 +124,28 @@ fn measure() -> Vec<Metric> {
             Some((x >> 33) % nodes)
         };
         net.run(5_000, &mut src, &mut NoControl); // warm into saturation
-        g.bench_units("saturated_256_nodes", cycles_per_iter as f64, || {
+        g.bench_units("saturated", cycles_per_iter as f64, || {
             net.run(cycles_per_iter, &mut src, &mut NoControl);
             black_box(net.counters().delivered_flits)
         });
-    }
+        net.counters().stage_cycles()
+    };
 
     // Checkpoint codec cost on a warmed tuned simulation.
     {
+        use sideband::SidebandConfig;
         use stcc::{Scheme, SimConfig, Simulation, TuneConfig};
         use traffic::{Pattern, Process, Workload};
         let cfg = SimConfig {
-            net: NetConfig::paper(DeadlockMode::PAPER_RECOVERY),
+            net: preset.net(DeadlockMode::PAPER_RECOVERY),
             workload: Workload::steady(Pattern::UniformRandom, Process::bernoulli(0.014)),
-            scheme: Scheme::Tuned(TuneConfig::paper()),
+            scheme: Scheme::Tuned(TuneConfig {
+                sideband: SidebandConfig {
+                    radix: preset.sideband_radix(),
+                    ..SidebandConfig::paper()
+                },
+                ..TuneConfig::paper()
+            }),
             cycles: 1 << 40,
             warmup: 1_000,
             seed: 0xBE7C4,
@@ -99,34 +163,71 @@ fn measure() -> Vec<Metric> {
     }
 
     let r = g.results();
+    let total = stages.total().max(1) as f64;
+    let share = |v: u64| 100.0 * (v as f64) / total;
     vec![
         Metric {
             name: "idle_cycles_per_sec",
             value: r[0].units_per_second().unwrap(),
             higher_is_better: true,
+            informational: false,
         },
         Metric {
             name: "saturated_cycles_per_sec",
             value: r[1].units_per_second().unwrap(),
             higher_is_better: true,
+            informational: false,
         },
         Metric {
             name: "ckpt_serialize_ns",
             value: r[2].median_ns,
             higher_is_better: false,
+            informational: false,
         },
         Metric {
             name: "ckpt_restore_ns",
             value: r[3].median_ns,
             higher_is_better: false,
+            informational: false,
+        },
+        Metric {
+            name: "stage_share_inject_pct",
+            value: share(stages.inject),
+            higher_is_better: false,
+            informational: true,
+        },
+        Metric {
+            name: "stage_share_route_pct",
+            value: share(stages.route),
+            higher_is_better: false,
+            informational: true,
+        },
+        Metric {
+            name: "stage_share_starvation_pct",
+            value: share(stages.starvation),
+            higher_is_better: false,
+            informational: true,
+        },
+        Metric {
+            name: "stage_share_switch_pct",
+            value: share(stages.switch),
+            higher_is_better: false,
+            informational: true,
+        },
+        Metric {
+            name: "stage_share_drain_pct",
+            value: share(stages.drain),
+            higher_is_better: false,
+            informational: true,
         },
     ]
 }
 
 /// Renders the baseline as flat JSON, one metric per line.
-fn render_json(metrics: &[Metric]) -> String {
+fn render_json(preset: Preset, metrics: &[Metric]) -> String {
     let mut out = String::from("{\n");
-    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!("  \"schema\": \"{SCHEMA_V2}\",\n"));
+    out.push_str(&format!("  \"preset\": \"{}\",\n", preset.label()));
     for (i, m) in metrics.iter().enumerate() {
         let comma = if i + 1 == metrics.len() { "" } else { "," };
         out.push_str(&format!("  \"{}\": {:.1}{comma}\n", m.name, m.value));
@@ -147,17 +248,25 @@ fn parse_metric(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Extracts `"key": "<string>"` from the flat baseline format.
+fn parse_string<'j>(json: &'j str, key: &str) -> Option<&'j str> {
+    let needle = format!("\"{key}\": \"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
 /// Compares a fresh measurement against a baseline value; returns an error
-/// line when it regressed beyond [`TOLERANCE`].
-fn check(m: &Metric, baseline: f64) -> Result<String, String> {
+/// line when it regressed beyond `tolerance`.
+fn check(m: &Metric, baseline: f64, tolerance: f64) -> Result<String, String> {
     let ratio = m.value / baseline;
     let (regressed, direction) = if m.higher_is_better {
-        (ratio < 1.0 - TOLERANCE, "slower")
+        (ratio < 1.0 - tolerance, "slower")
     } else {
-        (ratio > 1.0 + TOLERANCE, "costlier")
+        (ratio > 1.0 + tolerance, "costlier")
     };
     let line = format!(
-        "{:<26} baseline {:>14.1}  now {:>14.1}  ({:+.1}%)",
+        "{:<28} baseline {:>14.1}  now {:>14.1}  ({:+.1}%)",
         m.name,
         baseline,
         m.value,
@@ -166,7 +275,7 @@ fn check(m: &Metric, baseline: f64) -> Result<String, String> {
     if regressed {
         Err(format!(
             "{line}  REGRESSED: >{:.0}% {direction}",
-            TOLERANCE * 100.0
+            tolerance * 100.0
         ))
     } else {
         Ok(line)
@@ -174,27 +283,69 @@ fn check(m: &Metric, baseline: f64) -> Result<String, String> {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_netsim --out <file.json> | --gate <baseline.json>");
+    eprintln!(
+        "usage: bench_netsim [--preset paper|tiny] [--tolerance FRAC] \
+         (--out <file.json> | --gate <baseline.json>)"
+    );
     ExitCode::FAILURE
+}
+
+/// Parsed command line: mode (`--out`/`--gate`), path, preset, tolerance.
+struct Cli {
+    mode: &'static str,
+    path: String,
+    preset: Preset,
+    tolerance: f64,
+}
+
+fn parse_cli(args: &[String]) -> Option<Cli> {
+    let mut mode = None;
+    let mut path = None;
+    let mut preset = Preset::Paper;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" | "--gate" => {
+                mode = Some(if arg == "--out" { "--out" } else { "--gate" });
+                path = Some(it.next()?.clone());
+            }
+            "--preset" => preset = Preset::parse(it.next()?)?,
+            "--tolerance" => {
+                tolerance = it.next()?.parse().ok()?;
+                if !(tolerance > 0.0 && tolerance.is_finite()) {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(Cli {
+        mode: mode?,
+        path: path?,
+        preset,
+        tolerance,
+    })
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [mode, path] = args.as_slice() else {
+    let Some(cli) = parse_cli(&args) else {
         return usage();
     };
-    match mode.as_str() {
+    match cli.mode {
         "--out" => {
-            let metrics = measure();
-            let json = render_json(&metrics);
-            if let Err(e) = std::fs::write(path, &json) {
-                eprintln!("bench_netsim: cannot write {path}: {e}");
+            let metrics = measure(cli.preset);
+            let json = render_json(cli.preset, &metrics);
+            if let Err(e) = std::fs::write(&cli.path, &json) {
+                eprintln!("bench_netsim: cannot write {}: {e}", cli.path);
                 return ExitCode::FAILURE;
             }
-            println!("\nwrote {path}:\n{json}");
+            println!("\nwrote {}:\n{json}", cli.path);
             ExitCode::SUCCESS
         }
         "--gate" => {
+            let path = &cli.path;
             let baseline = match std::fs::read_to_string(path) {
                 Ok(s) => s,
                 Err(e) => {
@@ -202,25 +353,52 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            if parse_metric(&baseline, "schema").is_some()
-                || !baseline.contains(&format!("\"schema\": \"{SCHEMA}\""))
-            {
-                eprintln!("bench_netsim: {path} is not a {SCHEMA} baseline");
+            let schema = parse_string(&baseline, "schema").unwrap_or("");
+            if schema != SCHEMA_V1 && schema != SCHEMA_V2 {
+                eprintln!("bench_netsim: {path} is not a {SCHEMA_V1}/{SCHEMA_V2} baseline");
                 return ExitCode::FAILURE;
             }
-            let metrics = measure();
+            // v1 baselines predate presets and were always measured on the
+            // paper network.
+            let base_preset = parse_string(&baseline, "preset").unwrap_or("paper");
+            if base_preset != cli.preset.label() {
+                eprintln!(
+                    "bench_netsim: {path} was measured on preset '{base_preset}', \
+                     but this gate runs '{}'",
+                    cli.preset.label()
+                );
+                return ExitCode::FAILURE;
+            }
+            let metrics = measure(cli.preset);
             println!(
-                "\n== gate vs {path} (tolerance {:.0}%) ==",
-                TOLERANCE * 100.0
+                "\n== gate vs {path} (preset {}, tolerance {:.0}%) ==",
+                cli.preset.label(),
+                cli.tolerance * 100.0
             );
             let mut failed = false;
             for m in &metrics {
-                let Some(base) = parse_metric(&baseline, m.name) else {
-                    eprintln!("{:<26} missing from baseline", m.name);
+                let base = parse_metric(&baseline, m.name);
+                if m.informational {
+                    // Stage shares drift with the measured workload; show
+                    // them, never fail on them (and v1 baselines lack them).
+                    match base {
+                        Some(b) => println!(
+                            "{:<28} baseline {:>14.1}  now {:>14.1}  (informational)",
+                            m.name, b, m.value
+                        ),
+                        None => println!(
+                            "{:<28} {:>14} now {:>14.1}  (informational)",
+                            m.name, "-", m.value
+                        ),
+                    }
+                    continue;
+                }
+                let Some(base) = base else {
+                    eprintln!("{:<28} missing from baseline", m.name);
                     failed = true;
                     continue;
                 };
-                match check(m, base) {
+                match check(m, base, cli.tolerance) {
                     Ok(line) => println!("{line}"),
                     Err(line) => {
                         eprintln!("{line}");
@@ -249,6 +427,7 @@ mod tests {
             name,
             value,
             higher_is_better,
+            informational: false,
         }
     }
 
@@ -258,8 +437,10 @@ mod tests {
             metric("idle_cycles_per_sec", 627_690.4, true),
             metric("ckpt_serialize_ns", 1_151_000.0, false),
         ];
-        let json = render_json(&metrics);
-        assert!(json.contains("\"schema\": \"stcc-bench-netsim-v1\""));
+        let json = render_json(Preset::Paper, &metrics);
+        assert!(json.contains("\"schema\": \"stcc-bench-netsim-v2\""));
+        assert_eq!(parse_string(&json, "schema"), Some(SCHEMA_V2));
+        assert_eq!(parse_string(&json, "preset"), Some("paper"));
         assert_eq!(parse_metric(&json, "idle_cycles_per_sec"), Some(627_690.4));
         assert_eq!(parse_metric(&json, "ckpt_serialize_ns"), Some(1_151_000.0));
         assert_eq!(parse_metric(&json, "no_such_metric"), None);
@@ -269,12 +450,47 @@ mod tests {
     fn gate_tolerates_noise_but_fails_real_regressions() {
         // Throughput: 10% slower passes, 20% slower fails, faster passes.
         let base = 1_000.0;
-        assert!(check(&metric("t", 900.0, true), base).is_ok());
-        assert!(check(&metric("t", 800.0, true), base).is_err());
-        assert!(check(&metric("t", 2_000.0, true), base).is_ok());
+        let tol = DEFAULT_TOLERANCE;
+        assert!(check(&metric("t", 900.0, true), base, tol).is_ok());
+        assert!(check(&metric("t", 800.0, true), base, tol).is_err());
+        assert!(check(&metric("t", 2_000.0, true), base, tol).is_ok());
         // Latency: 10% costlier passes, 20% costlier fails, cheaper passes.
-        assert!(check(&metric("l", 1_100.0, false), base).is_ok());
-        assert!(check(&metric("l", 1_200.0, false), base).is_err());
-        assert!(check(&metric("l", 500.0, false), base).is_ok());
+        assert!(check(&metric("l", 1_100.0, false), base, tol).is_ok());
+        assert!(check(&metric("l", 1_200.0, false), base, tol).is_err());
+        assert!(check(&metric("l", 500.0, false), base, tol).is_ok());
+        // A looser tolerance admits what the default rejects.
+        assert!(check(&metric("t", 800.0, true), base, 0.5).is_ok());
+    }
+
+    #[test]
+    fn cli_parses_presets_tolerance_and_modes() {
+        let args = |s: &[&str]| s.iter().map(|a| (*a).to_string()).collect::<Vec<_>>();
+        let c = parse_cli(&args(&["--out", "x.json"])).unwrap();
+        assert_eq!((c.mode, c.preset), ("--out", Preset::Paper));
+        assert!((c.tolerance - DEFAULT_TOLERANCE).abs() < 1e-12);
+        let c = parse_cli(&args(&[
+            "--preset",
+            "tiny",
+            "--tolerance",
+            "0.5",
+            "--gate",
+            "b.json",
+        ]))
+        .unwrap();
+        assert_eq!((c.mode, c.preset), ("--gate", Preset::Tiny));
+        assert!((c.tolerance - 0.5).abs() < 1e-12);
+        assert!(parse_cli(&args(&["--gate"])).is_none());
+        assert!(parse_cli(&args(&["--preset", "huge", "--out", "x"])).is_none());
+        assert!(parse_cli(&args(&["--tolerance", "-1", "--out", "x"])).is_none());
+        assert!(parse_cli(&args(&["x.json"])).is_none());
+    }
+
+    #[test]
+    fn v1_baselines_still_parse() {
+        let v1 =
+            "{\n  \"schema\": \"stcc-bench-netsim-v1\",\n  \"idle_cycles_per_sec\": 603936.9\n}\n";
+        assert_eq!(parse_string(v1, "schema"), Some(SCHEMA_V1));
+        assert_eq!(parse_string(v1, "preset"), None);
+        assert_eq!(parse_metric(v1, "idle_cycles_per_sec"), Some(603_936.9));
     }
 }

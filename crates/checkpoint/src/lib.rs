@@ -29,7 +29,10 @@ use std::fmt;
 pub const MAGIC: [u8; 8] = *b"STCCKPT\0";
 
 /// Current container format version. Bump on any layout change.
-pub const VERSION: u32 = 1;
+///
+/// v2: network payloads gained the per-stage work counters and the
+/// starvation timer-wheel deadline array.
+pub const VERSION: u32 = 2;
 
 /// Decode-side failure: a snapshot that is truncated, corrupt, from a
 /// different format version, or taken under a different configuration.

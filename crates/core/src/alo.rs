@@ -85,6 +85,13 @@ impl CongestionControl for AloControl {
     fn name(&self) -> &'static str {
         "alo"
     }
+
+    fn next_wakeup(&self, _now: u64) -> u64 {
+        // ALO has no internal clock: it only reads router state at
+        // injection attempts, and a quiescent network offers none. Skipped
+        // `on_cycle`s would only have re-cleared an already-clear flag.
+        u64::MAX
+    }
 }
 
 #[cfg(test)]

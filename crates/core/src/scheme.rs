@@ -177,6 +177,17 @@ impl CongestionControl for Control {
         }
     }
 
+    fn next_wakeup(&self, now: u64) -> u64 {
+        match self {
+            Control::Base(c) => c.next_wakeup(now),
+            Control::Alo(c) => c.next_wakeup(now),
+            // The side-band schemes gather/distribute on fixed per-cycle
+            // pipelines, so they keep the conservative default (no skip).
+            Control::Static(c) => c.next_wakeup(now),
+            Control::Tuned(c) => c.next_wakeup(now),
+        }
+    }
+
     fn name(&self) -> &'static str {
         match self {
             Control::Base(c) => c.name(),

@@ -7,7 +7,7 @@ use sideband::SidebandStats;
 use simstats::{LatencyStats, RunSummary};
 use std::time::Instant;
 use traffic::{TrafficError, Workload, WorkloadRunner};
-use wormsim::{ConfigError, NetConfig, Network};
+use wormsim::{ConfigError, CongestionControl, NetConfig, Network};
 
 /// Everything needed to run one simulation: a network, a workload, a
 /// congestion-control scheme and the measurement window.
@@ -379,9 +379,44 @@ impl Simulation {
         }
     }
 
-    /// Runs until `cfg.cycles` cycles have elapsed.
+    /// The cycle a quiescence fast-forward may jump to, if any.
+    ///
+    /// A jump is legal only when every party certifies the skipped cycles
+    /// are no-ops: the network is quiescent (nothing buffered, queued or
+    /// recovering — so every pipeline stage would do nothing), the
+    /// workload's next effective poll is in the future
+    /// ([`WorkloadRunner::next_arrival`]; Bernoulli workloads return `now`
+    /// and never skip, because polling consumes RNG state), and the
+    /// controller does not need its per-cycle hook
+    /// ([`wormsim::CongestionControl::next_wakeup`]; the side-band schemes
+    /// keep the conservative default). The jump is additionally clamped to
+    /// the warm-up boundary and the end of the run, so the skipped window
+    /// never straddles a measurement edge. Skipping is therefore
+    /// *cycle-exact*: the post-jump state is bit-identical to stepping.
+    fn fast_forward_target(&self) -> Option<u64> {
+        if !self.net.quiescent() {
+            return None;
+        }
+        let now = self.net.now();
+        let mut target = self
+            .cfg
+            .cycles
+            .min(self.runner.next_arrival(now))
+            .min(self.ctl.next_wakeup(now));
+        if !self.warmup_snapped {
+            target = target.min(self.cfg.warmup);
+        }
+        (target > now).then_some(target)
+    }
+
+    /// Runs until `cfg.cycles` cycles have elapsed, fast-forwarding over
+    /// provably empty stretches (see [`Simulation::fast_forward_target`]).
     pub fn run_to_end(&mut self) {
         while self.net.now() < self.cfg.cycles {
+            if let Some(to) = self.fast_forward_target() {
+                self.net.fast_forward(to);
+                continue;
+            }
             self.step();
         }
     }
@@ -416,6 +451,15 @@ impl Simulation {
                         kind: BudgetKind::WallClock,
                     });
                 }
+            }
+            if let Some(to) = self.fast_forward_target() {
+                // Skipped cycles still count against the cycle budget (the
+                // guard limits simulated time, not work performed), and a
+                // quiescent network cannot be livelocked, so the guard
+                // checks below stay equivalent to stepping.
+                stepped = stepped.saturating_add(to - self.net.now());
+                self.net.fast_forward(to);
+                continue;
             }
             self.step();
             stepped += 1;
@@ -703,6 +747,129 @@ mod tests {
         let b = quick(Scheme::Alo, 0.01, DeadlockMode::PAPER_RECOVERY);
         assert_eq!(a.delivered_flits, b.delivered_flits);
         assert_eq!(a.network_latency.mean(), b.network_latency.mean());
+    }
+
+    // -- quiescence fast-forward --
+
+    use traffic::Phase;
+
+    /// On an avoidance network (no timer wheel) the fast-forwarded run
+    /// must be *byte-identical* to the stepped run: the skipped cycles are
+    /// provable no-ops.
+    #[test]
+    fn fast_forward_is_cycle_exact() {
+        let wl = Workload::phased(vec![
+            Phase {
+                duration: 3_000,
+                pattern: Pattern::UniformRandom,
+                process: Process::Silent,
+            },
+            Phase {
+                duration: u64::MAX,
+                pattern: Pattern::UniformRandom,
+                process: Process::periodic(700),
+            },
+        ]);
+        let cfg = SimConfig {
+            net: NetConfig::small(DeadlockMode::Avoidance),
+            workload: wl,
+            scheme: Scheme::Base,
+            cycles: 30_000,
+            warmup: 1_000,
+            seed: 5,
+        };
+        let mut ff = Simulation::new(cfg.clone()).unwrap();
+        // Cycle 0 of the silent opening phase is skippable (up to the
+        // warm-up boundary) — the test is not vacuous.
+        assert_eq!(ff.fast_forward_target(), Some(1_000));
+        ff.run_to_end();
+        let mut stepped = Simulation::new(cfg).unwrap();
+        while stepped.now() < 30_000 {
+            stepped.step();
+        }
+        assert_eq!(ff.checkpoint(), stepped.checkpoint());
+        let s = ff.summary().unwrap();
+        assert!(s.delivered_flits > 0, "vacuous: nothing was delivered");
+        assert_eq!(
+            s.delivered_flits,
+            stepped.summary().unwrap().delivered_flits
+        );
+    }
+
+    /// In recovery mode a stepped run performs timer-wheel bookkeeping
+    /// during idle scan cycles that a fast-forwarded run provably skips
+    /// (stale entries are dropped lazily), so the comparison is scoped to
+    /// the observables: deliveries, latencies and every counter except the
+    /// wheel's evaluation count.
+    #[test]
+    fn fast_forward_matches_stepping_under_recovery_mode() {
+        let wl = Workload::phased(vec![
+            Phase {
+                duration: 2_000,
+                pattern: Pattern::UniformRandom,
+                process: Process::periodic(40),
+            },
+            Phase {
+                duration: u64::MAX,
+                pattern: Pattern::UniformRandom,
+                process: Process::Silent,
+            },
+        ]);
+        let cfg = SimConfig {
+            net: NetConfig::small(DeadlockMode::PAPER_RECOVERY),
+            workload: wl,
+            scheme: Scheme::Alo,
+            cycles: 40_000,
+            warmup: 500,
+            seed: 9,
+        };
+        let mut ff = Simulation::new(cfg.clone()).unwrap();
+        ff.run_to_end();
+        let mut st = Simulation::new(cfg).unwrap();
+        while st.now() < 40_000 {
+            st.step();
+        }
+        let (a, b) = (ff.summary().unwrap(), st.summary().unwrap());
+        assert!(a.delivered_flits > 0, "vacuous: nothing was delivered");
+        assert_eq!(a.delivered_flits, b.delivered_flits);
+        assert_eq!(a.network_latency.mean(), b.network_latency.mean());
+        assert_eq!(a.total_latency.mean(), b.total_latency.mean());
+        let mut ca = *ff.network().counters();
+        let mut cb = *st.network().counters();
+        ca.stage_starvation_checks = 0;
+        cb.stage_starvation_checks = 0;
+        assert_eq!(ca, cb);
+    }
+
+    /// The guard only observes; with fast-forward in both paths a guarded
+    /// run over a skippable workload still matches the unguarded one.
+    #[test]
+    fn guarded_fast_forward_matches_unguarded() {
+        let wl = Workload::phased(vec![
+            Phase {
+                duration: 1_000,
+                pattern: Pattern::UniformRandom,
+                process: Process::periodic(200),
+            },
+            Phase {
+                duration: u64::MAX,
+                pattern: Pattern::UniformRandom,
+                process: Process::Silent,
+            },
+        ]);
+        let cfg = SimConfig {
+            net: NetConfig::small(DeadlockMode::Avoidance),
+            workload: wl,
+            scheme: Scheme::Base,
+            cycles: 50_000,
+            warmup: 100,
+            seed: 3,
+        };
+        let mut a = Simulation::new(cfg.clone()).unwrap();
+        a.run_to_end();
+        let mut b = Simulation::new(cfg).unwrap();
+        b.run_to_end_guarded(&RunGuard::default()).unwrap();
+        assert_eq!(a.checkpoint(), b.checkpoint());
     }
 
     // -- checkpoint/restore --

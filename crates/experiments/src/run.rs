@@ -168,6 +168,7 @@ pub fn try_run_point(cfg: SimConfig) -> Result<PointResult, JobError> {
     let mut sim = Simulation::new(cfg)
         .map_err(|e| JobError::Failed(format!("bad experiment ({label}): {e}")))?;
     drive(&mut sim, &label, |_| {})?;
+    report_stage_stats(&label, &sim);
     let s = sim
         .summary()
         .map_err(|e| JobError::Failed(format!("summary failed ({label}): {e}")))?;
@@ -201,6 +202,7 @@ pub fn try_run_point_with_faults(
     let mut sim = Simulation::with_faults(cfg, plan)
         .map_err(|e| JobError::Failed(format!("bad experiment ({label}): {e}")))?;
     drive(&mut sim, &label, |_| {})?;
+    report_stage_stats(&label, &sim);
     let report = sim.fault_report();
     let s = sim
         .summary()
@@ -219,6 +221,48 @@ pub fn try_run_point_with_faults(
 #[must_use]
 pub fn run_point_with_faults(cfg: SimConfig, plan: FaultPlan) -> (PointResult, FaultReport) {
     try_run_point_with_faults(cfg, plan).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Whether per-stage work-share reporting is on (`STCC_STAGE_STATS=1`).
+///
+/// Unset, empty and `0` disable it; anything else is reported (once per
+/// run, to stderr) and treated as off rather than silently accepted.
+fn stage_stats_enabled(label: &str) -> bool {
+    match std::env::var("STCC_STAGE_STATS") {
+        Ok(v) if v == "1" => true,
+        Ok(v) if v.is_empty() || v == "0" => false,
+        Ok(v) => {
+            eprintln!("stage-stats ({label}): ignoring STCC_STAGE_STATS={v} (expected 0 or 1)");
+            false
+        }
+        Err(_) => false,
+    }
+}
+
+/// Prints the finished run's per-stage work breakdown
+/// ([`wormsim::StageCycles`]) to stderr when `STCC_STAGE_STATS=1`.
+/// Diagnostics only: the shares never enter a figure's CSV.
+fn report_stage_stats(label: &str, sim: &Simulation) {
+    if !stage_stats_enabled(label) {
+        return;
+    }
+    let stages = sim.network().counters().stage_cycles();
+    let total = stages.total();
+    if total == 0 {
+        eprintln!("stage-stats ({label}): no stage work recorded");
+        return;
+    }
+    let share = |v: u64| 100.0 * (v as f64) / (total as f64);
+    eprintln!(
+        "stage-stats ({label}): inject {:.1}% route {:.1}% starvation {:.1}% \
+         switch {:.1}% drain {:.1}% ({total} visits over {} cycles)",
+        share(stages.inject),
+        share(stages.route),
+        share(stages.starvation),
+        share(stages.switch),
+        share(stages.drain),
+        sim.now()
+    );
 }
 
 pub(crate) fn point_label(cfg: &SimConfig) -> String {
@@ -295,6 +339,7 @@ pub fn try_run_series(cfg: SimConfig, window: u64) -> Result<SeriesResult, JobEr
             full.sample(now, f64::from(sim.network().full_buffer_count()));
         }
     })?;
+    report_stage_stats(&label, &sim);
     let s = sim
         .summary()
         .map_err(|e| JobError::Failed(format!("summary failed ({label}): {e}")))?;

@@ -33,6 +33,19 @@ pub trait CongestionControl {
         false
     }
 
+    /// The earliest cycle at which the policy needs its [`on_cycle`] hook
+    /// to run again, assuming the network stays quiescent until then.
+    /// Returning `now` (the conservative default) vetoes any fast-forward:
+    /// the simulation steps cycle by cycle. Policies with no internal clock
+    /// (or one derived purely from network events) may return a later cycle
+    /// — or `u64::MAX` for "whenever traffic resumes" — allowing the
+    /// driver to skip empty cycles wholesale.
+    ///
+    /// [`on_cycle`]: CongestionControl::on_cycle
+    fn next_wakeup(&self, now: u64) -> u64 {
+        now
+    }
+
     /// Short name used in experiment tables.
     fn name(&self) -> &'static str;
 }
@@ -44,5 +57,9 @@ pub struct NoControl;
 impl CongestionControl for NoControl {
     fn name(&self) -> &'static str {
         "base"
+    }
+
+    fn next_wakeup(&self, _now: u64) -> u64 {
+        u64::MAX
     }
 }

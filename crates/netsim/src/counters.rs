@@ -27,9 +27,61 @@ pub struct Counters {
     /// Cycles a flit was ready for a delivery channel that a hotspot fault
     /// had stalled (zero without installed faults).
     pub hotspot_stall_cycles: u64,
+    /// Injection stage: nodes whose injection gate was consulted (a packet
+    /// was waiting and the interface was free).
+    pub stage_inject_visits: u64,
+    /// Routing stage: nodes whose central arbiter actually ran (at least
+    /// one routable header or an admitted injection).
+    pub stage_route_visits: u64,
+    /// Starvation stage: timer-wheel entries whose deadline came due and
+    /// were evaluated against the starvation predicate.
+    pub stage_starvation_checks: u64,
+    /// Switch stage: nodes whose output channels were arbitrated (buffered
+    /// flits or an active injection).
+    pub stage_switch_visits: u64,
+    /// Recovery drain: cycles an active Disha recovery advanced.
+    pub stage_drain_steps: u64,
+}
+
+/// Per-stage work performed by the cycle pipeline, in *work items* (node or
+/// entry visits) — the deterministic denominator-free view of where cycles
+/// go. Shares of the total correlate with wall-clock per stage because
+/// every visit does O(1)–O(feeders) work.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StageCycles {
+    /// Injection-gate consultations.
+    pub inject: u64,
+    /// Routing-arbiter runs.
+    pub route: u64,
+    /// Timer-wheel deadline evaluations.
+    pub starvation: u64,
+    /// Switch-stage node visits.
+    pub switch: u64,
+    /// Recovery-drain advances.
+    pub drain: u64,
+}
+
+impl StageCycles {
+    /// Sum over all stages (the share denominator).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.inject + self.route + self.starvation + self.switch + self.drain
+    }
 }
 
 impl Counters {
+    /// The per-stage work breakdown (see [`StageCycles`]).
+    #[must_use]
+    pub fn stage_cycles(&self) -> StageCycles {
+        StageCycles {
+            inject: self.stage_inject_visits,
+            route: self.stage_route_visits,
+            starvation: self.stage_starvation_checks,
+            switch: self.stage_switch_visits,
+            drain: self.stage_drain_steps,
+        }
+    }
+
     /// Packets currently somewhere between generation and delivery.
     #[must_use]
     pub fn undelivered(&self) -> u64 {
@@ -51,6 +103,11 @@ impl Counters {
             self.throttled_injections,
             self.link_stall_cycles,
             self.hotspot_stall_cycles,
+            self.stage_inject_visits,
+            self.stage_route_visits,
+            self.stage_starvation_checks,
+            self.stage_switch_visits,
+            self.stage_drain_steps,
         ] {
             enc.u64(v);
         }
@@ -76,6 +133,11 @@ impl Counters {
             throttled_injections: dec.u64()?,
             link_stall_cycles: dec.u64()?,
             hotspot_stall_cycles: dec.u64()?,
+            stage_inject_visits: dec.u64()?,
+            stage_route_visits: dec.u64()?,
+            stage_starvation_checks: dec.u64()?,
+            stage_switch_visits: dec.u64()?,
+            stage_drain_steps: dec.u64()?,
         })
     }
 }

@@ -27,6 +27,7 @@ impl Network {
         let Some(mut job) = self.recovery.take() else {
             return;
         };
+        self.counters.stage_drain_steps += 1;
         let finished = self.advance_recovery(now, &mut job);
         if finished {
             debug_assert!(job.tail_in, "tail delivered before leaving the source VC");
@@ -56,7 +57,7 @@ impl Network {
             .front(idx)
             .expect("candidate VC has a blocked header")
             .packet;
-        self.vc_assign[idx] = Assign::Recovery;
+        self.set_assign(idx, Assign::Recovery);
         self.vc_blocked[idx] = 0;
         let node = idx / (self.torus().channels_per_node() * self.config().vcs);
         let dst = self.packets.get(pid).dst;
@@ -123,16 +124,13 @@ impl Network {
         if !job.tail_in {
             let entry = job.path[0];
             if self.dl_bufs.len(entry) < DL_DEPTH {
-                let depth = self.config().buf_depth;
                 let src = job.src_vc;
                 debug_assert!(matches!(self.vc_assign[src], Assign::Recovery));
                 if !self.vc_bufs.is_empty(src) && self.vc_bufs.front_ready_at(src) <= now {
                     debug_assert_eq!(self.vc_bufs.front_packet(src), job.packet);
-                    let was_full = self.vc_bufs.len(src) >= depth;
                     let mut flit = self.vc_bufs.pop_front(src);
-                    self.full_buffers -= u32::from(was_full);
                     if flit.idx + 1 == self.packets.get(flit.packet).len {
-                        self.vc_assign[src] = Assign::None;
+                        self.set_assign(src, Assign::None);
                         job.tail_in = true;
                     }
                     self.note_vc_popped(src);

@@ -44,18 +44,22 @@
 //! # Ok::<(), wormsim::ConfigError>(())
 //! ```
 
+mod activity;
 mod config;
 mod control;
 mod counters;
 mod deadlock;
+#[cfg(test)]
+mod difftest;
 mod network;
 mod packet;
 mod ring;
 mod routing;
 mod snapshot;
+mod wheel;
 
 pub use config::{ConfigError, DeadlockMode, NetConfig, MAX_BUF_DEPTH, MAX_SOURCE_QUEUE_CAP};
 pub use control::{CongestionControl, NoControl};
-pub use counters::Counters;
+pub use counters::{Counters, StageCycles};
 pub use network::Network;
 pub use packet::{DeliveredRecord, Flit, PacketId, PacketInfo, PacketStore};

@@ -1,9 +1,11 @@
+use crate::activity::NodeSet;
 use crate::config::{DeadlockMode, NetConfig};
 use crate::control::CongestionControl;
 use crate::counters::Counters;
 use crate::packet::{DeliveredRecord, Flit, PacketId, PacketInfo, PacketStore};
 use crate::ring::{DeliveryDrain, DeliveryRing, FlitRings, IdRing};
 use crate::routing::RouteTables;
+use crate::wheel::TimerWheel;
 use faults::{FaultPlan, FaultPlanError};
 use kncube::{Dir, NodeId, Torus};
 
@@ -138,11 +140,40 @@ pub struct Network {
     /// every VC, so an idle router costs one integer test per cycle.
     /// (Config validation caps feeders at 64, so a `u64` always fits.)
     pub(crate) vc_busy: Vec<u64>,
+    /// Assignment bit-planes, complementary per-node masks over input-VC
+    /// feeders (the injection feeder is tracked separately in `inj`):
+    /// bit `f` of `vc_unrouted[node]` iff `vc_assign` is `None`/`AwaitToken`
+    /// (a routing requester), of `vc_switchable[node]` iff
+    /// `Out`/`Delivery` (a switch candidate). `Recovery` is in neither.
+    /// Maintained solely by [`Network::set_assign`].
+    pub(crate) vc_unrouted: Vec<u64>,
+    /// See [`Network::vc_unrouted`].
+    pub(crate) vc_switchable: Vec<u64>,
+    /// Occupancy bit-planes: bit `f` of `vc_full[node]` iff input VC
+    /// `node*d*v + f` is completely full. `full_buffers` (the side-band's
+    /// census input) is the popcount sum of these planes, maintained
+    /// incrementally; [`Network::full_buffers_at`] popcounts one node.
+    pub(crate) vc_full: Vec<u64>,
+    /// Node-level activity summaries (top level of the worklist
+    /// hierarchy): nodes with any busy input VC...
+    pub(crate) busy_nodes: NodeSet,
+    /// ...nodes with an active injection...
+    pub(crate) inj_nodes: NodeSet,
+    /// ...and nodes with a non-empty source queue. All three are derived
+    /// state, rebuilt on restore.
+    pub(crate) srcq_nodes: NodeSet,
+    /// Scratch: nodes whose injection was admitted this cycle (rewritten
+    /// by `decide_injection` every cycle, never serialized).
+    allow_nodes: NodeSet,
+    /// Starvation-deadline timer wheel (disabled in avoidance mode).
+    pub(crate) wheel: TimerWheel,
+    /// Test-only: route the starvation stage through the reference full
+    /// scan instead of the timer wheel (differential testing).
+    #[cfg(test)]
+    pub(crate) starvation_reference_scan: bool,
     /// Delivered-packet records awaiting [`Network::drain_deliveries`]; a
     /// consumer draining every gather period bounds this at O(period).
     pub(crate) deliveries: DeliveryRing,
-    /// Scratch: per-node injection allowance for the current cycle.
-    allow: Vec<bool>,
     /// FIFO of suspected-deadlocked input VCs awaiting the recovery token
     /// (single ring; `vc_queued` caps it at one entry per VC).
     pub(crate) token_queue: IdRing,
@@ -171,6 +202,12 @@ impl Network {
         let n_vcs = nodes * d * v;
         let max_path = torus.dimensions() * (cfg.radix / 2) + 1;
         let tables = RouteTables::build(&torus, v);
+        let wheel = match cfg.deadlock {
+            DeadlockMode::Recovery { timeout } => TimerWheel::new(n_vcs, timeout, cfg.hop_latency),
+            DeadlockMode::Avoidance => TimerWheel::disabled(),
+        };
+        // All VCs start unassigned: every input-VC feeder bit is "unrouted".
+        let all_feeders = (1u64 << (d * v)) - 1;
         Ok(Network {
             torus,
             d,
@@ -198,8 +235,17 @@ impl Network {
             counters: Counters::default(),
             full_buffers: 0,
             vc_busy: vec![0; nodes],
+            vc_unrouted: vec![all_feeders; nodes],
+            vc_switchable: vec![0; nodes],
+            vc_full: vec![0; nodes],
+            busy_nodes: NodeSet::new(nodes),
+            inj_nodes: NodeSet::new(nodes),
+            srcq_nodes: NodeSet::new(nodes),
+            allow_nodes: NodeSet::new(nodes),
+            wheel,
+            #[cfg(test)]
+            starvation_reference_scan: false,
             deliveries: DeliveryRing::default(),
-            allow: vec![true; nodes],
             token_queue: IdRing::new(1, n_vcs),
             last_delivery_at: 0,
             last_progress_at: 0,
@@ -251,10 +297,55 @@ impl Network {
     }
 
     /// Network-wide count of *completely full* input VC buffers — the
-    /// congestion metric the paper's side-band distributes.
+    /// congestion metric the paper's side-band distributes. Maintained as
+    /// the running popcount of the per-node occupancy bit-planes
+    /// ([`Network::full_buffer_planes`]), so reading it is O(1).
     #[must_use]
     pub fn full_buffer_count(&self) -> u32 {
         self.full_buffers
+    }
+
+    /// Count of completely full input VC buffers at `node` — the per-router
+    /// quantized census a side-band gather tree sums. One popcount.
+    #[must_use]
+    pub fn full_buffers_at(&self, node: NodeId) -> u32 {
+        self.vc_full[node].count_ones()
+    }
+
+    /// Per-node full-buffer occupancy bit-planes: bit `port*vcs + vc` of
+    /// word `node` is set iff that input VC buffer is completely full.
+    /// `full_buffer_count()` equals the popcount sum over these words.
+    #[must_use]
+    pub fn full_buffer_planes(&self) -> &[u64] {
+        &self.vc_full
+    }
+
+    /// Whether the network holds no work at all: no live packets (hence no
+    /// buffered flits, active injections or queued sources), no pending
+    /// recovery suspects and no active recovery drain. A quiescent network
+    /// stepped with a silent source and a passive controller is a no-op
+    /// except for `now` advancing — the precondition
+    /// [`Network::fast_forward`] exploits.
+    #[must_use]
+    pub fn quiescent(&self) -> bool {
+        self.packets.live() == 0 && self.token_queue.is_empty(0) && self.recovery.is_none()
+    }
+
+    /// Jumps `now` forward to `to` without simulating the intervening
+    /// cycles. Callers must ensure the skip is observationally identical to
+    /// stepping: the network is [`Network::quiescent`], every skipped
+    /// source poll would have produced nothing (and had no side effects),
+    /// and the controller needed no `on_cycle` call in the window. Stale
+    /// timer-wheel bits from before the jump are lazily discarded by later
+    /// fires (their deadlines are in the past).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is in the past or the network is not quiescent.
+    pub fn fast_forward(&mut self, to: u64) {
+        assert!(to >= self.now, "fast_forward into the past");
+        assert!(self.quiescent(), "fast_forward on a non-quiescent network");
+        self.now = to;
     }
 
     /// Total number of VC buffers (the denominator for threshold
@@ -363,37 +454,153 @@ impl Network {
         self.d * self.v + 1 // input VCs + injection interface
     }
 
-    /// Marks input VC `idx` (global index) non-empty in the worklist. Call
-    /// after pushing a flit into its buffer.
+    /// Marks input VC `idx` (global index) non-empty in the worklist (both
+    /// levels) and updates its full-buffer occupancy bit. Call after
+    /// pushing a flit into its buffer.
     #[inline]
     pub(crate) fn note_vc_filled(&mut self, idx: usize) {
         let fpn = self.d * self.v;
-        self.vc_busy[idx / fpn] |= 1u64 << (idx % fpn);
+        let (node, bit) = (idx / fpn, 1u64 << (idx % fpn));
+        self.vc_busy[node] |= bit;
+        self.busy_nodes.insert(node);
+        let full = u64::from(self.vc_bufs.len(idx) >= self.depth);
+        self.vc_full[node] |= full << (idx % fpn);
+        self.full_buffers += full as u32;
     }
 
-    /// Clears input VC `idx` from the worklist if its buffer is now empty.
-    /// Call after popping a flit from it.
+    /// Clears input VC `idx` from the worklists if its buffer is now empty
+    /// and updates its full-buffer occupancy bit. Call after popping a
+    /// flit from it.
     #[inline]
     pub(crate) fn note_vc_popped(&mut self, idx: usize) {
         let empty = self.vc_bufs.is_empty(idx);
         let fpn = self.d * self.v;
-        self.vc_busy[idx / fpn] &= !(u64::from(empty) << (idx % fpn));
+        let (node, f) = (idx / fpn, idx % fpn);
+        self.vc_busy[node] &= !(u64::from(empty) << f);
+        if self.vc_busy[node] == 0 {
+            self.busy_nodes.remove(node);
+        }
+        // A pop always leaves the buffer below capacity: clear the
+        // occupancy bit and debit the census by what it previously held.
+        let was_full = self.vc_full[node] >> f & 1;
+        self.vc_full[node] &= !(1u64 << f);
+        self.full_buffers -= was_full as u32;
     }
 
-    /// Debug-only audit that the worklist agrees with the buffers exactly.
+    /// Sets `vc_assign[idx]` while keeping the assignment bit-planes
+    /// (`vc_unrouted`/`vc_switchable`) in sync. Every assignment write in
+    /// the pipeline goes through here.
+    #[inline]
+    pub(crate) fn set_assign(&mut self, idx: usize, a: Assign) {
+        self.vc_assign[idx] = a;
+        let fpn = self.d * self.v;
+        let (node, bit) = (idx / fpn, 1u64 << (idx % fpn));
+        match a {
+            Assign::None | Assign::AwaitToken => {
+                self.vc_unrouted[node] |= bit;
+                self.vc_switchable[node] &= !bit;
+            }
+            Assign::Out { .. } | Assign::Delivery => {
+                self.vc_unrouted[node] &= !bit;
+                self.vc_switchable[node] |= bit;
+            }
+            Assign::Recovery => {
+                self.vc_unrouted[node] &= !bit;
+                self.vc_switchable[node] &= !bit;
+            }
+        }
+    }
+
+    /// Rebuilds every derived structure — the node summaries, the
+    /// assignment and occupancy bit-planes — from the authoritative state
+    /// they summarize. Called after a checkpoint restore, which serializes
+    /// only the ground truth (buffers, assignments, queues).
+    pub(crate) fn rebuild_derived(&mut self) {
+        let fpn = self.d * self.v;
+        self.busy_nodes.clear();
+        self.inj_nodes.clear();
+        self.srcq_nodes.clear();
+        for node in 0..self.vc_busy.len() {
+            if self.vc_busy[node] != 0 {
+                self.busy_nodes.insert(node);
+            }
+            if self.inj[node].active.is_some() {
+                self.inj_nodes.insert(node);
+            }
+            if !self.source_q.is_empty(node) {
+                self.srcq_nodes.insert(node);
+            }
+            let (mut unrouted, mut switchable, mut full) = (0u64, 0u64, 0u64);
+            for f in 0..fpn {
+                let idx = node * fpn + f;
+                match self.vc_assign[idx] {
+                    Assign::None | Assign::AwaitToken => unrouted |= 1u64 << f,
+                    Assign::Out { .. } | Assign::Delivery => switchable |= 1u64 << f,
+                    Assign::Recovery => {}
+                }
+                full |= u64::from(self.vc_bufs.len(idx) >= self.depth) << f;
+            }
+            self.vc_unrouted[node] = unrouted;
+            self.vc_switchable[node] = switchable;
+            self.vc_full[node] = full;
+        }
+    }
+
+    /// Debug-only audit that every derived structure — both worklist
+    /// levels, the occupancy and assignment bit-planes, and the census —
+    /// agrees with the ground truth exactly.
     #[cfg(debug_assertions)]
     fn debug_check_worklist(&self) {
         let fpn = self.d * self.v;
+        let mut census = 0u32;
         for (node, &mask) in self.vc_busy.iter().enumerate() {
             for f in 0..fpn {
-                let busy = !self.vc_bufs.is_empty(node * fpn + f);
+                let idx = node * fpn + f;
+                let busy = !self.vc_bufs.is_empty(idx);
                 debug_assert_eq!(
                     mask >> f & 1 == 1,
                     busy,
                     "worklist out of sync at node {node} feeder {f}"
                 );
+                debug_assert_eq!(
+                    self.vc_full[node] >> f & 1 == 1,
+                    self.vc_bufs.len(idx) >= self.depth,
+                    "occupancy plane out of sync at node {node} feeder {f}"
+                );
+                let (unrouted, switchable) = match self.vc_assign[idx] {
+                    Assign::None | Assign::AwaitToken => (true, false),
+                    Assign::Out { .. } | Assign::Delivery => (false, true),
+                    Assign::Recovery => (false, false),
+                };
+                debug_assert_eq!(
+                    self.vc_unrouted[node] >> f & 1 == 1,
+                    unrouted,
+                    "unrouted plane out of sync at node {node} feeder {f}"
+                );
+                debug_assert_eq!(
+                    self.vc_switchable[node] >> f & 1 == 1,
+                    switchable,
+                    "switchable plane out of sync at node {node} feeder {f}"
+                );
             }
+            census += self.vc_full[node].count_ones();
+            debug_assert_eq!(
+                self.busy_nodes.contains(node),
+                mask != 0,
+                "busy summary out of sync at node {node}"
+            );
+            debug_assert_eq!(
+                self.inj_nodes.contains(node),
+                self.inj[node].active.is_some(),
+                "injection summary out of sync at node {node}"
+            );
+            debug_assert_eq!(
+                self.srcq_nodes.contains(node),
+                !self.source_q.is_empty(node),
+                "source-queue summary out of sync at node {node}"
+            );
         }
+        debug_assert_eq!(census, self.full_buffers, "census out of sync");
     }
 
     // ------------------------------------------------------------------
@@ -417,7 +624,7 @@ impl Network {
         self.decide_injection(now, ctl);
         self.route_stage(now);
         if let DeadlockMode::Recovery { timeout } = self.cfg.deadlock {
-            self.detect_starved_heads(now, timeout);
+            self.starvation_dispatch(now, timeout);
             self.recovery_stage(now);
         }
         self.switch_stage(now);
@@ -466,30 +673,34 @@ impl Network {
             }
             self.escaped[id as usize] = false;
             self.source_q.push_back(node, id);
+            self.srcq_nodes.insert(node);
             self.counters.generated_packets += 1;
         }
     }
 
     fn decide_injection(&mut self, now: u64, ctl: &mut dyn CongestionControl) {
-        let nodes = self.torus.node_count();
-        for node in 0..nodes {
-            // Only consult the gate when a new packet could actually start.
-            let waiting = self.inj[node].active.is_none() && !self.source_q.is_empty(node);
-            self.allow[node] = if waiting {
+        self.allow_nodes.clear();
+        // Only consult the gate where a new packet could actually start: a
+        // non-empty source queue behind an idle injection interface.
+        for w in 0..self.srcq_nodes.word_count() {
+            let mut word = self.srcq_nodes.word(w) & !self.inj_nodes.word(w);
+            while word != 0 {
+                let node = (w << 6) | word.trailing_zeros() as usize;
+                word &= word - 1;
+                self.counters.stage_inject_visits += 1;
                 let dst = self.packets.get(self.source_q.front(node)).dst;
                 let ok = ctl.allow_injection(now, node, dst, self);
                 self.counters.throttled_injections += u64::from(!ok);
-                ok
-            } else {
-                false
-            };
+                if ok {
+                    self.allow_nodes.insert(node);
+                }
+            }
         }
     }
 
     /// Routing + VC allocation: each router's central arbiter routes at most
     /// one header per cycle, demand-slotted round-robin over requesters.
     fn route_stage(&mut self, now: u64) {
-        let nodes = self.torus.node_count();
         let fpn = self.feeders_per_node();
         let inj_feeder = self.d * self.v;
         let timeout = match self.cfg.deadlock {
@@ -497,86 +708,115 @@ impl Network {
             DeadlockMode::Avoidance => u64::MAX,
         };
         let mut requests: [u16; 64] = [0; 64];
-        for node in 0..nodes {
-            // A router with no waiting flits and no admitted injection has
-            // nothing to arbitrate.
-            if self.vc_busy[node] == 0 && !self.allow[node] {
-                continue;
-            }
-            // Gather routing requests from occupied input VCs (ascending
-            // feeder order, same as a full scan).
-            let mut nreq = 0usize;
-            let base = self.vc_idx(node, 0, 0);
-            let mut mask = self.vc_busy[node];
-            while mask != 0 {
-                let f = mask.trailing_zeros() as usize;
-                mask &= mask - 1;
-                let idx = base + f;
-                // Unrouted headers request routing; suspected (token-queued)
-                // headers keep requesting too — only capturing the token
-                // commits a packet to the recovery path, so a transiently
-                // congested packet resumes normal routing when a channel
-                // frees. Truly deadlocked packets never see a free channel.
-                if matches!(self.vc_assign[idx], Assign::None | Assign::AwaitToken)
-                    && self.vc_bufs.front_idx(idx) == 0
-                    && self.vc_bufs.front_ready_at(idx) <= now
-                {
-                    requests[nreq] = f as u16;
+        // Only routers with buffered flits or an admitted injection can
+        // have anything to arbitrate.
+        for w in 0..self.busy_nodes.word_count() {
+            let mut nword = self.busy_nodes.word(w) | self.allow_nodes.word(w);
+            while nword != 0 {
+                let node = (w << 6) | nword.trailing_zeros() as usize;
+                nword &= nword - 1;
+                // Requesters are busy VCs still awaiting an assignment; the
+                // bit-plane intersection prunes already-routed worms
+                // without touching their per-VC state.
+                let cand = self.vc_busy[node] & self.vc_unrouted[node];
+                let allow = self.allow_nodes.contains(node);
+                if cand == 0 && !allow {
+                    continue;
+                }
+                self.counters.stage_route_visits += 1;
+                // Gather routing requests from occupied input VCs
+                // (ascending feeder order, same as a full scan).
+                let mut nreq = 0usize;
+                let base = self.vc_idx(node, 0, 0);
+                let mut mask = cand;
+                while mask != 0 {
+                    let f = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let idx = base + f;
+                    // Unrouted headers request routing; suspected
+                    // (token-queued) headers keep requesting too — only
+                    // capturing the token commits a packet to the recovery
+                    // path, so a transiently congested packet resumes
+                    // normal routing when a channel frees. Truly
+                    // deadlocked packets never see a free channel.
+                    if self.vc_bufs.front_idx(idx) == 0 && self.vc_bufs.front_ready_at(idx) <= now {
+                        requests[nreq] = f as u16;
+                        nreq += 1;
+                    }
+                }
+                if allow {
+                    requests[nreq] = inj_feeder as u16;
                     nreq += 1;
                 }
-            }
-            if self.allow[node] {
-                requests[nreq] = inj_feeder as u16;
-                nreq += 1;
-            }
-            if nreq == 0 {
-                continue;
-            }
-            // Demand-slotted RR: pick the first requester at or after the
-            // cursor position.
-            let cursor = self.route_rr[node] % fpn;
-            let winner = *requests[..nreq]
-                .iter()
-                .find(|&&f| usize::from(f) >= cursor)
-                .unwrap_or(&requests[0]);
-            let winner = usize::from(winner);
-            self.route_rr[node] = winner + 1;
-
-            // Attempt allocation for the winner.
-            let routed = self.try_route(now, node, winner, inj_feeder);
-
-            // Blocked-cycle accounting for every input-VC requester that did
-            // not end up routed this cycle (drives Disha detection).
-            for &f in &requests[..nreq] {
-                let f = usize::from(f);
-                if f == inj_feeder {
-                    continue; // queued packets hold no resources: not deadlockable
+                if nreq == 0 {
+                    continue;
                 }
-                let idx = base + f;
-                if routed && f == winner {
-                    self.vc_blocked[idx] = 0;
-                } else if self.vc_assign[idx] == Assign::None {
-                    self.vc_blocked[idx] += 1;
-                    // Disha suspicion: the header has starved for `timeout`
-                    // cycles AND no flit of the whole worm has moved for
-                    // `timeout` cycles (transient contention keeps body
-                    // flits crawling and does not trip this). A suspected
-                    // packet queues for the recovery token but keeps
-                    // retrying normal routing until the token is captured.
-                    if self.vc_blocked[idx] >= timeout {
-                        let pid = self.vc_bufs.front_packet(idx);
-                        if now.saturating_sub(self.packets.get(pid).last_move) >= timeout {
-                            self.vc_assign[idx] = Assign::AwaitToken;
-                            self.vc_blocked[idx] = 0;
-                            if !self.vc_queued[idx] {
-                                self.vc_queued[idx] = true;
-                                self.token_queue.push_back(0, idx as u32);
+                // Demand-slotted RR: pick the first requester at or after
+                // the cursor position.
+                let cursor = self.route_rr[node] % fpn;
+                let winner = *requests[..nreq]
+                    .iter()
+                    .find(|&&f| usize::from(f) >= cursor)
+                    .unwrap_or(&requests[0]);
+                let winner = usize::from(winner);
+                self.route_rr[node] = winner + 1;
+
+                // Attempt allocation for the winner.
+                let routed = self.try_route(now, node, winner, inj_feeder);
+
+                // Blocked-cycle accounting for every input-VC requester
+                // that did not end up routed this cycle (drives Disha
+                // detection).
+                for &f in &requests[..nreq] {
+                    let f = usize::from(f);
+                    if f == inj_feeder {
+                        continue; // queued packets hold no resources: not deadlockable
+                    }
+                    let idx = base + f;
+                    if routed && f == winner {
+                        self.vc_blocked[idx] = 0;
+                    } else if self.vc_assign[idx] == Assign::None {
+                        self.vc_blocked[idx] += 1;
+                        // Disha suspicion: the header has starved for
+                        // `timeout` cycles AND no flit of the whole worm
+                        // has moved for `timeout` cycles (transient
+                        // contention keeps body flits crawling and does
+                        // not trip this). A suspected packet queues for
+                        // the recovery token but keeps retrying normal
+                        // routing until the token is captured.
+                        if self.vc_blocked[idx] >= timeout {
+                            let pid = self.vc_bufs.front_packet(idx);
+                            if now.saturating_sub(self.packets.get(pid).last_move) >= timeout {
+                                self.set_assign(idx, Assign::AwaitToken);
+                                self.vc_blocked[idx] = 0;
+                                if !self.vc_queued[idx] {
+                                    self.vc_queued[idx] = true;
+                                    self.token_queue.push_back(0, idx as u32);
+                                }
+                                self.counters.recovery_timeouts += 1;
                             }
-                            self.counters.recovery_timeouts += 1;
                         }
                     }
                 }
             }
+        }
+    }
+
+    /// Starved-head detection: timer wheel in production; tests may switch
+    /// a network to the reference full scan for differential checking.
+    #[cfg(not(test))]
+    #[inline]
+    fn starvation_dispatch(&mut self, now: u64, timeout: u64) {
+        self.starvation_stage(now, timeout);
+    }
+
+    /// See the `#[cfg(not(test))]` twin.
+    #[cfg(test)]
+    fn starvation_dispatch(&mut self, now: u64, timeout: u64) {
+        if self.starvation_reference_scan {
+            self.detect_starved_heads_scan(now, timeout);
+        } else {
+            self.starvation_stage(now, timeout);
         }
     }
 
@@ -587,9 +827,90 @@ impl Network {
     /// output VC and wait forever for buffer space.) Such a header has sent
     /// nothing on its allocated VC yet — the header is still here — so the
     /// allocation is released and the worm committed to the token queue.
-    fn detect_starved_heads(&mut self, now: u64, timeout: u64) {
-        // Cheap gating: only sweep when the sweep could matter (every
-        // `timeout` cycles).
+    ///
+    /// Fires the due bucket of the deadline timer wheel ([`TimerWheel`])
+    /// instead of scanning every busy VC. Enrollment happens where the
+    /// only trip-enabling transition happens — [`Self::try_route`]
+    /// assigning an output VC — and a due entry that no longer satisfies
+    /// the predicate is either dropped (header gone: any successor
+    /// re-enrolls through routing) or re-parked at the earliest cycle the
+    /// predicate could next hold. `tests/` prove this wheel matches the
+    /// reference scan ([`Self::detect_starved_heads_scan`])
+    /// decision-for-decision under random traffic.
+    fn starvation_stage(&mut self, now: u64, timeout: u64) {
+        if !now.is_multiple_of(timeout) {
+            return;
+        }
+        let slot = self.wheel.slot_of(now);
+        for w in 0..self.wheel.word_count() {
+            let mut word = self.wheel.slot_word(slot, w);
+            if word == 0 {
+                continue;
+            }
+            // Ascending bit order == ascending VC index == the reference
+            // scan's order, so recovery-token FIFO order is preserved.
+            let mut keep = 0u64;
+            while word != 0 {
+                let b = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let idx = (w << 6) | b;
+                let d = self.wheel.deadline(idx);
+                if d == now {
+                    self.wheel.clear_deadline(idx);
+                    self.counters.stage_starvation_checks += 1;
+                    self.recheck_starved_head(now, timeout, idx);
+                } else if d > now && self.wheel.slot_of(d) == slot {
+                    // Live entry parked one wheel revolution ahead.
+                    keep |= 1u64 << b;
+                }
+                // Anything else is a stale tag: drop the bit.
+            }
+            self.wheel.set_slot_word(slot, w, keep);
+        }
+    }
+
+    /// Evaluates one due wheel entry against the starvation predicate:
+    /// trip (commit to the token queue), drop (the enrolled header is
+    /// gone), or re-park at the next cycle the predicate could hold.
+    fn recheck_starved_head(&mut self, now: u64, timeout: u64, idx: usize) {
+        let Assign::Out { port, vc: ovc } = self.vc_assign[idx] else {
+            return; // header delivered/recovered/demoted: re-enrolls via try_route
+        };
+        if self.vc_bufs.is_empty(idx) || self.vc_bufs.front_idx(idx) != 0 {
+            return; // header already departed on its output VC
+        }
+        let ready = self.vc_bufs.front_ready_at(idx);
+        let pid = self.vc_bufs.front_packet(idx);
+        let last_move = self.packets.get(pid).last_move;
+        if ready <= now && now.saturating_sub(last_move) >= timeout {
+            let node = idx / (self.d * self.v);
+            let oidx = self.vc_idx(node, usize::from(port), usize::from(ovc));
+            debug_assert!(self.out_alloc[oidx]);
+            self.out_alloc[oidx] = false;
+            self.set_assign(idx, Assign::AwaitToken);
+            self.vc_blocked[idx] = 0;
+            if !self.vc_queued[idx] {
+                self.vc_queued[idx] = true;
+                self.token_queue.push_back(0, idx as u32);
+            }
+            self.counters.recovery_timeouts += 1;
+        } else {
+            // The worm progressed (or the header is in flight): the
+            // predicate cannot hold before both the staleness window
+            // re-elapses and the header is ready. Both bounds land within
+            // the wheel's horizon (see `TimerWheel::new`).
+            let d = (last_move + timeout)
+                .next_multiple_of(timeout)
+                .max(ready.next_multiple_of(timeout));
+            self.wheel.schedule(idx, d);
+        }
+    }
+
+    /// The reference full-scan implementation the timer wheel replaced,
+    /// kept verbatim for differential testing: walks every busy VC each
+    /// scan cycle and applies the same predicate and actions.
+    #[cfg(test)]
+    pub(crate) fn detect_starved_heads_scan(&mut self, now: u64, timeout: u64) {
         if timeout == 0 || !now.is_multiple_of(timeout) {
             return;
         }
@@ -604,7 +925,9 @@ impl Network {
         }
     }
 
-    /// One VC's starved-head check (see [`Self::detect_starved_heads`]).
+    /// One VC's starved-head check (reference-scan path only; see
+    /// [`Self::detect_starved_heads_scan`]).
+    #[cfg(test)]
     fn check_starved_head(&mut self, now: u64, timeout: u64, idx: usize) {
         let Assign::Out { port, vc: ovc } = self.vc_assign[idx] else {
             return;
@@ -623,7 +946,7 @@ impl Network {
         let oidx = self.vc_idx(node, usize::from(port), usize::from(ovc));
         debug_assert!(self.out_alloc[oidx]);
         self.out_alloc[oidx] = false;
-        self.vc_assign[idx] = Assign::AwaitToken;
+        self.set_assign(idx, Assign::AwaitToken);
         self.vc_blocked[idx] = 0;
         if !self.vc_queued[idx] {
             self.vc_queued[idx] = true;
@@ -660,6 +983,10 @@ impl Network {
         if is_inj {
             let id = self.source_q.pop_front(node);
             debug_assert_eq!(id, pid);
+            if self.source_q.is_empty(node) {
+                self.srcq_nodes.remove(node);
+            }
+            self.inj_nodes.insert(node);
             self.inj[node] = InjState {
                 active: Some(id),
                 sent: 0,
@@ -668,9 +995,22 @@ impl Network {
             };
         } else {
             let idx = self.vc_idx(node, 0, 0) + feeder;
-            self.vc_assign[idx] = assign;
+            self.set_assign(idx, assign);
             self.vc_routed_at[idx] = now;
             self.vc_blocked[idx] = 0;
+            // An input VC granted an output VC is the only thing the
+            // starvation stage can ever trip on: enroll it in the timer
+            // wheel at the earliest scan cycle the predicate could hold
+            // (the worm must sit motionless for a full timeout first).
+            if matches!(assign, Assign::Out { .. }) {
+                if let DeadlockMode::Recovery { timeout } = self.cfg.deadlock {
+                    let last_move = self.packets.get(pid).last_move;
+                    let d = (last_move + timeout)
+                        .next_multiple_of(timeout)
+                        .max(now.next_multiple_of(timeout));
+                    self.wheel.schedule(idx, d);
+                }
+            }
         }
         true
     }
@@ -679,7 +1019,6 @@ impl Network {
     /// delivery channel) moves at most one flit per cycle, round-robin over
     /// the input VCs assigned to it.
     fn switch_stage(&mut self, now: u64) {
-        let nodes = self.torus.node_count();
         let inj_feeder = self.d * self.v;
         let nports = self.d + 1; // network ports + delivery
                                  // Per-port candidate buckets, hoisted out of the node loop: zeroing
@@ -688,89 +1027,100 @@ impl Network {
         let mut buckets: [[u16; 64]; 17] = [[0; 64]; 17];
         let mut counts = [0usize; 17];
         debug_assert!(nports <= 17 && self.feeders_per_node() <= 64);
-        for node in 0..nodes {
-            if self.vc_busy[node] == 0 && self.inj[node].active.is_none() {
-                continue; // nothing buffered, nothing injecting
-            }
-            // Bucket ready feeders by output port.
-            counts[..nports].fill(0);
-            let base = self.vc_idx(node, 0, 0);
-            let mut mask = self.vc_busy[node];
-            while mask != 0 {
-                let f = mask.trailing_zeros() as usize;
-                mask &= mask - 1;
-                let idx = base + f;
-                let assign = self.vc_assign[idx];
-                let port = match assign {
-                    Assign::Out { port, .. } => usize::from(port),
-                    Assign::Delivery => self.d,
-                    Assign::None | Assign::AwaitToken | Assign::Recovery => continue,
-                };
-                if self.vc_bufs.front_ready_at(idx) > now
-                    || (self.vc_bufs.front_idx(idx) == 0 && self.vc_routed_at[idx] >= now)
-                {
-                    continue;
-                }
-                if let Assign::Out { port, vc: ovc } = assign {
-                    let didx = self.downstream_idx(node, usize::from(port), usize::from(ovc));
-                    if self.vc_bufs.len(didx) >= self.depth {
-                        continue; // no credit
-                    }
-                }
-                buckets[port][counts[port]] = f as u16;
-                counts[port] += 1;
-            }
-            // Injection feeder.
-            let inj = self.inj[node];
-            if let Some(pid) = inj.active {
-                let port = match inj.assign {
-                    Assign::Out { port, .. } => Some(usize::from(port)),
-                    Assign::Delivery => Some(self.d),
-                    _ => None,
-                };
-                if let Some(port) = port {
-                    let header_wait = inj.sent == 0 && inj.routed_at >= now;
-                    let credit_ok = match inj.assign {
-                        Assign::Out { port, vc } => {
-                            let didx =
-                                self.downstream_idx(node, usize::from(port), usize::from(vc));
-                            self.vc_bufs.len(didx) < self.depth
-                        }
-                        _ => true,
+        // Only routers with buffered flits or an active injection can move
+        // anything. Bits this stage itself sets (a flit pushed downstream
+        // into a previously idle router) are deliberately not revisited:
+        // that flit is not ready before `now + hop_latency`, so visiting
+        // its router would do nothing — exactly as the full scan behaved.
+        for w in 0..self.busy_nodes.word_count() {
+            let mut nword = self.busy_nodes.word(w) | self.inj_nodes.word(w);
+            while nword != 0 {
+                let node = (w << 6) | nword.trailing_zeros() as usize;
+                nword &= nword - 1;
+                self.counters.stage_switch_visits += 1;
+                // Bucket ready feeders by output port. The bit-plane
+                // intersection prunes unrouted and recovering worms before
+                // any per-VC state is touched.
+                counts[..nports].fill(0);
+                let base = self.vc_idx(node, 0, 0);
+                let mut mask = self.vc_busy[node] & self.vc_switchable[node];
+                while mask != 0 {
+                    let f = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let idx = base + f;
+                    let assign = self.vc_assign[idx];
+                    let port = match assign {
+                        Assign::Out { port, .. } => usize::from(port),
+                        Assign::Delivery => self.d,
+                        Assign::None | Assign::AwaitToken | Assign::Recovery => continue,
                     };
-                    if !header_wait && credit_ok && inj.sent < self.packets.get(pid).len {
-                        buckets[port][counts[port]] = inj_feeder as u16;
-                        counts[port] += 1;
-                    }
-                }
-            }
-            // One flit per output channel, RR over its candidates.
-            for port in 0..nports {
-                if counts[port] == 0 {
-                    continue;
-                }
-                // A faulted output moves nothing this cycle: a stalled link
-                // (network port) or a hot, non-consuming node (delivery
-                // port). Stall-cycles count only when a flit was ready.
-                if let Some(plan) = &self.faults {
-                    if port == self.d {
-                        if plan.delivery_down(node, now) {
-                            self.counters.hotspot_stall_cycles += 1;
-                            continue;
-                        }
-                    } else if plan.link_down(node, port, now) {
-                        self.counters.link_stall_cycles += 1;
+                    if self.vc_bufs.front_ready_at(idx) > now
+                        || (self.vc_bufs.front_idx(idx) == 0 && self.vc_routed_at[idx] >= now)
+                    {
                         continue;
                     }
+                    if let Assign::Out { port, vc: ovc } = assign {
+                        let didx = self.downstream_idx(node, usize::from(port), usize::from(ovc));
+                        if self.vc_bufs.len(didx) >= self.depth {
+                            continue; // no credit
+                        }
+                    }
+                    buckets[port][counts[port]] = f as u16;
+                    counts[port] += 1;
                 }
-                let cands = &buckets[port][..counts[port]];
-                let cursor = self.out_rr[node * nports + port] % self.feeders_per_node();
-                let pick = *cands
-                    .iter()
-                    .find(|&&f| usize::from(f) >= cursor)
-                    .unwrap_or(&cands[0]);
-                self.out_rr[node * nports + port] = usize::from(pick) + 1;
-                self.move_flit(now, node, usize::from(pick), inj_feeder);
+                // Injection feeder.
+                let inj = self.inj[node];
+                if let Some(pid) = inj.active {
+                    let port = match inj.assign {
+                        Assign::Out { port, .. } => Some(usize::from(port)),
+                        Assign::Delivery => Some(self.d),
+                        _ => None,
+                    };
+                    if let Some(port) = port {
+                        let header_wait = inj.sent == 0 && inj.routed_at >= now;
+                        let credit_ok = match inj.assign {
+                            Assign::Out { port, vc } => {
+                                let didx =
+                                    self.downstream_idx(node, usize::from(port), usize::from(vc));
+                                self.vc_bufs.len(didx) < self.depth
+                            }
+                            _ => true,
+                        };
+                        if !header_wait && credit_ok && inj.sent < self.packets.get(pid).len {
+                            buckets[port][counts[port]] = inj_feeder as u16;
+                            counts[port] += 1;
+                        }
+                    }
+                }
+                // One flit per output channel, RR over its candidates.
+                for port in 0..nports {
+                    if counts[port] == 0 {
+                        continue;
+                    }
+                    // A faulted output moves nothing this cycle: a stalled
+                    // link (network port) or a hot, non-consuming node
+                    // (delivery port). Stall-cycles count only when a flit
+                    // was ready.
+                    if let Some(plan) = &self.faults {
+                        if port == self.d {
+                            if plan.delivery_down(node, now) {
+                                self.counters.hotspot_stall_cycles += 1;
+                                continue;
+                            }
+                        } else if plan.link_down(node, port, now) {
+                            self.counters.link_stall_cycles += 1;
+                            continue;
+                        }
+                    }
+                    let cands = &buckets[port][..counts[port]];
+                    let cursor = self.out_rr[node * nports + port] % self.feeders_per_node();
+                    let pick = *cands
+                        .iter()
+                        .find(|&&f| usize::from(f) >= cursor)
+                        .unwrap_or(&cands[0]);
+                    self.out_rr[node * nports + port] = usize::from(pick) + 1;
+                    self.move_flit(now, node, usize::from(pick), inj_feeder);
+                }
             }
         }
     }
@@ -791,6 +1141,7 @@ impl Network {
             let assign = inj.assign;
             if is_tail {
                 self.inj[node] = InjState::idle();
+                self.inj_nodes.remove(node);
             }
             (
                 Flit {
@@ -803,13 +1154,11 @@ impl Network {
             )
         } else {
             let idx = self.vc_idx(node, 0, 0) + f;
-            let was_full = self.vc_bufs.len(idx) >= self.depth;
             let flit = self.vc_bufs.pop_front(idx);
-            self.full_buffers -= u32::from(was_full);
             let assign = self.vc_assign[idx];
             let is_tail = flit.idx + 1 == self.packets.get(flit.packet).len;
             if is_tail {
-                self.vc_assign[idx] = Assign::None;
+                self.set_assign(idx, Assign::None);
             }
             self.note_vc_popped(idx);
             (flit, assign, is_tail)
@@ -832,8 +1181,6 @@ impl Network {
                         ..flit
                     },
                 );
-                let now_full = self.vc_bufs.len(didx) >= self.depth;
-                self.full_buffers += u32::from(now_full);
                 self.note_vc_filled(didx);
             }
             Assign::Delivery => self.deliver_flit(now, flit, false),

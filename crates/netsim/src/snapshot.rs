@@ -162,6 +162,14 @@ impl Network {
         for &m in &self.vc_busy {
             enc.u64(m);
         }
+        // Starvation timer wheel: only the authoritative deadline array is
+        // serialized (empty for deadlock-avoidance networks); bucket
+        // occupancy is derived and rebuilt on restore, so the byte format
+        // is independent of how far the wheel has revolved.
+        enc.usize(self.wheel.len());
+        for idx in 0..self.wheel.len() {
+            enc.u64(self.wheel.deadline(idx));
+        }
         enc.usize(self.token_queue.len(0));
         for i in 0..self.token_queue.len(0) {
             enc.usize(self.token_queue.get(0, i) as usize);
@@ -294,6 +302,21 @@ impl Network {
         for _ in 0..nodes {
             vc_busy.push(dec.u64()?);
         }
+        if dec.usize()? != self.wheel.len() {
+            return Err(CheckpointError::Corrupt("timer-wheel entry count mismatch"));
+        }
+        let wheel_timeout = match self.config().deadlock {
+            crate::config::DeadlockMode::Recovery { timeout } => timeout,
+            crate::config::DeadlockMode::Avoidance => 1, // wheel is empty
+        };
+        let mut wheel_deadlines = Vec::with_capacity(self.wheel.len());
+        for _ in 0..self.wheel.len() {
+            let d = dec.u64()?;
+            if d != u64::MAX && !d.is_multiple_of(wheel_timeout) {
+                return Err(CheckpointError::Corrupt("wheel deadline not a scan cycle"));
+            }
+            wheel_deadlines.push(d);
+        }
         let n_tok = dec.usize()?;
         if n_tok > n_vcs {
             return Err(CheckpointError::Corrupt("token queue implausibly long"));
@@ -345,6 +368,13 @@ impl Network {
         self.vc_busy = vc_busy;
         self.token_queue = token_queue;
         self.deliveries = deliveries;
+        self.wheel.reset();
+        for (idx, &d) in wheel_deadlines.iter().enumerate() {
+            if d != u64::MAX {
+                self.wheel.schedule(idx, d);
+            }
+        }
+        self.rebuild_derived();
         Ok(())
     }
 }
@@ -435,6 +465,47 @@ mod tests {
             b.cycle(&mut src_b, &mut NoControl);
         }
         assert_eq!(snapshot(&a), snapshot(&b));
+    }
+
+    /// Mirror of the wrapped-ring property for the starvation timer wheel:
+    /// after the wheel has revolved many times (its buckets full of a mix
+    /// of live and stale bits), the byte format must capture only the
+    /// authoritative deadlines, and a restored network — whose buckets are
+    /// rebuilt from those deadlines — must continue bit-identically,
+    /// including through future wheel fires.
+    #[test]
+    fn wrapped_wheel_checkpoints_position_independently() {
+        let cfg = small_cfg(); // Recovery { timeout: 8 }: wheel revolution is 24 cycles
+        let mut src = source(2); // hot enough to keep headers routed and parked
+        let mut a = Network::new(cfg.clone()).unwrap();
+        // Snapshot mid-revolution (1003 is not a scan cycle), long after
+        // the wheel wrapped dozens of times.
+        for _ in 0..1_003 {
+            a.cycle(&mut src, &mut NoControl);
+        }
+        let enrolled = (0..a.wheel.len())
+            .filter(|&i| a.wheel.deadline(i) != u64::MAX)
+            .count();
+        assert!(enrolled > 0, "vacuous: no wheel entries live at snapshot");
+        let snap = snapshot(&a);
+        let mut b = Network::new(cfg).unwrap();
+        let mut dec = Dec::new(&snap);
+        b.restore_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(snapshot(&b), snap);
+        for idx in 0..a.wheel.len() {
+            assert_eq!(a.wheel.deadline(idx), b.wheel.deadline(idx));
+        }
+        // Continue both across several future scan cycles: rebuilt buckets
+        // must fire exactly like the originals.
+        let mut src_a = source(2);
+        let mut src_b = source(2);
+        for _ in 0..200 {
+            a.cycle(&mut src_a, &mut NoControl);
+            b.cycle(&mut src_b, &mut NoControl);
+        }
+        assert_eq!(snapshot(&a), snapshot(&b));
+        assert_eq!(a.counters(), b.counters());
     }
 
     #[test]

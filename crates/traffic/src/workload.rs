@@ -259,6 +259,41 @@ impl WorkloadRunner {
         &self.workload
     }
 
+    /// The earliest cycle `>= now` at which polling could have any effect:
+    /// generate a packet, consume RNG state, or cross a phase boundary.
+    /// `u64::MAX` means never (a silent tail phase).
+    ///
+    /// This is the workload's half of the quiescence fast-forward
+    /// contract: a driver may jump from `now` straight to the returned
+    /// cycle without polling the ones in between, because every skipped
+    /// poll would have returned `None` *and left the runner's state —
+    /// including the RNG — untouched*. Bernoulli processes consume RNG
+    /// state on every poll, so they report `now` (nothing is skippable);
+    /// periodic processes are skippable up to their earliest per-node
+    /// generation time; phase transitions re-seed per-node timers, so the
+    /// answer is always clamped to the current phase's end.
+    #[must_use]
+    pub fn next_arrival(&self, now: u64) -> u64 {
+        let (phase, start) = self.workload.phase_at(now);
+        if phase != self.cur_phase || start != self.phase_start {
+            return now; // a pending phase transition must be entered first
+        }
+        let p = &self.workload.phases[phase];
+        let phase_end = start.saturating_add(p.duration);
+        let arrival = match p.process {
+            Process::Bernoulli { .. } => now,
+            Process::Periodic { .. } => self
+                .next_gen
+                .iter()
+                .copied()
+                .min()
+                .unwrap_or(u64::MAX)
+                .max(now),
+            Process::Silent => u64::MAX,
+        };
+        arrival.min(phase_end)
+    }
+
     /// Serializes the runtime state (RNG, per-node timers, phase tracking)
     /// into `enc`. The workload and node count are configuration and are
     /// not written; restore into a runner built from the same workload.
@@ -445,6 +480,54 @@ mod tests {
         let wl = Workload::steady(Pattern::Transpose, Process::periodic(20));
         let mean = wl.mean_offered_rate(123, 4_567);
         assert!((mean - wl.offered_rate_at(123)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn next_arrival_respects_process_and_phase_boundaries() {
+        // Bernoulli: every poll consumes RNG, nothing is skippable.
+        let wl = Workload::steady(Pattern::UniformRandom, Process::bernoulli(0.1));
+        let r = WorkloadRunner::new(&wl, 8, 0).unwrap();
+        assert_eq!(r.next_arrival(123), 123);
+
+        // Periodic: skippable up to the earliest per-node timer, and a
+        // poll-free jump to that cycle yields the same packets as stepping.
+        let wl = Workload::steady(Pattern::UniformRandom, Process::periodic(100));
+        let mut a = WorkloadRunner::new(&wl, 8, 7).unwrap();
+        let mut b = a.clone();
+        let jump = a.next_arrival(0);
+        assert!(jump < 100, "first arrival inside the first interval");
+        let stepped: Vec<_> = (0..=jump)
+            .flat_map(|t| (0..8).map(move |n| (t, n)))
+            .filter_map(|(t, n)| a.poll(t, n).map(|d| (t, n, d)))
+            .collect();
+        let jumped: Vec<_> = (0..8)
+            .filter_map(|n| b.poll(jump, n).map(|d| (jump, n, d)))
+            .collect();
+        assert!(!stepped.is_empty(), "vacuous: nothing generated");
+        assert_eq!(stepped, jumped, "skipping to next_arrival lost packets");
+
+        // Silent tail: never; silent phase before another: clamped to its
+        // end (the transition re-seeds timers and must not be skipped).
+        let wl = Workload::steady(Pattern::UniformRandom, Process::Silent);
+        let r = WorkloadRunner::new(&wl, 8, 0).unwrap();
+        assert_eq!(r.next_arrival(5), u64::MAX);
+        let wl = Workload::phased(vec![
+            Phase {
+                duration: 1_000,
+                pattern: Pattern::UniformRandom,
+                process: Process::Silent,
+            },
+            Phase {
+                duration: u64::MAX,
+                pattern: Pattern::UniformRandom,
+                process: Process::periodic(10),
+            },
+        ]);
+        let r = WorkloadRunner::new(&wl, 8, 0).unwrap();
+        assert_eq!(r.next_arrival(5), 1_000);
+        // A runner that has not yet synced into the phase at `now` cannot
+        // skip anything.
+        assert_eq!(r.next_arrival(1_500), 1_500);
     }
 
     #[test]

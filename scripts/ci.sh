@@ -8,7 +8,8 @@
 #   6. zero-alloc gate   (steady-state cycles make no heap allocations)
 #   7. parallel smoke    (a --jobs 4 sweep through the runner)
 #   8. kill-and-resume   (SIGKILL a sweep mid-run, finish it with --resume)
-#   9. bench gate        (opt-in: STCC_BENCH_GATE=1, >15% regression fails)
+#   9. tiny bench gate   (always on: 64-node preset, >50% regression fails)
+#  10. paper bench gate  (opt-in: STCC_BENCH_GATE=1, >15% regression fails)
 # Everything is hermetic — no network access is required (see README,
 # "Hermetic build"). Each step reports its wall time.
 set -eu
@@ -97,10 +98,16 @@ resume_gate() {
 }
 step "kill-and-resume smoke" resume_gate
 
-# Perf regression gate, opt-in because the committed BENCH_netsim.json was
+# Perf regression gates. The tiny (64-node) gate always runs: it takes a
+# few seconds and its 50% tolerance only has to catch order-of-magnitude
+# cliffs, so it stays stable across hosts and a noisy shared core. The
+# paper-preset gate is opt-in because the committed BENCH_netsim.json was
 # measured on one specific host: any headline metric >15% worse fails.
+step "bench gate (tiny preset, vs BENCH_netsim_tiny.json)" \
+    cargo run --release -q -p bench --bin bench_netsim -- \
+    --preset tiny --tolerance 0.5 --gate BENCH_netsim_tiny.json
 if [ "${STCC_BENCH_GATE:-0}" = "1" ]; then
-    step "bench gate (vs BENCH_netsim.json)" \
+    step "bench gate (paper preset, vs BENCH_netsim.json)" \
         cargo run --release -q -p bench --bin bench_netsim -- \
         --gate BENCH_netsim.json
 fi
