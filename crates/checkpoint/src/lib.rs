@@ -351,6 +351,26 @@ pub fn seal(fingerprint: u64, payload: &[u8]) -> Vec<u8> {
     e.into_vec()
 }
 
+/// Reads the configuration fingerprint out of a sealed container without
+/// validating the payload (tooling and adversarial tests need to re-seal
+/// a container they only have the bytes of).
+///
+/// # Errors
+///
+/// [`CheckpointError::BadMagic`] / [`CheckpointError::BadVersion`] /
+/// [`CheckpointError::Truncated`] when the header itself is damaged.
+pub fn peek_fingerprint(bytes: &[u8]) -> Result<u64, CheckpointError> {
+    let mut d = Dec::new(bytes);
+    if d.take(MAGIC.len()).map_err(|_| CheckpointError::BadMagic)? != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = d.u32()?;
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion { found: version });
+    }
+    d.u64()
+}
+
 /// Validates a sealed container and returns its payload slice.
 ///
 /// # Errors

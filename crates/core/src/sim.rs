@@ -7,7 +7,7 @@ use sideband::SidebandStats;
 use simstats::{LatencyStats, RunSummary};
 use std::time::Instant;
 use traffic::{TrafficError, Workload, WorkloadRunner};
-use wormsim::{ConfigError, CongestionControl, NetConfig, Network};
+use wormsim::{AuditReport, ConfigError, CongestionControl, NetConfig, Network};
 
 /// Everything needed to run one simulation: a network, a workload, a
 /// congestion-control scheme and the measurement window.
@@ -58,6 +58,10 @@ pub enum SimError {
     /// A checkpoint could not be restored (only from
     /// [`Simulation::restore`]).
     Checkpoint(CheckpointError),
+    /// The invariant audit found violations — a structurally valid but
+    /// internally inconsistent state (only from [`Simulation::restore`],
+    /// which always audits the restored network).
+    Audit(AuditReport),
 }
 
 impl fmt::Display for SimError {
@@ -77,6 +81,7 @@ impl fmt::Display for SimError {
                 write!(f, "{kind} budget exhausted at cycle {at_cycle}")
             }
             SimError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            SimError::Audit(report) => write!(f, "{report}"),
         }
     }
 }
@@ -88,7 +93,8 @@ impl std::error::Error for SimError {
             SimError::Traffic(e) => Some(e),
             SimError::WarmupTooLong { .. }
             | SimError::Livelock(_)
-            | SimError::DeadlineExceeded { .. } => None,
+            | SimError::DeadlineExceeded { .. }
+            | SimError::Audit(_) => None,
             SimError::Faults(e) => Some(e),
             SimError::Checkpoint(e) => Some(e),
         }
@@ -296,6 +302,30 @@ pub struct Simulation {
     base_recovered: u64,
     base_throttled: u64,
     warmup_snapped: bool,
+    /// Invariant-audit cadence in cycles (`None` = off). Resolved from
+    /// `STCC_AUDIT` at construction; the chaos harness overrides it
+    /// programmatically via [`Simulation::set_audit_every`].
+    audit_every: Option<u64>,
+}
+
+/// Parses `STCC_AUDIT`: unset, empty or `0` disables the audit; any
+/// positive integer `N` audits every `N` cycles (`1` = every cycle).
+/// Anything else warns once (per process) and disables.
+fn audit_cadence() -> Option<u64> {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    match std::env::var("STCC_AUDIT") {
+        Ok(v) if v.is_empty() || v == "0" => None,
+        Ok(v) => match v.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                WARNED.call_once(|| {
+                    eprintln!("ignoring STCC_AUDIT={v} (want a cycle cadence, e.g. STCC_AUDIT=64)");
+                });
+                None
+            }
+        },
+        Err(_) => None,
+    }
 }
 
 impl Simulation {
@@ -328,6 +358,7 @@ impl Simulation {
             base_recovered: 0,
             base_throttled: 0,
             warmup_snapped: false,
+            audit_every: audit_cadence(),
         })
     }
 
@@ -375,6 +406,12 @@ impl Simulation {
             if rec.generated_at >= warmup {
                 self.net_latency.record(rec.network_latency());
                 self.total_latency.record(rec.total_latency());
+            }
+        }
+        if let Some(every) = self.audit_every {
+            if self.net.now().is_multiple_of(every) {
+                let report = self.net.audit();
+                assert!(report.is_clean(), "{report}");
             }
         }
     }
@@ -499,6 +536,12 @@ impl Simulation {
     /// is bit-identical to never having checkpointed at all.
     #[must_use]
     pub fn checkpoint(&self) -> Vec<u8> {
+        // When auditing is on, a checkpoint boundary is always audited: a
+        // snapshot of a desynced network would poison every later resume.
+        if self.audit_every.is_some() {
+            let report = self.net.audit();
+            assert!(report.is_clean(), "pre-checkpoint {report}");
+        }
         let mut enc = checkpoint::Enc::new();
         self.net.save_state(&mut enc);
         self.runner.save_state(&mut enc);
@@ -549,6 +592,14 @@ impl Simulation {
         sim.base_throttled = dec.u64()?;
         sim.warmup_snapped = dec.bool()?;
         dec.finish()?;
+        // A restore boundary is always audited, flag or no flag: the codec
+        // validates structure (counts, tags, ranges) but only the invariant
+        // audit catches a payload that decodes cleanly into a state the
+        // simulator could never have reached.
+        let report = sim.net.audit();
+        if !report.is_clean() {
+            return Err(SimError::Audit(report));
+        }
         Ok(sim)
     }
 
@@ -556,6 +607,27 @@ impl Simulation {
     #[must_use]
     pub fn now(&self) -> u64 {
         self.net.now()
+    }
+
+    /// Runs one full invariant audit over the network (see
+    /// [`wormsim::AuditReport`]). Read-only; call between steps.
+    #[must_use]
+    pub fn audit(&self) -> AuditReport {
+        self.net.audit()
+    }
+
+    /// Overrides the `STCC_AUDIT` cadence: audit every `every` cycles
+    /// during [`Simulation::step`] and at every checkpoint (`None` = off).
+    /// A cadence audit failure panics — the simulator found itself in a
+    /// state it can't explain, and nothing downstream is trustworthy.
+    pub fn set_audit_every(&mut self, every: Option<u64>) {
+        self.audit_every = every;
+    }
+
+    /// The active audit cadence, if any.
+    #[must_use]
+    pub fn audit_every(&self) -> Option<u64> {
+        self.audit_every
     }
 
     /// Read access to the network (counters, census, topology).

@@ -1,0 +1,127 @@
+//! Acceptance gate for the invariant audit layer: a sustained audited run
+//! over every scheme class × fault condition must report zero violations,
+//! with checkpoint/restore boundaries audited along the way.
+
+use faults::{FaultPlan, HotspotFault, LinkFault, SidebandFaults};
+use sideband::SidebandConfig;
+use stcc::{Scheme, SimConfig, Simulation, TuneConfig};
+use traffic::{Pattern, Process, Workload};
+use wormsim::{DeadlockMode, NetConfig};
+
+const CYCLES: u64 = 10_000;
+
+fn cfg(scheme: Scheme, seed: u64) -> SimConfig {
+    SimConfig {
+        net: NetConfig::small(DeadlockMode::PAPER_RECOVERY),
+        workload: Workload::steady(Pattern::UniformRandom, Process::bernoulli(0.06)),
+        scheme,
+        cycles: CYCLES,
+        warmup: 2_000,
+        seed,
+    }
+}
+
+fn tuned_small() -> Scheme {
+    Scheme::Tuned(TuneConfig {
+        sideband: SidebandConfig {
+            radix: 8,
+            ..SidebandConfig::paper()
+        },
+        ..TuneConfig::paper()
+    })
+}
+
+/// A storm touching every fault class: scheduled link stalls, two hot
+/// destinations, and a lossy/corrupting side-band. All windows close well
+/// before the run ends so the network can drain.
+fn storm() -> FaultPlan {
+    FaultPlan {
+        seed: 99,
+        sideband: SidebandFaults {
+            loss_rate: 0.2,
+            delay_rate: 0.2,
+            max_delay: 8,
+            corrupt_rate: 0.1,
+            corrupt_bits: 2,
+        },
+        links: (0..6)
+            .map(|i| LinkFault {
+                node: i * 9 + 2,
+                port: i % 4,
+                start: 2_000 + 200 * i as u64,
+                end: 5_000 + 200 * i as u64,
+            })
+            .collect(),
+        hotspots: vec![
+            HotspotFault {
+                node: 11,
+                start: 2_500,
+                end: 4_500,
+            },
+            HotspotFault {
+                node: 44,
+                start: 3_000,
+                end: 5_500,
+            },
+        ],
+    }
+}
+
+/// Steps an audited simulation to the end, exercising a checkpoint/restore
+/// boundary mid-run (both boundaries audit), and requires a clean final
+/// report. The per-step cadence audits panic on any violation.
+fn run_audited(scheme: Scheme, plan: Option<FaultPlan>, seed: u64) {
+    let label = scheme.label();
+    let cfg = cfg(scheme, seed);
+    let mut sim = match &plan {
+        Some(p) => Simulation::with_faults(cfg.clone(), p.clone()).unwrap(),
+        None => Simulation::new(cfg.clone()).unwrap(),
+    };
+    sim.set_audit_every(Some(64));
+    while sim.now() < CYCLES / 2 {
+        sim.step();
+    }
+    // Boundary audits: checkpoint() audits because the cadence is on;
+    // restore() audits unconditionally and fails typed, not loud.
+    let snap = sim.checkpoint();
+    let mut sim = Simulation::restore(cfg, plan, &snap)
+        .unwrap_or_else(|e| panic!("{label}: restore failed: {e}"));
+    sim.set_audit_every(Some(64));
+    while sim.now() < CYCLES {
+        sim.step();
+    }
+    let report = sim.audit();
+    assert!(report.is_clean(), "{label}: {report}");
+    let s = sim.summary().unwrap();
+    assert!(s.delivered_packets > 0, "{label}: vacuous run");
+}
+
+#[test]
+fn base_runs_clean_audited() {
+    run_audited(Scheme::Base, None, 7);
+}
+
+#[test]
+fn base_runs_clean_audited_under_fault_storm() {
+    run_audited(Scheme::Base, Some(storm()), 7);
+}
+
+#[test]
+fn alo_runs_clean_audited() {
+    run_audited(Scheme::Alo, None, 8);
+}
+
+#[test]
+fn alo_runs_clean_audited_under_fault_storm() {
+    run_audited(Scheme::Alo, Some(storm()), 8);
+}
+
+#[test]
+fn tuned_runs_clean_audited() {
+    run_audited(tuned_small(), None, 9);
+}
+
+#[test]
+fn tuned_runs_clean_audited_under_fault_storm() {
+    run_audited(tuned_small(), Some(storm()), 9);
+}

@@ -104,14 +104,32 @@ fn load(path: &Path, fingerprint: u64) -> BTreeMap<u64, Rows> {
     if !ok {
         return BTreeMap::new();
     }
-    let mut lines = text.lines();
-    if lines.next() != Some(&format!("{HEADER_TAG} {fingerprint:016x}")) {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.first() != Some(&format!("{HEADER_TAG} {fingerprint:016x}").as_str()) {
         return BTreeMap::new();
     }
+    let records = &lines[1..];
     let mut done = BTreeMap::new();
-    for line in lines {
-        if let Some((idx, rows)) = parse_record(line) {
-            done.insert(idx, rows);
+    for (i, line) in records.iter().enumerate() {
+        match parse_record(line) {
+            Some((idx, rows)) => {
+                done.insert(idx, rows);
+            }
+            None => {
+                // A record that fails its CRC or shape check is dropped and
+                // its point re-run. The expected cause is a crash mid-append
+                // tearing the final line; anything earlier is bit rot.
+                let what = if i + 1 == records.len() {
+                    "torn trailing"
+                } else {
+                    "corrupt"
+                };
+                eprintln!(
+                    "warning: dropping {what} record at {}:{} — its point will be re-run",
+                    path.display(),
+                    i + 2
+                );
+            }
         }
     }
     done
@@ -253,6 +271,44 @@ mod tests {
         // The reopened journal was compacted: reloading again is clean.
         let (_, done) = Journal::begin(&path, 9, true).unwrap();
         assert_eq!(done.len(), 2);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tail_truncated_at_every_byte_offset_never_errors() {
+        // A crash mid-`fsync` can leave any prefix of the final record on
+        // disk. Whatever the cut point, resume must keep every earlier
+        // record, drop the partial one, and never error.
+        let dir = std::env::temp_dir().join("stcc-journal-test-cut");
+        let path = dir.join("fig.test.journal");
+        let _ = fs::remove_file(&path);
+        let (mut j, _) = Journal::begin(&path, 5, false).unwrap();
+        j.append(0, &rows(0)).unwrap();
+        j.append(1, &rows(1)).unwrap();
+        j.append(2, &rows(2)).unwrap();
+        drop(j);
+        let full = fs::read(&path).unwrap();
+        // Start of the last record = just past the second record's newline.
+        let text = String::from_utf8(full.clone()).unwrap();
+        let mut newlines = text.match_indices('\n').map(|(i, _)| i);
+        let base = newlines.nth(2).unwrap() + 1; // header + records 0 and 1
+        assert!(base < full.len());
+        for cut in base..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let (_, done) = Journal::begin(&path, 5, true).unwrap();
+            // Losing only the final newline leaves record 2 intact (the CRC
+            // still passes), so that single cut point legitimately keeps it.
+            let want = if cut == full.len() - 1 {
+                vec![0, 1, 2]
+            } else {
+                vec![0, 1]
+            };
+            assert_eq!(
+                done.keys().copied().collect::<Vec<_>>(),
+                want,
+                "cut at byte {cut} lost an intact record or kept a torn one"
+            );
+        }
         fs::remove_file(&path).unwrap();
     }
 

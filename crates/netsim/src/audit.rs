@@ -1,0 +1,853 @@
+//! The invariant audit layer: full-scan ground truth vs. incremental state.
+//!
+//! PRs 4–5 layered derived state over the authoritative simulator state —
+//! activity bitsets and node summaries, assignment and occupancy
+//! bit-planes, a running full-buffer census, a starvation timer wheel and
+//! a quiescence predicate — all maintained incrementally on the hot path.
+//! [`Network::audit`] recomputes every one of those structures by full
+//! scan and diffs the result against the incremental copy, and layers
+//! conservation ledgers on top: every generated packet is accounted for
+//! (delivered or live), every emitted flit is somewhere (buffered in a VC,
+//! in a deadlock buffer, or delivered), every output-VC allocation has
+//! exactly one owner, and the token queue and recovery drain hold only
+//! what their mirror flags say they hold.
+//!
+//! The audit is read-only and allocation-heavy by design: it runs off the
+//! hot path (every N cycles behind `STCC_AUDIT`, and at checkpoint/restore
+//! boundaries), where clarity beats cost. A violation is reported, not
+//! asserted, so callers — the chaos harness above all — can fail loudly
+//! with a minimized repro instead of a bare panic.
+
+use crate::network::{Assign, Network};
+use core::fmt;
+
+/// Which invariant a violation broke. One variant per independently
+/// falsifiable invariant, so corruption tests can assert the auditor
+/// reports *exactly* the structure they desynced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AuditKind {
+    /// `vc_busy` worklist bit vs. actual buffer emptiness.
+    WorklistBit,
+    /// `vc_full` occupancy bit vs. actual buffer fill.
+    OccupancyBit,
+    /// `vc_unrouted` plane vs. the actual assignment.
+    UnroutedBit,
+    /// `vc_switchable` plane vs. the actual assignment.
+    SwitchableBit,
+    /// `busy_nodes` summary vs. the per-node worklist word.
+    BusySummary,
+    /// `inj_nodes` summary vs. the injection interfaces.
+    InjSummary,
+    /// `srcq_nodes` summary vs. the source queues.
+    SrcqSummary,
+    /// Running census `full_buffers` vs. the popcount of the planes.
+    Census,
+    /// Generated ≠ delivered + live packets.
+    PacketLedger,
+    /// Injected ≠ delivered + live-and-injected packets.
+    InjectionLedger,
+    /// Per-packet flit conservation: emitted ≠ buffered + delivered.
+    FlitLedger,
+    /// Source-queue membership vs. packet state.
+    SourceQueueLedger,
+    /// Output-VC allocation flags vs. their actual owners.
+    OutAllocOwnership,
+    /// A wheel deadline that is not a multiple of the timeout.
+    WheelDeadline,
+    /// An enrolled deadline whose bucket bit is missing.
+    WheelBucket,
+    /// Token-queue contents vs. the `vc_queued` mirror flags.
+    TokenQueue,
+    /// Recovery job/drain-buffer consistency.
+    Recovery,
+    /// Incremental quiescence predicate vs. a full scan.
+    Quiescence,
+}
+
+impl AuditKind {
+    /// Short stable label (used in reports and repro lines).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AuditKind::WorklistBit => "worklist-bit",
+            AuditKind::OccupancyBit => "occupancy-bit",
+            AuditKind::UnroutedBit => "unrouted-bit",
+            AuditKind::SwitchableBit => "switchable-bit",
+            AuditKind::BusySummary => "busy-summary",
+            AuditKind::InjSummary => "inj-summary",
+            AuditKind::SrcqSummary => "srcq-summary",
+            AuditKind::Census => "census",
+            AuditKind::PacketLedger => "packet-ledger",
+            AuditKind::InjectionLedger => "injection-ledger",
+            AuditKind::FlitLedger => "flit-ledger",
+            AuditKind::SourceQueueLedger => "source-queue-ledger",
+            AuditKind::OutAllocOwnership => "out-alloc-ownership",
+            AuditKind::WheelDeadline => "wheel-deadline",
+            AuditKind::WheelBucket => "wheel-bucket",
+            AuditKind::TokenQueue => "token-queue",
+            AuditKind::Recovery => "recovery",
+            AuditKind::Quiescence => "quiescence",
+        }
+    }
+}
+
+/// One broken invariant, with enough detail to localize it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// Which invariant broke.
+    pub kind: AuditKind,
+    /// Human-readable locus: node/VC/packet indices and the two values
+    /// that disagree.
+    pub detail: String,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind.label(), self.detail)
+    }
+}
+
+/// The result of one full audit pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    /// The cycle the audit ran at.
+    pub cycle: u64,
+    /// Every violation found, in scan order. Empty means clean.
+    pub violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// Whether the audit found no violations.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "audit clean at cycle {}", self.cycle);
+        }
+        write!(
+            f,
+            "audit found {} violation(s) at cycle {}:",
+            self.violations.len(),
+            self.cycle
+        )?;
+        const SHOWN: usize = 16;
+        for v in self.violations.iter().take(SHOWN) {
+            write!(f, "\n  {v}")?;
+        }
+        if self.violations.len() > SHOWN {
+            write!(f, "\n  ... and {} more", self.violations.len() - SHOWN)?;
+        }
+        Ok(())
+    }
+}
+
+impl Network {
+    /// Audits every incremental structure and conservation ledger against
+    /// a full scan of the authoritative state. Read-only; call between
+    /// cycles (or at a checkpoint/restore boundary) so the state is at a
+    /// stage-consistent point.
+    #[must_use]
+    pub fn audit(&self) -> AuditReport {
+        let mut v: Vec<AuditViolation> = Vec::new();
+        self.audit_worklists(&mut v);
+        self.audit_ledgers(&mut v);
+        self.audit_out_alloc(&mut v);
+        self.audit_wheel(&mut v);
+        self.audit_token_queue(&mut v);
+        self.audit_recovery(&mut v);
+        self.audit_quiescence(&mut v);
+        AuditReport {
+            cycle: self.now,
+            violations: v,
+        }
+    }
+
+    /// Worklist bits, assignment/occupancy bit-planes, node summaries and
+    /// the census — the release-mode twin of `debug_check_worklist`.
+    fn audit_worklists(&self, v: &mut Vec<AuditViolation>) {
+        let fpn = self.torus().channels_per_node() * self.config().vcs;
+        let depth = self.config().buf_depth;
+        let mut census = 0u32;
+        for (node, &mask) in self.vc_busy.iter().enumerate() {
+            for f in 0..fpn {
+                let idx = node * fpn + f;
+                let busy = !self.vc_bufs.is_empty(idx);
+                if (mask >> f & 1 == 1) != busy {
+                    v.push(AuditViolation {
+                        kind: AuditKind::WorklistBit,
+                        detail: format!(
+                            "node {node} feeder {f}: worklist bit {} but buffer has {} flit(s)",
+                            mask >> f & 1,
+                            self.vc_bufs.len(idx)
+                        ),
+                    });
+                }
+                let full = self.vc_bufs.len(idx) >= depth;
+                if (self.vc_full[node] >> f & 1 == 1) != full {
+                    v.push(AuditViolation {
+                        kind: AuditKind::OccupancyBit,
+                        detail: format!(
+                            "node {node} feeder {f}: occupancy bit {} but len {} of depth {depth}",
+                            self.vc_full[node] >> f & 1,
+                            self.vc_bufs.len(idx)
+                        ),
+                    });
+                }
+                let (unrouted, switchable) = match self.vc_assign[idx] {
+                    Assign::None | Assign::AwaitToken => (true, false),
+                    Assign::Out { .. } | Assign::Delivery => (false, true),
+                    Assign::Recovery => (false, false),
+                };
+                if (self.vc_unrouted[node] >> f & 1 == 1) != unrouted {
+                    v.push(AuditViolation {
+                        kind: AuditKind::UnroutedBit,
+                        detail: format!(
+                            "node {node} feeder {f}: unrouted bit {} but assignment {:?}",
+                            self.vc_unrouted[node] >> f & 1,
+                            self.vc_assign[idx]
+                        ),
+                    });
+                }
+                if (self.vc_switchable[node] >> f & 1 == 1) != switchable {
+                    v.push(AuditViolation {
+                        kind: AuditKind::SwitchableBit,
+                        detail: format!(
+                            "node {node} feeder {f}: switchable bit {} but assignment {:?}",
+                            self.vc_switchable[node] >> f & 1,
+                            self.vc_assign[idx]
+                        ),
+                    });
+                }
+            }
+            census += self.vc_full[node].count_ones();
+            if self.busy_nodes.contains(node) != (mask != 0) {
+                v.push(AuditViolation {
+                    kind: AuditKind::BusySummary,
+                    detail: format!(
+                        "node {node}: summary {} but worklist word {mask:#x}",
+                        self.busy_nodes.contains(node)
+                    ),
+                });
+            }
+            if self.inj_nodes.contains(node) != self.inj[node].active.is_some() {
+                v.push(AuditViolation {
+                    kind: AuditKind::InjSummary,
+                    detail: format!(
+                        "node {node}: summary {} but injection {:?}",
+                        self.inj_nodes.contains(node),
+                        self.inj[node].active
+                    ),
+                });
+            }
+            if self.srcq_nodes.contains(node) == self.source_q.is_empty(node) {
+                v.push(AuditViolation {
+                    kind: AuditKind::SrcqSummary,
+                    detail: format!(
+                        "node {node}: summary {} but source queue holds {} packet(s)",
+                        self.srcq_nodes.contains(node),
+                        self.source_q.len(node)
+                    ),
+                });
+            }
+        }
+        if census != self.full_buffers {
+            v.push(AuditViolation {
+                kind: AuditKind::Census,
+                detail: format!(
+                    "running census {} but occupancy planes popcount to {census}",
+                    self.full_buffers
+                ),
+            });
+        }
+    }
+
+    /// Conservation ledgers: packets, injections, per-packet flits and
+    /// source-queue membership, cross-checked against a full scan of every
+    /// buffer, queue and injection interface.
+    fn audit_ledgers(&self, v: &mut Vec<AuditViolation>) {
+        let slots = self.packets.slot_count();
+        let nodes = self.torus().node_count();
+        let n_vcs = self.vc_assign.len();
+
+        // Slot liveness from the free list (the ground truth `live()`
+        // summarizes). An out-of-range free id is itself ledger corruption.
+        let mut live = vec![true; slots];
+        for &id in self.packets.free_ids() {
+            match live.get_mut(id as usize) {
+                Some(l) => *l = false,
+                None => v.push(AuditViolation {
+                    kind: AuditKind::PacketLedger,
+                    detail: format!("free list holds out-of-range packet id {id} (slots {slots})"),
+                }),
+            }
+        }
+        let live_count = live.iter().filter(|&&l| l).count() as u64;
+
+        // Where every buffered flit lives, per packet.
+        let mut buffered = vec![0u32; slots];
+        for idx in 0..n_vcs {
+            for i in 0..self.vc_bufs.len(idx) {
+                let f = self.vc_bufs.get(idx, i);
+                let pid = f.packet as usize;
+                if pid >= slots || !live[pid] {
+                    v.push(AuditViolation {
+                        kind: AuditKind::FlitLedger,
+                        detail: format!("VC {idx} buffers flit {} of dead packet {pid}", f.idx),
+                    });
+                } else {
+                    buffered[pid] += 1;
+                }
+            }
+        }
+        for node in 0..nodes {
+            for i in 0..self.dl_bufs.len(node) {
+                let f = self.dl_bufs.get(node, i);
+                let pid = f.packet as usize;
+                if pid >= slots || !live[pid] {
+                    v.push(AuditViolation {
+                        kind: AuditKind::FlitLedger,
+                        detail: format!(
+                            "deadlock buffer {node} holds flit {} of dead packet {pid}",
+                            f.idx
+                        ),
+                    });
+                } else {
+                    buffered[pid] += 1;
+                }
+            }
+        }
+
+        // Which packet each injection interface is streaming.
+        let mut inj_node = vec![None::<usize>; slots];
+        for (node, inj) in self.inj.iter().enumerate() {
+            let Some(pid) = inj.active else { continue };
+            let pid = pid as usize;
+            if pid >= slots || !live[pid] {
+                v.push(AuditViolation {
+                    kind: AuditKind::FlitLedger,
+                    detail: format!("node {node} is injecting dead packet {pid}"),
+                });
+                continue;
+            }
+            if let Some(other) = inj_node[pid] {
+                v.push(AuditViolation {
+                    kind: AuditKind::FlitLedger,
+                    detail: format!("packet {pid} is injecting at both node {other} and {node}"),
+                });
+            }
+            inj_node[pid] = Some(node);
+        }
+
+        // Source-queue occurrences per packet.
+        let mut queued = vec![0u32; slots];
+        for node in 0..nodes {
+            for i in 0..self.source_q.len(node) {
+                let pid = self.source_q.get(node, i) as usize;
+                if pid >= slots || !live[pid] {
+                    v.push(AuditViolation {
+                        kind: AuditKind::SourceQueueLedger,
+                        detail: format!("node {node} queues dead packet {pid}"),
+                    });
+                    continue;
+                }
+                if self.packets.get(pid as u32).src != node {
+                    v.push(AuditViolation {
+                        kind: AuditKind::SourceQueueLedger,
+                        detail: format!(
+                            "packet {pid} queued at node {node} but its source is {}",
+                            self.packets.get(pid as u32).src
+                        ),
+                    });
+                }
+                queued[pid] += 1;
+            }
+        }
+
+        // Per-packet flit conservation: every flit the network has taken in
+        // is buffered somewhere or delivered, no more and no less.
+        let mut injected_live = 0u64;
+        for (pid, &alive) in live.iter().enumerate() {
+            if !alive {
+                continue;
+            }
+            let p = self.packets.get(pid as u32);
+            if p.injected_at != u64::MAX {
+                injected_live += 1;
+            }
+            let emitted = if let Some(node) = inj_node[pid] {
+                // Streaming in: `sent` flits are in the network so far. The
+                // first flit's move is what stamps `injected_at`.
+                let inj = &self.inj[node];
+                if (inj.sent > 0) != (p.injected_at != u64::MAX) {
+                    v.push(AuditViolation {
+                        kind: AuditKind::FlitLedger,
+                        detail: format!(
+                            "packet {pid}: {} flits sent but injected_at {:?}",
+                            inj.sent,
+                            (p.injected_at != u64::MAX).then_some(p.injected_at)
+                        ),
+                    });
+                }
+                u32::from(inj.sent)
+            } else if p.injected_at == u64::MAX {
+                0 // Still waiting in a source queue.
+            } else {
+                u32::from(p.len) // Fully inside the network.
+            };
+            let expect_queued = u32::from(inj_node[pid].is_none() && p.injected_at == u64::MAX);
+            if queued[pid] != expect_queued {
+                v.push(AuditViolation {
+                    kind: AuditKind::SourceQueueLedger,
+                    detail: format!(
+                        "packet {pid}: {} source-queue entries, expected {expect_queued}",
+                        queued[pid]
+                    ),
+                });
+            }
+            if p.delivered_flits >= p.len {
+                v.push(AuditViolation {
+                    kind: AuditKind::FlitLedger,
+                    detail: format!(
+                        "live packet {pid} already delivered {}/{} flits",
+                        p.delivered_flits, p.len
+                    ),
+                });
+            }
+            let present = buffered[pid] + u32::from(p.delivered_flits);
+            if emitted != present {
+                v.push(AuditViolation {
+                    kind: AuditKind::FlitLedger,
+                    detail: format!(
+                        "packet {pid}: emitted {emitted} flits but {} buffered + {} delivered",
+                        buffered[pid], p.delivered_flits
+                    ),
+                });
+            }
+        }
+
+        let c = &self.counters;
+        if c.generated_packets != c.delivered_packets + live_count {
+            v.push(AuditViolation {
+                kind: AuditKind::PacketLedger,
+                detail: format!(
+                    "generated {} != delivered {} + live {live_count}",
+                    c.generated_packets, c.delivered_packets
+                ),
+            });
+        }
+        if c.injected_packets != c.delivered_packets + injected_live {
+            v.push(AuditViolation {
+                kind: AuditKind::InjectionLedger,
+                detail: format!(
+                    "injected {} != delivered {} + live-injected {injected_live}",
+                    c.injected_packets, c.delivered_packets
+                ),
+            });
+        }
+    }
+
+    /// Every output-VC allocation flag has exactly one owner: an input VC
+    /// or injection interface with a matching `Out` assignment.
+    fn audit_out_alloc(&self, v: &mut Vec<AuditViolation>) {
+        let d = self.torus().channels_per_node();
+        let vpc = self.config().vcs;
+        let fpn = d * vpc;
+        let n_vcs = self.vc_assign.len();
+        let mut owners = vec![0u32; n_vcs];
+        let mut claim =
+            |v: &mut Vec<AuditViolation>, node: usize, port: u8, vc: u8, who: String| {
+                let (port, vc) = (usize::from(port), usize::from(vc));
+                if port >= d || vc >= vpc {
+                    v.push(AuditViolation {
+                        kind: AuditKind::OutAllocOwnership,
+                        detail: format!("{who} assigned impossible output (port {port}, vc {vc})"),
+                    });
+                    return;
+                }
+                owners[(node * d + port) * vpc + vc] += 1;
+            };
+        for (idx, a) in self.vc_assign.iter().enumerate() {
+            if let Assign::Out { port, vc } = *a {
+                claim(v, idx / fpn, port, vc, format!("input VC {idx}"));
+            }
+        }
+        for (node, inj) in self.inj.iter().enumerate() {
+            if inj.active.is_some() {
+                if let Assign::Out { port, vc } = inj.assign {
+                    claim(v, node, port, vc, format!("injector {node}"));
+                }
+            }
+        }
+        for (oidx, &n) in owners.iter().enumerate() {
+            if n > 1 {
+                v.push(AuditViolation {
+                    kind: AuditKind::OutAllocOwnership,
+                    detail: format!("output VC {oidx} claimed by {n} worms"),
+                });
+            }
+            if self.out_alloc[oidx] != (n == 1) {
+                v.push(AuditViolation {
+                    kind: AuditKind::OutAllocOwnership,
+                    detail: format!(
+                        "output VC {oidx}: alloc flag {} but {n} owner(s)",
+                        self.out_alloc[oidx]
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Wheel enrollment: every non-stale deadline is a multiple of the
+    /// timeout and its bucket bit is set. (The converse — a set bucket bit
+    /// without a deadline — is legal: fired and re-parked entries go stale
+    /// in place and are lazily discarded.)
+    fn audit_wheel(&self, v: &mut Vec<AuditViolation>) {
+        if self.wheel.len() == 0 {
+            return; // Avoidance mode: no wheel.
+        }
+        let timeout = self.wheel.timeout();
+        for idx in 0..self.wheel.len() {
+            let dl = self.wheel.deadline(idx);
+            if dl == u64::MAX {
+                continue;
+            }
+            if timeout == 0 || !dl.is_multiple_of(timeout) {
+                v.push(AuditViolation {
+                    kind: AuditKind::WheelDeadline,
+                    detail: format!(
+                        "VC {idx}: deadline {dl} is not a multiple of timeout {timeout}"
+                    ),
+                });
+                continue;
+            }
+            let slot = self.wheel.slot_of(dl);
+            if self.wheel.slot_word(slot, idx >> 6) >> (idx & 63) & 1 != 1 {
+                v.push(AuditViolation {
+                    kind: AuditKind::WheelBucket,
+                    detail: format!("VC {idx}: deadline {dl} enrolled but slot {slot} bit clear"),
+                });
+            }
+        }
+    }
+
+    /// Token-queue contents vs. the `vc_queued` mirror: each queued VC
+    /// appears exactly once, everything else not at all.
+    fn audit_token_queue(&self, v: &mut Vec<AuditViolation>) {
+        let n_vcs = self.vc_assign.len();
+        let mut seen = vec![0u32; n_vcs];
+        for i in 0..self.token_queue.len(0) {
+            let idx = self.token_queue.get(0, i) as usize;
+            match seen.get_mut(idx) {
+                Some(s) => *s += 1,
+                None => v.push(AuditViolation {
+                    kind: AuditKind::TokenQueue,
+                    detail: format!("token queue holds out-of-range VC {idx}"),
+                }),
+            }
+        }
+        for (idx, &n) in seen.iter().enumerate() {
+            let expect = u32::from(self.vc_queued[idx]);
+            if n != expect {
+                v.push(AuditViolation {
+                    kind: AuditKind::TokenQueue,
+                    detail: format!("VC {idx}: {n} token-queue entries but vc_queued {expect}"),
+                });
+            }
+        }
+    }
+
+    /// Recovery-drain consistency: the job's packet is live, its source VC
+    /// is the only `Recovery` assignment until the tail transitions, and
+    /// the deadlock buffers hold only that packet's flits, only on its
+    /// drain path (and nothing at all between recoveries).
+    fn audit_recovery(&self, v: &mut Vec<AuditViolation>) {
+        let nodes = self.torus().node_count();
+        let recovery_vcs: Vec<usize> = (0..self.vc_assign.len())
+            .filter(|&i| matches!(self.vc_assign[i], Assign::Recovery))
+            .collect();
+        match &self.recovery {
+            None => {
+                if !recovery_vcs.is_empty() {
+                    v.push(AuditViolation {
+                        kind: AuditKind::Recovery,
+                        detail: format!(
+                            "no recovery in progress but VCs {recovery_vcs:?} assigned"
+                        ),
+                    });
+                }
+                for node in 0..nodes {
+                    if !self.dl_bufs.is_empty(node) {
+                        v.push(AuditViolation {
+                            kind: AuditKind::Recovery,
+                            detail: format!(
+                                "no recovery in progress but deadlock buffer {node} holds {} flit(s)",
+                                self.dl_bufs.len(node)
+                            ),
+                        });
+                    }
+                }
+            }
+            Some(job) => {
+                let slots = self.packets.slot_count();
+                let pid = job.packet as usize;
+                let dead = pid >= slots || self.packets.free_ids().contains(&job.packet);
+                if dead {
+                    v.push(AuditViolation {
+                        kind: AuditKind::Recovery,
+                        detail: format!("recovery job drains dead packet {pid}"),
+                    });
+                }
+                let expect: &[usize] = if job.tail_in { &[] } else { &[job.src_vc] };
+                if recovery_vcs != expect {
+                    v.push(AuditViolation {
+                        kind: AuditKind::Recovery,
+                        detail: format!(
+                            "recovery assignments {recovery_vcs:?}, expected {expect:?} \
+                             (tail_in {})",
+                            job.tail_in
+                        ),
+                    });
+                }
+                for node in 0..nodes {
+                    if self.dl_bufs.is_empty(node) {
+                        continue;
+                    }
+                    if !job.path.contains(&node) {
+                        v.push(AuditViolation {
+                            kind: AuditKind::Recovery,
+                            detail: format!("deadlock buffer {node} is off the drain path"),
+                        });
+                    }
+                    for i in 0..self.dl_bufs.len(node) {
+                        let f = self.dl_bufs.get(node, i);
+                        if f.packet != job.packet {
+                            v.push(AuditViolation {
+                                kind: AuditKind::Recovery,
+                                detail: format!(
+                                    "deadlock buffer {node} holds flit of packet {} during \
+                                     recovery of {pid}",
+                                    f.packet
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The O(1) quiescence predicate vs. a full scan of every buffer,
+    /// queue and interface.
+    fn audit_quiescence(&self, v: &mut Vec<AuditViolation>) {
+        let nodes = self.torus().node_count();
+        let scan = self.packets.live() == 0
+            && (0..self.vc_assign.len()).all(|i| self.vc_bufs.is_empty(i))
+            && (0..nodes).all(|n| {
+                self.dl_bufs.is_empty(n)
+                    && self.inj[n].active.is_none()
+                    && self.source_q.is_empty(n)
+            })
+            && self.token_queue.is_empty(0)
+            && self.recovery.is_none();
+        if scan != self.quiescent() {
+            v.push(AuditViolation {
+                kind: AuditKind::Quiescence,
+                detail: format!(
+                    "quiescent() says {} but a full scan says {scan}",
+                    self.quiescent()
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DeadlockMode, NetConfig};
+    use crate::control::NoControl;
+    use std::collections::BTreeSet;
+
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn drive(net: &mut Network, seed: u64, load: u64, cycles: u64) {
+        let nodes = net.torus().node_count();
+        let mut src = move |now: u64, node: usize| {
+            let r = mix(seed ^ mix(now) ^ mix(node as u64).rotate_left(17));
+            (r % 100 < load).then(|| {
+                let dst = (r >> 32) as usize % nodes;
+                if dst == node {
+                    (dst + 1) % nodes
+                } else {
+                    dst
+                }
+            })
+        };
+        for _ in 0..cycles {
+            net.cycle(&mut src, &mut NoControl);
+        }
+    }
+
+    /// A saturated 16-node recovery network with the starvation machinery
+    /// and token queue demonstrably hot — the state every corruption test
+    /// pokes at.
+    fn hot_net() -> Network {
+        let cfg = NetConfig {
+            radix: 4,
+            dimensions: 2,
+            ..NetConfig::small(DeadlockMode::Recovery { timeout: 8 })
+        };
+        let mut net = Network::new(cfg).unwrap();
+        drive(&mut net, 1, 60, 1_500);
+        let report = net.audit();
+        assert!(report.is_clean(), "hot_net is not clean: {report}");
+        assert!(net.packets.live() > 0, "hot_net drained: nothing to poke");
+        net
+    }
+
+    fn kinds(net: &Network) -> BTreeSet<&'static str> {
+        net.audit()
+            .violations
+            .iter()
+            .map(|v| v.kind.label())
+            .collect()
+    }
+
+    fn assert_exactly(net: &Network, kind: AuditKind) {
+        let found = kinds(net);
+        let expect: BTreeSet<&'static str> = [kind.label()].into();
+        assert_eq!(found, expect, "expected exactly one violation kind");
+    }
+
+    #[test]
+    fn clean_under_saturating_recovery_traffic() {
+        let mut net = hot_net();
+        // Audit repeatedly while the network keeps running hot.
+        for _ in 0..10 {
+            drive(&mut net, 2, 60, 100);
+            let report = net.audit();
+            assert!(report.is_clean(), "{report}");
+        }
+    }
+
+    #[test]
+    fn clean_under_avoidance_traffic_and_after_drain() {
+        let cfg = NetConfig {
+            radix: 4,
+            dimensions: 2,
+            ..NetConfig::small(DeadlockMode::Avoidance)
+        };
+        let mut net = Network::new(cfg).unwrap();
+        drive(&mut net, 3, 30, 1_000);
+        let report = net.audit();
+        assert!(report.is_clean(), "{report}");
+        // Drain completely; the audit must agree with quiescence.
+        drive(&mut net, 3, 0, 20_000);
+        let report = net.audit();
+        assert!(report.is_clean(), "{report}");
+        assert!(net.quiescent(), "avoidance net failed to drain");
+    }
+
+    #[test]
+    fn detects_census_drift() {
+        let mut net = hot_net();
+        net.full_buffers += 1;
+        assert_exactly(&net, AuditKind::Census);
+    }
+
+    #[test]
+    fn detects_cleared_worklist_bit() {
+        let mut net = hot_net();
+        // Clear one bit on a node with at least two busy VCs, so the
+        // node-level summary stays truthful and only the bit is wrong.
+        let (node, f) = (0..net.vc_busy.len())
+            .find(|&n| net.vc_busy[n].count_ones() >= 2)
+            .map(|n| (n, net.vc_busy[n].trailing_zeros() as usize))
+            .expect("no node with two busy VCs in a saturated net");
+        net.vc_busy[node] &= !(1u64 << f);
+        assert_exactly(&net, AuditKind::WorklistBit);
+    }
+
+    #[test]
+    fn detects_phantom_token_queue_flag() {
+        let mut net = hot_net();
+        let idx = (0..net.vc_queued.len())
+            .find(|&i| !net.vc_queued[i])
+            .expect("every VC queued");
+        net.vc_queued[idx] = true;
+        assert_exactly(&net, AuditKind::TokenQueue);
+    }
+
+    #[test]
+    fn detects_missing_wheel_bucket_bit() {
+        let mut net = hot_net();
+        let idx = (0..net.wheel.len())
+            .find(|&i| net.wheel.deadline(i) != u64::MAX)
+            .expect("no enrolled wheel entry in a saturated recovery net");
+        let slot = net.wheel.slot_of(net.wheel.deadline(idx));
+        net.wheel.set_slot_word(slot, idx >> 6, 0);
+        assert_exactly(&net, AuditKind::WheelBucket);
+    }
+
+    #[test]
+    fn detects_misaligned_wheel_deadline() {
+        let mut net = hot_net();
+        // Timeout is 8; deadline 9 is not a multiple. The raw poke skips
+        // `schedule`'s debug assertion and bucket insertion on purpose.
+        net.wheel.set_deadline_raw(0, 9);
+        assert_exactly(&net, AuditKind::WheelDeadline);
+    }
+
+    #[test]
+    fn detects_packet_ledger_drift() {
+        let mut net = hot_net();
+        net.counters.generated_packets += 1;
+        assert_exactly(&net, AuditKind::PacketLedger);
+    }
+
+    #[test]
+    fn detects_injection_ledger_drift() {
+        let mut net = hot_net();
+        net.counters.injected_packets += 1;
+        assert_exactly(&net, AuditKind::InjectionLedger);
+    }
+
+    #[test]
+    fn detects_phantom_out_alloc() {
+        let mut net = hot_net();
+        let oidx = (0..net.out_alloc.len())
+            .find(|&i| !net.out_alloc[i])
+            .expect("every output VC allocated");
+        net.out_alloc[oidx] = true;
+        assert_exactly(&net, AuditKind::OutAllocOwnership);
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let report = AuditReport {
+            cycle: 7,
+            violations: vec![AuditViolation {
+                kind: AuditKind::Census,
+                detail: "running census 3 but occupancy planes popcount to 2".into(),
+            }],
+        };
+        let s = report.to_string();
+        assert!(s.contains("cycle 7"), "{s}");
+        assert!(s.contains("[census]"), "{s}");
+        assert!(AuditReport {
+            cycle: 0,
+            violations: vec![]
+        }
+        .is_clean());
+    }
+}

@@ -45,6 +45,7 @@
 //! ```
 
 mod activity;
+mod audit;
 mod config;
 mod control;
 mod counters;
@@ -58,6 +59,7 @@ mod routing;
 mod snapshot;
 mod wheel;
 
+pub use audit::{AuditKind, AuditReport, AuditViolation};
 pub use config::{ConfigError, DeadlockMode, NetConfig, MAX_BUF_DEPTH, MAX_SOURCE_QUEUE_CAP};
 pub use control::{CongestionControl, NoControl};
 pub use counters::{Counters, StageCycles};

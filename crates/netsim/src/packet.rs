@@ -124,6 +124,18 @@ impl PacketStore {
         self.slots.len() - self.free.len()
     }
 
+    /// Total slot count (live + recycled), for audit-side liveness scans.
+    #[must_use]
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The recycled-slot free list (audit ground truth for liveness).
+    #[must_use]
+    pub(crate) fn free_ids(&self) -> &[PacketId] {
+        &self.free
+    }
+
     /// Serializes the whole store — live slots, recycled slots and the free
     /// list order (which determines future id assignment) — into `enc`.
     pub fn save_state(&self, enc: &mut checkpoint::Enc) {
@@ -153,7 +165,9 @@ impl PacketStore {
         dec: &mut checkpoint::Dec<'_>,
     ) -> Result<Self, checkpoint::CheckpointError> {
         let nslots = dec.usize()?;
-        let mut slots = Vec::with_capacity(nslots.min(1 << 20));
+        // A hostile count cannot force an allocation beyond what the stream
+        // could actually satisfy: each slot costs 44 payload bytes.
+        let mut slots = Vec::with_capacity(nslots.min(dec.remaining() / 44));
         for _ in 0..nslots {
             slots.push(PacketInfo {
                 src: dec.usize()?,

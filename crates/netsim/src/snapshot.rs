@@ -254,7 +254,10 @@ impl Network {
         if n_escaped > u32::MAX as usize {
             return Err(CheckpointError::Corrupt("escape flag count implausible"));
         }
-        let mut escaped = Vec::with_capacity(n_escaped);
+        // Bound the reservation by what the stream can actually deliver
+        // (one byte per flag), so a hostile count cannot OOM before the
+        // decode loop hits `Truncated`.
+        let mut escaped = Vec::with_capacity(n_escaped.min(dec.remaining()));
         for _ in 0..n_escaped {
             escaped.push(dec.bool()?);
         }

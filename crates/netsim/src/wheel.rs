@@ -121,6 +121,21 @@ impl TimerWheel {
         self.deadline[idx]
     }
 
+    /// Scan period (0 when disabled). The audit layer checks every
+    /// enrolled deadline is a multiple of it.
+    #[inline]
+    pub fn timeout(&self) -> u64 {
+        self.timeout
+    }
+
+    /// Test-only raw deadline write that bypasses [`TimerWheel::schedule`]'s
+    /// alignment assertion and bucket insertion — for corruption-injection
+    /// tests that need a deliberately inconsistent wheel.
+    #[cfg(test)]
+    pub fn set_deadline_raw(&mut self, idx: usize, deadline: u64) {
+        self.deadline[idx] = deadline;
+    }
+
     /// Marks `idx` processed: its bucket bit (already cleared or kept by
     /// the fire loop) no longer speaks for it.
     #[inline]

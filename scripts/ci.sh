@@ -8,8 +8,10 @@
 #   6. zero-alloc gate   (steady-state cycles make no heap allocations)
 #   7. parallel smoke    (a --jobs 4 sweep through the runner)
 #   8. kill-and-resume   (SIGKILL a sweep mid-run, finish it with --resume)
-#   9. tiny bench gate   (always on: 64-node preset, >50% regression fails)
-#  10. paper bench gate  (opt-in: STCC_BENCH_GATE=1, >15% regression fails)
+#   9. audited sweep     (STCC_AUDIT=256 fig2 run must still match golden)
+#  10. chaos smoke       (fixed-seed chaos trials, kill/resume determinism)
+#  11. tiny bench gate   (always on: 64-node preset, >50% regression fails)
+#  12. paper bench gate  (opt-in: STCC_BENCH_GATE=1, >15% regression fails)
 # Everything is hermetic — no network access is required (see README,
 # "Hermetic build"). Each step reports its wall time.
 set -eu
@@ -42,6 +44,11 @@ rustdoc_audit() {
 step "rustdoc audit" rustdoc_audit
 
 step "tier-1: build" cargo build --release
+
+# The gates below invoke target/release/{fig4,chaos,bench_netsim} directly;
+# the root-package build above only guarantees the libraries, so build every
+# workspace binary explicitly rather than trusting leftovers.
+step "release binaries" cargo build --release --workspace
 
 step "tier-1: test" cargo test -q
 
@@ -97,6 +104,54 @@ resume_gate() {
     fi
 }
 step "kill-and-resume smoke" resume_gate
+
+# Audited sweep: the invariant audit layer (STCC_AUDIT, full-scan checks
+# every 256 cycles plus every checkpoint/restore boundary) must not change
+# a single output byte — auditing observes, never perturbs.
+audited_sweep() {
+    out=target/ci-audit
+    rm -rf "$out"
+    STCC_AUDIT=256 cargo run --release -q -p experiments --bin fig2 -- \
+        --scale tiny --net small --jobs 2 --out "$out" >/dev/null
+    cmp "$out/fig2.tiny.csv" crates/experiments/tests/golden/fig2.tiny.csv
+}
+step "audited sweep (STCC_AUDIT=256 vs golden)" audited_sweep
+
+# Chaos smoke: a short fixed-seed slice of the chaos harness — random
+# configs × patterns × fault storms, per-trial audits, a mid-trial
+# checkpoint/restore divergence check — with one SIGKILL + --resume thrown
+# in. The resumed report must be byte-identical to an uninterrupted run's.
+chaos_gate() {
+    out=target/ci-chaos
+    rm -rf "$out" "$out-fresh"
+    bin=target/release/chaos
+    "$bin" --seed 6 --trials 12 --out "$out" >/dev/null 2>&1 &
+    pid=$!
+    for _ in $(seq 1 500); do
+        if [ -f "$out/chaos.journal" ] &&
+            [ "$(wc -l <"$out/chaos.journal")" -ge 3 ]; then
+            break
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            break
+        fi
+        sleep 0.01
+    done
+    if kill -9 "$pid" 2>/dev/null; then
+        echo "  (killed chaos pid $pid mid-run)"
+    else
+        echo "  (chaos finished before the kill; resume runs fresh)"
+    fi
+    wait "$pid" 2>/dev/null || true
+    "$bin" --seed 6 --trials 12 --out "$out" --resume >/dev/null 2>&1
+    "$bin" --seed 6 --trials 12 --out "$out-fresh" >/dev/null 2>&1
+    cmp "$out/chaos.report" "$out-fresh/chaos.report"
+    if [ -f "$out/chaos.journal" ]; then
+        echo "chaos journal not cleaned up after a successful run" >&2
+        return 1
+    fi
+}
+step "chaos smoke (fixed seed, kill/resume determinism)" chaos_gate
 
 # Perf regression gates. The tiny (64-node) gate always runs: it takes a
 # few seconds and its 50% tolerance only has to catch order-of-magnitude
