@@ -1,0 +1,493 @@
+use crate::{Controller, ControllerCounters};
+use faults::FaultPlan;
+use sideband::{Sideband, SidebandConfig};
+use wormsim::{CongestionControl, Network};
+
+/// Configuration of the AIMD injection-threshold controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AimdConfig {
+    /// Side-band gather network parameters (defines the gather period `g`).
+    pub sideband: SidebandConfig,
+    /// Tuning period, in gathers (3, matching the self-tuner's clock).
+    pub tune_gathers: u32,
+    /// Additive raise per uncongested period, as a fraction of all VC
+    /// buffers (1%).
+    pub additive_frac: f64,
+    /// Multiplicative threshold cut on a congested period (0.5).
+    pub cut_factor: f64,
+    /// A period counts as *congested* when its throughput falls below this
+    /// fraction of the previous period's (75%, the paper's drop test).
+    pub drop_fraction: f64,
+    /// Initial threshold as a fraction of all VC buffers (1%).
+    pub initial_threshold_frac: f64,
+    /// Staleness watchdog horizon, in gathers (0 disables it; see
+    /// [`crate::TuneConfig::watchdog_gathers`]).
+    pub watchdog_gathers: u32,
+}
+
+impl AimdConfig {
+    /// Defaults matching the self-tuner's clock and step sizes on the
+    /// paper's network.
+    #[must_use]
+    pub fn paper() -> Self {
+        AimdConfig {
+            sideband: SidebandConfig::paper(),
+            tune_gathers: 3,
+            additive_frac: 0.01,
+            cut_factor: 0.5,
+            drop_fraction: 0.75,
+            initial_threshold_frac: 0.01,
+            watchdog_gathers: 8,
+        }
+    }
+}
+
+/// **AIMD** on the injection threshold: the classic additive-increase /
+/// multiplicative-decrease rule (Chiu & Jain) transplanted from window-based
+/// transport onto the paper's globally informed source throttle.
+///
+/// Each tuning period the controller raises the full-buffer threshold by a
+/// fixed step when throughput held up (probing for bandwidth) and cuts it
+/// multiplicatively when throughput dropped (backing off hard). Same
+/// side-band census, same gate as [`crate::SelfTuned`] — only the threshold
+/// update rule differs, which is exactly the comparison the controller zoo
+/// exists to make.
+#[derive(Debug, Clone)]
+pub struct AimdControl {
+    cfg: AimdConfig,
+    sideband: Sideband,
+    state: Option<AimdState>,
+}
+
+#[derive(Debug, Clone)]
+struct AimdState {
+    total_buffers: f64,
+    threshold: f64,
+    add: f64,
+    snaps_in_period: u32,
+    period_tput: u64,
+    prev_period_tput: Option<u64>,
+    throttling_now: bool,
+    last_snapshot_seen: Option<u64>,
+    last_good_threshold: f64,
+    frozen: bool,
+    rejected_seen: u64,
+    periods: u64,
+    raises: u64,
+    cuts: u64,
+    watchdog_trips: u64,
+    watchdog_rearms: u64,
+}
+
+impl AimdControl {
+    /// Creates a controller; buffer-count-dependent state initializes on the
+    /// first [`CongestionControl::on_cycle`] call.
+    #[must_use]
+    pub fn new(cfg: AimdConfig) -> Self {
+        AimdControl {
+            sideband: Sideband::new(cfg.sideband.clone()),
+            cfg,
+            state: None,
+        }
+    }
+
+    /// The current threshold, in full buffers (`None` before the first
+    /// cycle).
+    #[must_use]
+    pub fn threshold(&self) -> Option<f64> {
+        self.state.as_ref().map(|s| s.threshold)
+    }
+
+    /// Whether injection is currently blocked network-wide.
+    #[must_use]
+    pub fn throttling(&self) -> bool {
+        self.state.as_ref().is_some_and(|s| s.throttling_now)
+    }
+
+    /// Installs a fault plan on the underlying side-band.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.sideband.set_faults(plan);
+    }
+
+    /// Whether the staleness watchdog has currently frozen the controller.
+    #[must_use]
+    pub fn watchdog_active(&self) -> bool {
+        self.state.as_ref().is_some_and(|s| s.frozen)
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &AimdConfig {
+        &self.cfg
+    }
+
+    /// Read access to the underlying side-band model.
+    #[must_use]
+    pub fn sideband(&self) -> &Sideband {
+        &self.sideband
+    }
+
+    /// Serializes the controller state (side-band + AIMD) into `enc`.
+    pub fn save_state(&self, enc: &mut checkpoint::Enc) {
+        self.sideband.save_state(enc);
+        enc.bool(self.state.is_some());
+        if let Some(st) = &self.state {
+            enc.f64(st.total_buffers);
+            enc.f64(st.threshold);
+            enc.f64(st.add);
+            enc.u32(st.snaps_in_period);
+            enc.u64(st.period_tput);
+            enc.opt_u64(st.prev_period_tput);
+            enc.bool(st.throttling_now);
+            enc.opt_u64(st.last_snapshot_seen);
+            enc.f64(st.last_good_threshold);
+            enc.bool(st.frozen);
+            enc.u64(st.rejected_seen);
+            enc.u64(st.periods);
+            enc.u64(st.raises);
+            enc.u64(st.cuts);
+            enc.u64(st.watchdog_trips);
+            enc.u64(st.watchdog_rearms);
+        }
+    }
+
+    /// Restores state captured with [`AimdControl::save_state`] into a
+    /// controller built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`checkpoint::CheckpointError`] on a truncated or
+    /// structurally invalid stream.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut checkpoint::Dec<'_>,
+    ) -> Result<(), checkpoint::CheckpointError> {
+        self.sideband.restore_state(dec)?;
+        self.state = if dec.bool()? {
+            Some(AimdState {
+                total_buffers: dec.f64()?,
+                threshold: dec.f64()?,
+                add: dec.f64()?,
+                snaps_in_period: dec.u32()?,
+                period_tput: dec.u64()?,
+                prev_period_tput: dec.opt_u64()?,
+                throttling_now: dec.bool()?,
+                last_snapshot_seen: dec.opt_u64()?,
+                last_good_threshold: dec.f64()?,
+                frozen: dec.bool()?,
+                rejected_seen: dec.u64()?,
+                periods: dec.u64()?,
+                raises: dec.u64()?,
+                cuts: dec.u64()?,
+                watchdog_trips: dec.u64()?,
+                watchdog_rearms: dec.u64()?,
+            })
+        } else {
+            None
+        };
+        Ok(())
+    }
+
+    fn state_for(cfg: &AimdConfig, total_buffers: f64) -> AimdState {
+        AimdState {
+            total_buffers,
+            threshold: cfg.initial_threshold_frac * total_buffers,
+            add: cfg.additive_frac * total_buffers,
+            snaps_in_period: 0,
+            period_tput: 0,
+            prev_period_tput: None,
+            throttling_now: false,
+            last_snapshot_seen: None,
+            last_good_threshold: cfg.initial_threshold_frac * total_buffers,
+            frozen: false,
+            rejected_seen: 0,
+            periods: 0,
+            raises: 0,
+            cuts: 0,
+            watchdog_trips: 0,
+            watchdog_rearms: 0,
+        }
+    }
+
+    /// One AIMD decision (runs once per tuning period): additive raise when
+    /// throughput held up, multiplicative cut when it dropped.
+    fn tune(cfg: &AimdConfig, st: &mut AimdState) {
+        let tput = st.period_tput;
+        st.periods += 1;
+        let congested = st
+            .prev_period_tput
+            .is_some_and(|prev| (tput as f64) < cfg.drop_fraction * prev as f64);
+        if congested {
+            st.threshold *= cfg.cut_factor;
+            st.cuts += 1;
+        } else {
+            st.threshold += st.add;
+            st.raises += 1;
+        }
+        st.threshold = st.threshold.clamp(st.add, st.total_buffers);
+        st.prev_period_tput = Some(tput);
+        Self::reset_period(st);
+    }
+
+    fn reset_period(st: &mut AimdState) {
+        st.period_tput = 0;
+        st.snaps_in_period = 0;
+    }
+}
+
+impl CongestionControl for AimdControl {
+    fn on_cycle(&mut self, now: u64, net: &Network) {
+        self.state
+            .get_or_insert_with(|| Self::state_for(&self.cfg, f64::from(net.total_vc_buffers())));
+        Controller::observe_census(
+            self,
+            now,
+            net.full_buffer_count(),
+            net.delivered_flits_cum(),
+        );
+    }
+
+    fn allow_injection(&mut self, _now: u64, _node: usize, _dst: usize, _net: &Network) -> bool {
+        !self.throttling()
+    }
+
+    fn throttled_recently(&self) -> bool {
+        self.throttling()
+    }
+
+    fn name(&self) -> &'static str {
+        "aimd"
+    }
+}
+
+impl Controller for AimdControl {
+    fn observe_census(&mut self, now: u64, census: u32, delivered_cum: u64) {
+        let st = self.state.get_or_insert_with(|| {
+            Self::state_for(&self.cfg, f64::from(self.sideband.max_full_buffers()))
+        });
+
+        self.sideband.on_cycle(now, census, delivered_cum);
+
+        if let Some(snap) = self.sideband.latest() {
+            if st.last_snapshot_seen != Some(snap.taken_at) {
+                st.last_snapshot_seen = Some(snap.taken_at);
+                if st.frozen {
+                    st.frozen = false;
+                    st.watchdog_rearms += 1;
+                    st.prev_period_tput = None;
+                    st.rejected_seen = self.sideband.stats().rejected();
+                    Self::reset_period(st);
+                }
+                st.period_tput += u64::from(snap.delivered_flits);
+                st.snaps_in_period += 1;
+                if st.snaps_in_period >= self.cfg.tune_gathers {
+                    Self::tune(&self.cfg, st);
+                    let rejected = self.sideband.stats().rejected();
+                    if rejected == st.rejected_seen {
+                        st.last_good_threshold = st.threshold;
+                    }
+                    st.rejected_seen = rejected;
+                }
+            }
+        }
+
+        if !st.frozen
+            && self.cfg.watchdog_gathers > 0
+            && self.sideband.gathers_overdue(now) >= u64::from(self.cfg.watchdog_gathers)
+        {
+            st.frozen = true;
+            st.watchdog_trips += 1;
+            st.threshold = st.last_good_threshold;
+            st.prev_period_tput = None;
+            Self::reset_period(st);
+        }
+
+        st.throttling_now = !st.frozen && self.sideband.estimate(now) > st.threshold;
+    }
+
+    fn throttling(&self) -> bool {
+        AimdControl::throttling(self)
+    }
+
+    fn threshold(&self) -> Option<f64> {
+        AimdControl::threshold(self)
+    }
+
+    fn set_faults(&mut self, plan: FaultPlan) {
+        AimdControl::set_faults(self, plan);
+    }
+
+    fn sideband(&self) -> Option<&Sideband> {
+        Some(AimdControl::sideband(self))
+    }
+
+    fn watchdog_active(&self) -> bool {
+        AimdControl::watchdog_active(self)
+    }
+
+    fn counters(&self) -> ControllerCounters {
+        self.state
+            .as_ref()
+            .map_or_else(ControllerCounters::default, |st| ControllerCounters {
+                decisions: st.periods,
+                raises: st.raises,
+                cuts: st.cuts,
+                resets: 0,
+                watchdog_trips: st.watchdog_trips,
+                watchdog_rearms: st.watchdog_rearms,
+            })
+    }
+
+    fn save_state(&self, enc: &mut checkpoint::Enc) {
+        AimdControl::save_state(self, enc);
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut checkpoint::Dec<'_>,
+    ) -> Result<(), checkpoint::CheckpointError> {
+        AimdControl::restore_state(self, dec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faults::SidebandFaults;
+    use wormsim::{DeadlockMode, NetConfig};
+
+    fn cfg() -> AimdConfig {
+        AimdConfig::paper()
+    }
+
+    fn state(total: f64) -> AimdState {
+        AimdControl::state_for(&cfg(), total)
+    }
+
+    #[test]
+    fn paper_constants() {
+        let st = state(3072.0);
+        assert!((st.add - 30.72).abs() < 1e-9, "1% of 3072");
+        assert!((st.threshold - 30.72).abs() < 1e-9);
+    }
+
+    /// The congestion predicate is strict: only a fall *below* 75% of the
+    /// previous period cuts; at exactly 75% the period still raises.
+    #[test]
+    fn cut_boundary_is_strict() {
+        for (tput, expects_cut) in [(750u64, false), (749, true)] {
+            let c = cfg();
+            let mut st = state(3072.0);
+            st.threshold = 1000.0;
+            st.prev_period_tput = Some(1000);
+            st.period_tput = tput;
+            AimdControl::tune(&c, &mut st);
+            if expects_cut {
+                assert_eq!(st.threshold, 500.0, "tput={tput}: multiplicative cut");
+                assert_eq!((st.cuts, st.raises), (1, 0));
+            } else {
+                assert!(
+                    (st.threshold - (1000.0 + st.add)).abs() < 1e-9,
+                    "tput={tput}: additive raise"
+                );
+                assert_eq!((st.cuts, st.raises), (0, 1));
+            }
+        }
+    }
+
+    /// A cut is exactly multiplicative (threshold × cut_factor), never a
+    /// fixed step.
+    #[test]
+    fn cut_is_exactly_multiplicative() {
+        let c = cfg();
+        let mut st = state(3072.0);
+        st.threshold = 2048.0;
+        st.prev_period_tput = Some(1000);
+        st.period_tput = 0;
+        AimdControl::tune(&c, &mut st);
+        assert_eq!(st.threshold, 1024.0);
+        AimdControl::tune(&c, &mut st); // 0 == 0.75·0: not a further drop → raise
+        assert!((st.threshold - (1024.0 + st.add)).abs() < 1e-9);
+    }
+
+    /// The very first period has no predecessor to drop from: AIMD probes
+    /// upward.
+    #[test]
+    fn first_period_raises() {
+        let c = cfg();
+        let mut st = state(3072.0);
+        st.period_tput = 0;
+        let before = st.threshold;
+        AimdControl::tune(&c, &mut st);
+        assert!((st.threshold - before - st.add).abs() < 1e-9);
+        assert_eq!(st.raises, 1);
+    }
+
+    #[test]
+    fn threshold_clamped_to_valid_range() {
+        let c = cfg();
+        let mut st = state(3072.0);
+        st.threshold = st.add; // at the floor
+        st.prev_period_tput = Some(1000);
+        st.period_tput = 0;
+        AimdControl::tune(&c, &mut st);
+        assert_eq!(st.threshold, st.add, "floor holds under repeated cuts");
+        st.threshold = 3072.0;
+        st.prev_period_tput = Some(1);
+        st.period_tput = 1;
+        AimdControl::tune(&c, &mut st);
+        assert_eq!(st.threshold, 3072.0, "ceiling holds under repeated raises");
+    }
+
+    fn small_cfg() -> AimdConfig {
+        AimdConfig {
+            sideband: SidebandConfig {
+                radix: 8,
+                ..SidebandConfig::paper()
+            },
+            ..AimdConfig::paper()
+        }
+    }
+
+    fn flood(ctl: &mut AimdControl, cycles: u64) {
+        let mut net = Network::new(NetConfig::small(DeadlockMode::PAPER_RECOVERY)).unwrap();
+        let nodes = net.torus().node_count();
+        let mut i = 0usize;
+        let mut source = move |_now: u64, node: usize| {
+            i = i.wrapping_add(node + 1);
+            Some((node + 1 + i) % nodes)
+        };
+        for _ in 0..cycles {
+            net.cycle(&mut source, ctl);
+        }
+    }
+
+    #[test]
+    fn watchdog_trips_on_blackout_and_fails_open() {
+        let mut ctl = AimdControl::new(small_cfg());
+        ctl.set_faults(FaultPlan::sideband_only(
+            11,
+            SidebandFaults {
+                loss_rate: 1.0,
+                ..SidebandFaults::none()
+            },
+        ));
+        flood(&mut ctl, 5_000);
+        assert!(ctl.watchdog_active(), "outage never ends");
+        assert!(!ctl.throttling(), "a frozen controller fails open");
+        let c = Controller::counters(&ctl);
+        assert_eq!(c.watchdog_trips, 1);
+        assert_eq!(c.decisions, 0, "no aggregates, no periods");
+    }
+
+    #[test]
+    fn fault_free_run_tunes_and_stays_armed() {
+        let mut ctl = AimdControl::new(small_cfg());
+        flood(&mut ctl, 10_000);
+        let c = Controller::counters(&ctl);
+        assert_eq!(c.watchdog_trips, 0);
+        assert!(!ctl.watchdog_active());
+        assert!(c.decisions > 0);
+        assert_eq!(c.decisions, c.raises + c.cuts, "every period decides");
+    }
+}

@@ -1,3 +1,4 @@
+use crate::Controller;
 use wormsim::{CongestionControl, Network};
 
 /// The **At-Least-One** (ALO) congestion-control baseline of Baydal, López &
@@ -91,6 +92,21 @@ impl CongestionControl for AloControl {
         // injection attempts, and a quiescent network offers none. Skipped
         // `on_cycle`s would only have re-cleared an already-clear flag.
         u64::MAX
+    }
+}
+
+impl Controller for AloControl {
+    // ALO is locally informed: no census feed, no side-band, no global
+    // gate. Only the checkpoint walkers carry state.
+    fn save_state(&self, enc: &mut checkpoint::Enc) {
+        AloControl::save_state(self, enc);
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut checkpoint::Dec<'_>,
+    ) -> Result<(), checkpoint::CheckpointError> {
+        AloControl::restore_state(self, dec)
     }
 }
 

@@ -1,0 +1,393 @@
+use crate::{Controller, ControllerCounters};
+use faults::FaultPlan;
+use sideband::{Sideband, SidebandConfig};
+use wormsim::{CongestionControl, Network};
+
+/// Configuration of the DEC-bit-style controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecBitConfig {
+    /// Side-band gather network parameters. The census this controller
+    /// ships over it is the *congested-node count* (nodes with at least one
+    /// full VC buffer — each node's congestion bit), not the full-buffer
+    /// total.
+    pub sideband: SidebandConfig,
+    /// Averaging window, in gathers (the DEC scheme filters over the last
+    /// busy+idle window; a fixed snapshot window is its side-band analogue).
+    pub window_gathers: u32,
+    /// Throttle while the windowed average congested-node fraction is at or
+    /// above this value (0.5 — the scheme's "≥ 50% of bits set" rule).
+    pub congested_fraction: f64,
+    /// Staleness watchdog horizon, in gathers (0 disables it).
+    pub watchdog_gathers: u32,
+}
+
+impl DecBitConfig {
+    /// Defaults on the paper's network: a four-gather window and the
+    /// original 50% congested-bit rule.
+    #[must_use]
+    pub fn paper() -> Self {
+        DecBitConfig {
+            sideband: SidebandConfig::paper(),
+            window_gathers: 4,
+            congested_fraction: 0.5,
+            watchdog_gathers: 8,
+        }
+    }
+
+    /// Number of nodes whose congestion bits the census aggregates.
+    #[must_use]
+    pub fn node_count(&self) -> u32 {
+        (self.sideband.radix.pow(self.sideband.dimensions as u32)) as u32
+    }
+}
+
+/// **DEC-bit-style** binary-feedback control (Jain, Ramakrishnan & Chiu,
+/// DEC-TR-506) adapted to the interconnect: every router sets a congestion
+/// bit when any of its VC buffers is full, the side-band aggregates the
+/// count of set bits, and sources throttle while the *average* over a
+/// window of recent snapshots says at least half the nodes are congested.
+///
+/// Unlike the threshold schemes there is no estimate-vs-threshold gate and
+/// no extrapolation: the decision is a low-pass filter over binary per-node
+/// feedback, which is exactly what makes it a useful rival — it reacts to
+/// congestion *extent* (how many nodes are hot), not *depth* (how full the
+/// hot ones are).
+#[derive(Debug, Clone)]
+pub struct DecBitControl {
+    cfg: DecBitConfig,
+    sideband: Sideband,
+    /// Congested-node counts of the last `window_gathers` snapshots,
+    /// oldest first.
+    window: Vec<u32>,
+    throttling_now: bool,
+    last_snapshot_seen: Option<u64>,
+    frozen: bool,
+    snapshots: u64,
+    congested_verdicts: u64,
+    clear_verdicts: u64,
+    watchdog_trips: u64,
+    watchdog_rearms: u64,
+}
+
+impl DecBitControl {
+    /// Creates the controller.
+    #[must_use]
+    pub fn new(cfg: DecBitConfig) -> Self {
+        DecBitControl {
+            sideband: Sideband::new(cfg.sideband.clone()),
+            cfg,
+            window: Vec::new(),
+            throttling_now: false,
+            last_snapshot_seen: None,
+            frozen: false,
+            snapshots: 0,
+            congested_verdicts: 0,
+            clear_verdicts: 0,
+            watchdog_trips: 0,
+            watchdog_rearms: 0,
+        }
+    }
+
+    /// Whether injection is currently blocked network-wide.
+    #[must_use]
+    pub fn throttling(&self) -> bool {
+        self.throttling_now
+    }
+
+    /// Installs a fault plan on the underlying side-band.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.sideband.set_faults(plan);
+    }
+
+    /// Whether the staleness watchdog has currently frozen the controller.
+    #[must_use]
+    pub fn watchdog_active(&self) -> bool {
+        self.frozen
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &DecBitConfig {
+        &self.cfg
+    }
+
+    /// Read access to the underlying side-band model.
+    #[must_use]
+    pub fn sideband(&self) -> &Sideband {
+        &self.sideband
+    }
+
+    /// The window-filter decision: congested iff the average congested-node
+    /// count over the window is at or above `congested_fraction` of all
+    /// nodes. An empty window (start-up, post-outage) is never congested.
+    #[must_use]
+    pub fn window_congested(window: &[u32], congested_fraction: f64, node_count: f64) -> bool {
+        if window.is_empty() {
+            return false;
+        }
+        let avg = window.iter().map(|&c| f64::from(c)).sum::<f64>() / window.len() as f64;
+        avg >= congested_fraction * node_count
+    }
+
+    /// Serializes the controller state (side-band + filter window) into
+    /// `enc`.
+    pub fn save_state(&self, enc: &mut checkpoint::Enc) {
+        self.sideband.save_state(enc);
+        enc.u32(self.window.len() as u32);
+        for &c in &self.window {
+            enc.u32(c);
+        }
+        enc.bool(self.throttling_now);
+        enc.opt_u64(self.last_snapshot_seen);
+        enc.bool(self.frozen);
+        enc.u64(self.snapshots);
+        enc.u64(self.congested_verdicts);
+        enc.u64(self.clear_verdicts);
+        enc.u64(self.watchdog_trips);
+        enc.u64(self.watchdog_rearms);
+    }
+
+    /// Restores state captured with [`DecBitControl::save_state`] into a
+    /// controller built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`checkpoint::CheckpointError`] on a truncated or
+    /// structurally invalid stream.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut checkpoint::Dec<'_>,
+    ) -> Result<(), checkpoint::CheckpointError> {
+        self.sideband.restore_state(dec)?;
+        let len = dec.u32()?;
+        self.window.clear();
+        for _ in 0..len {
+            self.window.push(dec.u32()?);
+        }
+        self.throttling_now = dec.bool()?;
+        self.last_snapshot_seen = dec.opt_u64()?;
+        self.frozen = dec.bool()?;
+        self.snapshots = dec.u64()?;
+        self.congested_verdicts = dec.u64()?;
+        self.clear_verdicts = dec.u64()?;
+        self.watchdog_trips = dec.u64()?;
+        self.watchdog_rearms = dec.u64()?;
+        Ok(())
+    }
+}
+
+impl CongestionControl for DecBitControl {
+    fn on_cycle(&mut self, now: u64, net: &Network) {
+        // Each node's congestion bit: any completely full VC buffer at that
+        // node. The census shipped over the side-band is the count of set
+        // bits.
+        let congested_nodes = net
+            .full_buffer_planes()
+            .iter()
+            .filter(|&&plane| plane != 0)
+            .count() as u32;
+        Controller::observe_census(self, now, congested_nodes, net.delivered_flits_cum());
+    }
+
+    fn allow_injection(&mut self, _now: u64, _node: usize, _dst: usize, _net: &Network) -> bool {
+        !self.throttling_now
+    }
+
+    fn throttled_recently(&self) -> bool {
+        self.throttling_now
+    }
+
+    fn name(&self) -> &'static str {
+        "decbit"
+    }
+}
+
+impl Controller for DecBitControl {
+    fn observe_census(&mut self, now: u64, census: u32, delivered_cum: u64) {
+        self.sideband.on_cycle(now, census, delivered_cum);
+
+        if let Some(snap) = self.sideband.latest() {
+            if self.last_snapshot_seen != Some(snap.taken_at) {
+                self.last_snapshot_seen = Some(snap.taken_at);
+                if self.frozen {
+                    // Real feedback is back: re-arm and refill the window
+                    // from scratch (pre-outage bits are not comparable).
+                    self.frozen = false;
+                    self.watchdog_rearms += 1;
+                }
+                self.window.push(snap.full_buffers);
+                let max = self.cfg.window_gathers.max(1) as usize;
+                if self.window.len() > max {
+                    self.window.drain(..self.window.len() - max);
+                }
+                self.snapshots += 1;
+                let congested = Self::window_congested(
+                    &self.window,
+                    self.cfg.congested_fraction,
+                    f64::from(self.cfg.node_count()),
+                );
+                if congested {
+                    self.congested_verdicts += 1;
+                } else {
+                    self.clear_verdicts += 1;
+                }
+                self.throttling_now = congested;
+            }
+        }
+
+        if !self.frozen
+            && self.cfg.watchdog_gathers > 0
+            && self.sideband.gathers_overdue(now) >= u64::from(self.cfg.watchdog_gathers)
+        {
+            // Feedback bits stopped arriving: the window is fiction. Fail
+            // open and discard it.
+            self.frozen = true;
+            self.watchdog_trips += 1;
+            self.window.clear();
+            self.throttling_now = false;
+        }
+    }
+
+    fn throttling(&self) -> bool {
+        DecBitControl::throttling(self)
+    }
+
+    fn threshold(&self) -> Option<f64> {
+        // In this controller's census units (congested nodes).
+        Some(self.cfg.congested_fraction * f64::from(self.cfg.node_count()))
+    }
+
+    fn set_faults(&mut self, plan: FaultPlan) {
+        DecBitControl::set_faults(self, plan);
+    }
+
+    fn sideband(&self) -> Option<&Sideband> {
+        Some(DecBitControl::sideband(self))
+    }
+
+    fn watchdog_active(&self) -> bool {
+        DecBitControl::watchdog_active(self)
+    }
+
+    fn counters(&self) -> ControllerCounters {
+        ControllerCounters {
+            decisions: self.snapshots,
+            raises: self.clear_verdicts,
+            cuts: self.congested_verdicts,
+            resets: 0,
+            watchdog_trips: self.watchdog_trips,
+            watchdog_rearms: self.watchdog_rearms,
+        }
+    }
+
+    fn save_state(&self, enc: &mut checkpoint::Enc) {
+        DecBitControl::save_state(self, enc);
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut checkpoint::Dec<'_>,
+    ) -> Result<(), checkpoint::CheckpointError> {
+        DecBitControl::restore_state(self, dec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faults::SidebandFaults;
+    use wormsim::{DeadlockMode, NetConfig};
+
+    /// The 50% congested-bit boundary is inclusive: an average of exactly
+    /// half the nodes congested throttles; one bit-count less over the
+    /// window does not.
+    #[test]
+    fn fifty_percent_boundary_is_inclusive() {
+        let nodes = 64.0;
+        // Window of 4 averaging exactly 32 (= 50% of 64): congested.
+        assert!(DecBitControl::window_congested(
+            &[32, 32, 32, 32],
+            0.5,
+            nodes
+        ));
+        assert!(DecBitControl::window_congested(&[0, 64, 0, 64], 0.5, nodes));
+        // One congested-node observation fewer: average 31.75 < 32, clear.
+        assert!(!DecBitControl::window_congested(
+            &[32, 32, 32, 31],
+            0.5,
+            nodes
+        ));
+        assert!(!DecBitControl::window_congested(
+            &[31, 33, 32, 31],
+            0.5,
+            nodes
+        ));
+    }
+
+    #[test]
+    fn empty_window_is_never_congested() {
+        assert!(!DecBitControl::window_congested(&[], 0.5, 64.0));
+    }
+
+    #[test]
+    fn average_not_latest_decides() {
+        // Latest snapshot fully congested, but the window average is still
+        // below half: the filter must smooth the spike away.
+        assert!(!DecBitControl::window_congested(&[0, 0, 0, 64], 0.5, 64.0));
+        // Three of four at the boundary with one clear snapshot: 48 ≥ 32.
+        assert!(DecBitControl::window_congested(&[64, 64, 64, 0], 0.5, 64.0));
+    }
+
+    fn small_cfg() -> DecBitConfig {
+        DecBitConfig {
+            sideband: SidebandConfig {
+                radix: 8,
+                ..SidebandConfig::paper()
+            },
+            ..DecBitConfig::paper()
+        }
+    }
+
+    fn flood(ctl: &mut DecBitControl, cycles: u64) {
+        let mut net = Network::new(NetConfig::small(DeadlockMode::PAPER_RECOVERY)).unwrap();
+        let nodes = net.torus().node_count();
+        let mut i = 0usize;
+        let mut source = move |_now: u64, node: usize| {
+            i = i.wrapping_add(node + 1);
+            Some((node + 1 + i) % nodes)
+        };
+        for _ in 0..cycles {
+            net.cycle(&mut source, ctl);
+        }
+    }
+
+    #[test]
+    fn throttles_a_flooded_network() {
+        let mut ctl = DecBitControl::new(small_cfg());
+        flood(&mut ctl, 10_000);
+        let c = Controller::counters(&ctl);
+        assert!(c.decisions > 0);
+        assert!(
+            c.cuts > 0,
+            "a sustained flood must congest a majority of nodes"
+        );
+    }
+
+    #[test]
+    fn watchdog_trips_on_blackout_and_fails_open() {
+        let mut ctl = DecBitControl::new(small_cfg());
+        ctl.set_faults(FaultPlan::sideband_only(
+            11,
+            SidebandFaults {
+                loss_rate: 1.0,
+                ..SidebandFaults::none()
+            },
+        ));
+        flood(&mut ctl, 5_000);
+        assert!(ctl.watchdog_active());
+        assert!(!ctl.throttling(), "a frozen controller fails open");
+        let c = Controller::counters(&ctl);
+        assert_eq!(c.watchdog_trips, 1);
+        assert_eq!(c.decisions, 0, "no aggregates, no verdicts");
+    }
+}

@@ -45,14 +45,22 @@
 //! # Ok::<(), stcc::SimError>(())
 //! ```
 
+mod aimd;
 mod alo;
+mod bbr;
+mod controller;
+mod decbit;
 mod scheme;
 mod sim;
 mod statik;
 mod tuned;
 
+pub use aimd::{AimdConfig, AimdControl};
 pub use alo::AloControl;
-pub use scheme::Scheme;
+pub use bbr::{bbr_phase_gain, BbrConfig, BbrControl};
+pub use controller::{Controller, ControllerCounters};
+pub use decbit::{DecBitConfig, DecBitControl};
+pub use scheme::{Control, Scheme};
 pub use sim::{
     BudgetKind, FaultReport, LivelockDiag, RunGuard, SimConfig, SimError, Simulation, SummaryError,
     DEFAULT_LIVELOCK_WINDOW,

@@ -1,10 +1,13 @@
-use crate::{AloControl, SelfTuned, StaticThreshold, TuneConfig};
+use crate::{
+    AimdConfig, AimdControl, AloControl, BbrConfig, BbrControl, Controller, ControllerCounters,
+    DecBitConfig, DecBitControl, SelfTuned, StaticThreshold, TuneConfig,
+};
 use faults::FaultPlan;
-use sideband::{SidebandConfig, SidebandStats};
+use sideband::{Sideband, SidebandConfig, SidebandStats};
 use wormsim::{CongestionControl, Network, NoControl};
 
-/// A congestion-control scheme selector, covering every configuration the
-/// paper evaluates.
+/// A congestion-control scheme selector: the paper's configurations plus
+/// the rival controllers of the zoo.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Scheme {
     /// No congestion control (the paper's `Base`).
@@ -20,6 +23,12 @@ pub enum Scheme {
     },
     /// The paper's self-tuned scheme.
     Tuned(TuneConfig),
+    /// Additive-increase / multiplicative-decrease on the threshold.
+    Aimd(AimdConfig),
+    /// DEC-bit-style windowed congestion-bit feedback.
+    DecBit(DecBitConfig),
+    /// BBR-flavored delivery-rate operating point.
+    Bbr(BbrConfig),
 }
 
 impl Scheme {
@@ -27,6 +36,49 @@ impl Scheme {
     #[must_use]
     pub fn tuned_paper() -> Self {
         Scheme::Tuned(TuneConfig::paper())
+    }
+
+    /// Resolves a scheme by its registry name on the given side-band
+    /// configuration: `base`, `alo`, `tune`, `aimd`, `decbit`, `bbr`, or
+    /// `static-<threshold>` (e.g. `static-250`). Returns `None` for an
+    /// unknown name.
+    #[must_use]
+    pub fn by_name(name: &str, sideband: &SidebandConfig) -> Option<Self> {
+        match name {
+            "base" => Some(Scheme::Base),
+            "alo" => Some(Scheme::Alo),
+            "tune" => Some(Scheme::Tuned(TuneConfig {
+                sideband: sideband.clone(),
+                ..TuneConfig::paper()
+            })),
+            "aimd" => Some(Scheme::Aimd(AimdConfig {
+                sideband: sideband.clone(),
+                ..AimdConfig::paper()
+            })),
+            "decbit" => Some(Scheme::DecBit(DecBitConfig {
+                sideband: sideband.clone(),
+                ..DecBitConfig::paper()
+            })),
+            "bbr" => Some(Scheme::Bbr(BbrConfig {
+                sideband: sideband.clone(),
+                ..BbrConfig::paper()
+            })),
+            _ => {
+                let threshold = name.strip_prefix("static-")?.parse().ok()?;
+                Some(Scheme::Static {
+                    threshold,
+                    sideband: sideband.clone(),
+                })
+            }
+        }
+    }
+
+    /// The registry's adaptive-roster names (everything `by_name` resolves
+    /// except the parameterized `static-<threshold>` family), in display
+    /// order.
+    #[must_use]
+    pub fn registry_names() -> &'static [&'static str] {
+        &["base", "alo", "tune", "aimd", "decbit", "bbr"]
     }
 
     /// Label used in experiment tables (e.g. `static-250`).
@@ -37,6 +89,9 @@ impl Scheme {
             Scheme::Alo => "alo".to_owned(),
             Scheme::Static { threshold, .. } => format!("static-{threshold}"),
             Scheme::Tuned(_) => "tune".to_owned(),
+            Scheme::Aimd(_) => "aimd".to_owned(),
+            Scheme::DecBit(_) => "decbit".to_owned(),
+            Scheme::Bbr(_) => "bbr".to_owned(),
         }
     }
 
@@ -51,6 +106,9 @@ impl Scheme {
                 sideband,
             } => Control::Static(StaticThreshold::new(*threshold, sideband.clone())),
             Scheme::Tuned(cfg) => Control::Tuned(SelfTuned::new(cfg.clone())),
+            Scheme::Aimd(cfg) => Control::Aimd(AimdControl::new(cfg.clone())),
+            Scheme::DecBit(cfg) => Control::DecBit(DecBitControl::new(cfg.clone())),
+            Scheme::Bbr(cfg) => Control::Bbr(BbrControl::new(cfg.clone())),
         }
     }
 }
@@ -70,6 +128,30 @@ pub enum Control {
     Static(StaticThreshold),
     /// The paper's self-tuned controller.
     Tuned(SelfTuned),
+    /// AIMD rival.
+    Aimd(AimdControl),
+    /// DEC-bit rival.
+    DecBit(DecBitControl),
+    /// BBR-flavored rival.
+    Bbr(BbrControl),
+}
+
+/// Applies one expression to whichever controller this `Control` holds.
+/// Every [`CongestionControl`] and [`Controller`] hook dispatches through
+/// this, so registering a controller means adding one enum variant and one
+/// macro arm-list entry.
+macro_rules! for_each_control {
+    ($self:expr, $c:pat => $body:expr) => {
+        match $self {
+            Control::Base($c) => $body,
+            Control::Alo($c) => $body,
+            Control::Static($c) => $body,
+            Control::Tuned($c) => $body,
+            Control::Aimd($c) => $body,
+            Control::DecBit($c) => $body,
+            Control::Bbr($c) => $body,
+        }
+    };
 }
 
 impl Control {
@@ -85,21 +167,13 @@ impl Control {
     /// Installs a side-band fault plan. A no-op for the locally informed
     /// schemes (`Base`, `Alo`), which have no side-band to fault.
     pub fn set_faults(&mut self, plan: FaultPlan) {
-        match self {
-            Control::Base(_) | Control::Alo(_) => {}
-            Control::Static(c) => c.set_faults(plan),
-            Control::Tuned(c) => c.set_faults(plan),
-        }
+        for_each_control!(self, c => Controller::set_faults(c, plan));
     }
 
     /// Side-band fault/rejection counters, if this scheme has a side-band.
     #[must_use]
     pub fn sideband_stats(&self) -> Option<SidebandStats> {
-        match self {
-            Control::Base(_) | Control::Alo(_) => None,
-            Control::Static(c) => Some(c.sideband().stats()),
-            Control::Tuned(c) => Some(c.sideband().stats()),
-        }
+        for_each_control!(self, c => Controller::sideband_stats(c))
     }
 
     fn variant_tag(&self) -> u8 {
@@ -108,6 +182,9 @@ impl Control {
             Control::Alo(_) => 1,
             Control::Static(_) => 2,
             Control::Tuned(_) => 3,
+            Control::Aimd(_) => 4,
+            Control::DecBit(_) => 5,
+            Control::Bbr(_) => 6,
         }
     }
 
@@ -116,12 +193,7 @@ impl Control {
     /// a different [`Scheme`] fails loudly rather than silently misreading.
     pub fn save_state(&self, enc: &mut checkpoint::Enc) {
         enc.u8(self.variant_tag());
-        match self {
-            Control::Base(_) => {}
-            Control::Alo(c) => c.save_state(enc),
-            Control::Static(c) => c.save_state(enc),
-            Control::Tuned(c) => c.save_state(enc),
-        }
+        for_each_control!(self, c => Controller::save_state(c, enc));
     }
 
     /// Restores state captured with [`Control::save_state`] into a controller
@@ -140,61 +212,73 @@ impl Control {
                 "controller variant does not match the scheme",
             ));
         }
-        match self {
-            Control::Base(_) => Ok(()),
-            Control::Alo(c) => c.restore_state(dec),
-            Control::Static(c) => c.restore_state(dec),
-            Control::Tuned(c) => c.restore_state(dec),
-        }
+        for_each_control!(self, c => Controller::restore_state(c, dec))
     }
 }
 
 impl CongestionControl for Control {
     fn on_cycle(&mut self, now: u64, net: &Network) {
-        match self {
-            Control::Base(c) => c.on_cycle(now, net),
-            Control::Alo(c) => c.on_cycle(now, net),
-            Control::Static(c) => c.on_cycle(now, net),
-            Control::Tuned(c) => c.on_cycle(now, net),
-        }
+        for_each_control!(self, c => c.on_cycle(now, net));
     }
 
     fn allow_injection(&mut self, now: u64, node: usize, dst: usize, net: &Network) -> bool {
-        match self {
-            Control::Base(c) => c.allow_injection(now, node, dst, net),
-            Control::Alo(c) => c.allow_injection(now, node, dst, net),
-            Control::Static(c) => c.allow_injection(now, node, dst, net),
-            Control::Tuned(c) => c.allow_injection(now, node, dst, net),
-        }
+        for_each_control!(self, c => c.allow_injection(now, node, dst, net))
     }
 
     fn throttled_recently(&self) -> bool {
-        match self {
-            Control::Base(c) => c.throttled_recently(),
-            Control::Alo(c) => c.throttled_recently(),
-            Control::Static(c) => c.throttled_recently(),
-            Control::Tuned(c) => c.throttled_recently(),
-        }
+        for_each_control!(self, c => c.throttled_recently())
     }
 
     fn next_wakeup(&self, now: u64) -> u64 {
-        match self {
-            Control::Base(c) => c.next_wakeup(now),
-            Control::Alo(c) => c.next_wakeup(now),
-            // The side-band schemes gather/distribute on fixed per-cycle
-            // pipelines, so they keep the conservative default (no skip).
-            Control::Static(c) => c.next_wakeup(now),
-            Control::Tuned(c) => c.next_wakeup(now),
-        }
+        // The side-band schemes gather/distribute on fixed per-cycle
+        // pipelines, so they keep the conservative default (no skip);
+        // `Base`/`Alo` return `u64::MAX` and fast-forward freely.
+        for_each_control!(self, c => c.next_wakeup(now))
     }
 
     fn name(&self) -> &'static str {
-        match self {
-            Control::Base(c) => c.name(),
-            Control::Alo(c) => c.name(),
-            Control::Static(c) => c.name(),
-            Control::Tuned(c) => c.name(),
-        }
+        for_each_control!(self, c => c.name())
+    }
+}
+
+impl Controller for Control {
+    fn observe_census(&mut self, now: u64, census: u32, delivered_cum: u64) {
+        for_each_control!(self, c => Controller::observe_census(c, now, census, delivered_cum));
+    }
+
+    fn throttling(&self) -> bool {
+        for_each_control!(self, c => Controller::throttling(c))
+    }
+
+    fn threshold(&self) -> Option<f64> {
+        for_each_control!(self, c => Controller::threshold(c))
+    }
+
+    fn set_faults(&mut self, plan: FaultPlan) {
+        Control::set_faults(self, plan);
+    }
+
+    fn sideband(&self) -> Option<&Sideband> {
+        for_each_control!(self, c => Controller::sideband(c))
+    }
+
+    fn watchdog_active(&self) -> bool {
+        for_each_control!(self, c => Controller::watchdog_active(c))
+    }
+
+    fn counters(&self) -> ControllerCounters {
+        for_each_control!(self, c => Controller::counters(c))
+    }
+
+    fn save_state(&self, enc: &mut checkpoint::Enc) {
+        Control::save_state(self, enc);
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut checkpoint::Dec<'_>,
+    ) -> Result<(), checkpoint::CheckpointError> {
+        Control::restore_state(self, dec)
     }
 }
 
@@ -215,6 +299,9 @@ mod tests {
             "static-250"
         );
         assert_eq!(Scheme::tuned_paper().label(), "tune");
+        assert_eq!(Scheme::Aimd(AimdConfig::paper()).label(), "aimd");
+        assert_eq!(Scheme::DecBit(DecBitConfig::paper()).label(), "decbit");
+        assert_eq!(Scheme::Bbr(BbrConfig::paper()).label(), "bbr");
     }
 
     #[test]
@@ -225,5 +312,92 @@ mod tests {
         assert!(tuned.as_tuned().is_some());
         assert_eq!(tuned.name(), "tune");
         assert!(Scheme::Base.build().as_tuned().is_none());
+        assert!(matches!(
+            Scheme::Aimd(AimdConfig::paper()).build(),
+            Control::Aimd(_)
+        ));
+        assert!(matches!(
+            Scheme::DecBit(DecBitConfig::paper()).build(),
+            Control::DecBit(_)
+        ));
+        assert!(matches!(
+            Scheme::Bbr(BbrConfig::paper()).build(),
+            Control::Bbr(_)
+        ));
+    }
+
+    #[test]
+    fn by_name_round_trips_every_registry_name() {
+        let sb = SidebandConfig {
+            radix: 8,
+            ..SidebandConfig::paper()
+        };
+        for &name in Scheme::registry_names() {
+            let scheme = Scheme::by_name(name, &sb)
+                .unwrap_or_else(|| panic!("registry name {name} must resolve"));
+            assert_eq!(scheme.label(), name);
+            assert_eq!(scheme.build().name(), name);
+        }
+    }
+
+    #[test]
+    fn by_name_parses_static_thresholds_and_rejects_junk() {
+        let sb = SidebandConfig::paper();
+        assert_eq!(
+            Scheme::by_name("static-250", &sb),
+            Some(Scheme::Static {
+                threshold: 250,
+                sideband: sb.clone()
+            })
+        );
+        assert_eq!(Scheme::by_name("static-", &sb), None);
+        assert_eq!(Scheme::by_name("static-x", &sb), None);
+        assert_eq!(Scheme::by_name("cubic", &sb), None);
+        assert_eq!(Scheme::by_name("", &sb), None);
+    }
+
+    #[test]
+    fn by_name_installs_the_given_sideband() {
+        let sb = SidebandConfig {
+            radix: 8,
+            ..SidebandConfig::paper()
+        };
+        for name in ["tune", "aimd", "decbit", "bbr"] {
+            let ctl = Scheme::by_name(name, &sb).unwrap().build();
+            let got = Controller::sideband(&ctl)
+                .unwrap_or_else(|| panic!("{name} has a side-band"))
+                .config()
+                .clone();
+            assert_eq!(got, sb, "{name} must run on the requested side-band");
+        }
+    }
+
+    /// Every variant's checkpoint stream is tagged: restoring one scheme's
+    /// stream into another must fail loudly.
+    #[test]
+    fn cross_scheme_restore_fails_loudly() {
+        let sb = SidebandConfig {
+            radix: 8,
+            ..SidebandConfig::paper()
+        };
+        let names = ["base", "alo", "tune", "aimd", "decbit", "bbr"];
+        for a in names {
+            let mut enc = checkpoint::Enc::new();
+            Scheme::by_name(a, &sb)
+                .unwrap()
+                .build()
+                .save_state(&mut enc);
+            let bytes = enc.into_vec();
+            for b in names {
+                let mut ctl = Scheme::by_name(b, &sb).unwrap().build();
+                let mut dec = checkpoint::Dec::new(&bytes);
+                let result = ctl.restore_state(&mut dec);
+                if a == b {
+                    assert!(result.is_ok(), "{a} -> {b}");
+                } else {
+                    assert!(result.is_err(), "{a} -> {b} must be rejected");
+                }
+            }
+        }
     }
 }

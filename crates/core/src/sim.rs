@@ -1,5 +1,5 @@
 use crate::scheme::{Control, Scheme};
-use crate::SelfTuned;
+use crate::{Controller, SelfTuned};
 use checkpoint::CheckpointError;
 use core::fmt;
 use faults::{FaultPlan, FaultPlanError};
@@ -258,7 +258,7 @@ pub struct FaultReport {
     /// Side-band loss/delay/corruption/rejection counters, when the scheme
     /// has a side-band (`None` for `Base` and `Alo`).
     pub sideband: Option<SidebandStats>,
-    /// Times the self-tuner's staleness watchdog tripped (froze tuning).
+    /// Times the controller's staleness watchdog tripped (froze it).
     pub watchdog_trips: u64,
     /// Times a valid aggregate re-armed the tripped watchdog.
     pub watchdog_rearms: u64,
@@ -302,6 +302,9 @@ pub struct Simulation {
     base_recovered: u64,
     base_throttled: u64,
     warmup_snapped: bool,
+    /// Packets delivered per source node during the measured window (for
+    /// Jain's fairness index).
+    src_delivered: Vec<u64>,
     /// Invariant-audit cadence in cycles (`None` = off). Resolved from
     /// `STCC_AUDIT` at construction; the chaos harness overrides it
     /// programmatically via [`Simulation::set_audit_every`].
@@ -343,7 +346,8 @@ impl Simulation {
             });
         }
         let net = Network::new(cfg.net.clone())?;
-        let runner = WorkloadRunner::new(&cfg.workload, net.torus().node_count(), cfg.seed)?;
+        let nodes = net.torus().node_count();
+        let runner = WorkloadRunner::new(&cfg.workload, nodes, cfg.seed)?;
         let ctl = cfg.scheme.build();
         Ok(Simulation {
             cfg,
@@ -358,6 +362,7 @@ impl Simulation {
             base_recovered: 0,
             base_throttled: 0,
             warmup_snapped: false,
+            src_delivered: vec![0; nodes],
             audit_every: audit_cadence(),
         })
     }
@@ -406,6 +411,7 @@ impl Simulation {
             if rec.generated_at >= warmup {
                 self.net_latency.record(rec.network_latency());
                 self.total_latency.record(rec.total_latency());
+                self.src_delivered[rec.src] += 1;
             }
         }
         if let Some(every) = self.audit_every {
@@ -553,6 +559,11 @@ impl Simulation {
         enc.u64(self.base_recovered);
         enc.u64(self.base_throttled);
         enc.bool(self.warmup_snapped);
+        // Fixed length (one count per node): restore knows it from the
+        // rebuilt topology, so no length prefix is needed.
+        for &v in &self.src_delivered {
+            enc.u64(v);
+        }
         checkpoint::seal(
             Self::fingerprint(&self.cfg, self.faults.as_ref()),
             &enc.into_vec(),
@@ -591,6 +602,9 @@ impl Simulation {
         sim.base_recovered = dec.u64()?;
         sim.base_throttled = dec.u64()?;
         sim.warmup_snapped = dec.bool()?;
+        for v in &mut sim.src_delivered {
+            *v = dec.u64()?;
+        }
         dec.finish()?;
         // A restore boundary is always audited, flag or no flag: the codec
         // validates structure (counts, tags, ranges) but only the invariant
@@ -654,15 +668,29 @@ impl Simulation {
     #[must_use]
     pub fn fault_report(&self) -> FaultReport {
         let c = self.net.counters();
-        let tuned = self.ctl.as_tuned();
+        let counters = Controller::counters(&self.ctl);
         FaultReport {
             sideband: self.ctl.sideband_stats(),
-            watchdog_trips: tuned.map_or(0, SelfTuned::watchdog_trips),
-            watchdog_rearms: tuned.map_or(0, SelfTuned::watchdog_rearms),
-            watchdog_active: tuned.is_some_and(SelfTuned::watchdog_active),
+            watchdog_trips: counters.watchdog_trips,
+            watchdog_rearms: counters.watchdog_rearms,
+            watchdog_active: Controller::watchdog_active(&self.ctl),
             link_stall_cycles: c.link_stall_cycles,
             hotspot_stall_cycles: c.hotspot_stall_cycles,
         }
+    }
+
+    /// The controller's typed decision/watchdog counters (uniform across
+    /// every scheme in the zoo; all zero for `Base`).
+    #[must_use]
+    pub fn controller_counters(&self) -> crate::ControllerCounters {
+        Controller::counters(&self.ctl)
+    }
+
+    /// Trait-object-free access to the controller, for scheme-agnostic
+    /// inspection (threshold, throttling, side-band, watchdog).
+    #[must_use]
+    pub fn controller(&self) -> &Control {
+        &self.ctl
     }
 
     /// Summary over the measured window. Meaningful once the run is past
@@ -699,6 +727,7 @@ impl Simulation {
             total_latency: self.total_latency.clone(),
             recovered_packets: c.recovered_packets - self.base_recovered,
             throttled_injections: c.throttled_injections - self.base_throttled,
+            fairness: simstats::jain_fairness(&self.src_delivered),
         })
     }
 }

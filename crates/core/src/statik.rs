@@ -1,3 +1,4 @@
+use crate::Controller;
 use faults::FaultPlan;
 use sideband::{Sideband, SidebandConfig};
 use wormsim::{CongestionControl, Network};
@@ -80,9 +81,12 @@ impl StaticThreshold {
 
 impl CongestionControl for StaticThreshold {
     fn on_cycle(&mut self, now: u64, net: &Network) {
-        self.sideband
-            .on_cycle(now, net.full_buffer_count(), net.delivered_flits_cum());
-        self.throttling_now = self.sideband.estimate(now) > self.threshold;
+        Controller::observe_census(
+            self,
+            now,
+            net.full_buffer_count(),
+            net.delivered_flits_cum(),
+        );
     }
 
     fn allow_injection(&mut self, _now: u64, _node: usize, _dst: usize, _net: &Network) -> bool {
@@ -95,6 +99,40 @@ impl CongestionControl for StaticThreshold {
 
     fn name(&self) -> &'static str {
         "static"
+    }
+}
+
+impl Controller for StaticThreshold {
+    fn observe_census(&mut self, now: u64, census: u32, delivered_cum: u64) {
+        self.sideband.on_cycle(now, census, delivered_cum);
+        self.throttling_now = self.sideband.estimate(now) > self.threshold;
+    }
+
+    fn throttling(&self) -> bool {
+        StaticThreshold::throttling(self)
+    }
+
+    fn threshold(&self) -> Option<f64> {
+        Some(StaticThreshold::threshold(self))
+    }
+
+    fn set_faults(&mut self, plan: FaultPlan) {
+        StaticThreshold::set_faults(self, plan);
+    }
+
+    fn sideband(&self) -> Option<&Sideband> {
+        Some(StaticThreshold::sideband(self))
+    }
+
+    fn save_state(&self, enc: &mut checkpoint::Enc) {
+        StaticThreshold::save_state(self, enc);
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut checkpoint::Dec<'_>,
+    ) -> Result<(), checkpoint::CheckpointError> {
+        StaticThreshold::restore_state(self, dec)
     }
 }
 

@@ -1,3 +1,4 @@
+use crate::{Controller, ControllerCounters};
 use faults::FaultPlan;
 use sideband::{Sideband, SidebandConfig};
 use wormsim::{CongestionControl, Network};
@@ -146,6 +147,8 @@ struct TunerState {
     rejected_seen: u64,
     // -- instrumentation --
     tune_events: u64,
+    increments: u64,
+    decrements: u64,
     resets: u64,
     watchdog_trips: u64,
     watchdog_rearms: u64,
@@ -271,6 +274,8 @@ impl SelfTuned {
             enc.bool(st.frozen);
             enc.u64(st.rejected_seen);
             enc.u64(st.tune_events);
+            enc.u64(st.increments);
+            enc.u64(st.decrements);
             enc.u64(st.resets);
             enc.u64(st.watchdog_trips);
             enc.u64(st.watchdog_rearms);
@@ -311,6 +316,8 @@ impl SelfTuned {
                 frozen: dec.bool()?,
                 rejected_seen: dec.u64()?,
                 tune_events: dec.u64()?,
+                increments: dec.u64()?,
+                decrements: dec.u64()?,
                 resets: dec.u64()?,
                 watchdog_trips: dec.u64()?,
                 watchdog_rearms: dec.u64()?,
@@ -343,6 +350,8 @@ impl SelfTuned {
             frozen: false,
             rejected_seen: 0,
             tune_events: 0,
+            increments: 0,
+            decrements: 0,
             resets: 0,
             watchdog_trips: 0,
             watchdog_rearms: 0,
@@ -384,6 +393,7 @@ impl SelfTuned {
                 .is_some_and(|prev| (tput as f64) < cfg.drop_fraction * prev as f64);
             if drop {
                 st.threshold -= st.dec;
+                st.decrements += 1;
             }
             st.resets += 1;
             st.consecutive_resets += 1;
@@ -403,8 +413,14 @@ impl SelfTuned {
             let throttling = st.cycles_this_period > 0
                 && st.throttled_cycles_this_period * 2 >= st.cycles_this_period;
             match decide(drop, throttling) {
-                TuneAction::Decrement => st.threshold -= st.dec,
-                TuneAction::Increment => st.threshold += st.inc,
+                TuneAction::Decrement => {
+                    st.threshold -= st.dec;
+                    st.decrements += 1;
+                }
+                TuneAction::Increment => {
+                    st.threshold += st.inc;
+                    st.increments += 1;
+                }
                 TuneAction::NoChange => {}
             }
         }
@@ -425,12 +441,39 @@ impl SelfTuned {
 
 impl CongestionControl for SelfTuned {
     fn on_cycle(&mut self, now: u64, net: &Network) {
-        let st = self
-            .state
+        // Buffer-dependent state initializes from the network's own count;
+        // the synthetic-census path (`observe_census` with no network) uses
+        // the side-band configuration's identical formula instead.
+        self.state
             .get_or_insert_with(|| Self::state_for(&self.cfg, f64::from(net.total_vc_buffers())));
+        Controller::observe_census(
+            self,
+            now,
+            net.full_buffer_count(),
+            net.delivered_flits_cum(),
+        );
+    }
 
-        self.sideband
-            .on_cycle(now, net.full_buffer_count(), net.delivered_flits_cum());
+    fn allow_injection(&mut self, _now: u64, _node: usize, _dst: usize, _net: &Network) -> bool {
+        !self.throttling()
+    }
+
+    fn throttled_recently(&self) -> bool {
+        self.throttling()
+    }
+
+    fn name(&self) -> &'static str {
+        "tune"
+    }
+}
+
+impl Controller for SelfTuned {
+    fn observe_census(&mut self, now: u64, census: u32, delivered_cum: u64) {
+        let st = self.state.get_or_insert_with(|| {
+            Self::state_for(&self.cfg, f64::from(self.sideband.max_full_buffers()))
+        });
+
+        self.sideband.on_cycle(now, census, delivered_cum);
 
         // Fold newly visible gather windows into the tuning period.
         if let Some(snap) = self.sideband.latest() {
@@ -486,16 +529,48 @@ impl CongestionControl for SelfTuned {
         }
     }
 
-    fn allow_injection(&mut self, _now: u64, _node: usize, _dst: usize, _net: &Network) -> bool {
-        !self.throttling()
+    fn throttling(&self) -> bool {
+        SelfTuned::throttling(self)
     }
 
-    fn throttled_recently(&self) -> bool {
-        self.throttling()
+    fn threshold(&self) -> Option<f64> {
+        SelfTuned::threshold(self)
     }
 
-    fn name(&self) -> &'static str {
-        "tune"
+    fn set_faults(&mut self, plan: FaultPlan) {
+        SelfTuned::set_faults(self, plan);
+    }
+
+    fn sideband(&self) -> Option<&Sideband> {
+        Some(SelfTuned::sideband(self))
+    }
+
+    fn watchdog_active(&self) -> bool {
+        SelfTuned::watchdog_active(self)
+    }
+
+    fn counters(&self) -> ControllerCounters {
+        self.state
+            .as_ref()
+            .map_or_else(ControllerCounters::default, |st| ControllerCounters {
+                decisions: st.tune_events,
+                raises: st.increments,
+                cuts: st.decrements,
+                resets: st.resets,
+                watchdog_trips: st.watchdog_trips,
+                watchdog_rearms: st.watchdog_rearms,
+            })
+    }
+
+    fn save_state(&self, enc: &mut checkpoint::Enc) {
+        SelfTuned::save_state(self, enc);
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut checkpoint::Dec<'_>,
+    ) -> Result<(), checkpoint::CheckpointError> {
+        SelfTuned::restore_state(self, dec)
     }
 }
 

@@ -24,7 +24,7 @@ use experiments::journal::Journal;
 use experiments::sigint;
 use faults::{FaultPlan, HotspotFault, LinkFault, SidebandFaults};
 use sideband::SidebandConfig;
-use stcc::{Scheme, SimConfig, Simulation, TuneConfig};
+use stcc::{AimdConfig, BbrConfig, DecBitConfig, Scheme, SimConfig, Simulation, TuneConfig};
 use std::path::{Path, PathBuf};
 use traffic::{Pattern, Process, Workload};
 use wormsim::{DeadlockMode, NetConfig};
@@ -180,14 +180,33 @@ fn draw_trial(seed: u64, trial: u64) -> Trial {
     };
     let load = 0.03 + 0.01 * rng.below(10) as f64;
 
-    let scheme = match rng.below(3) {
+    // Draw from the full controller registry: the checkpoint-split and
+    // audit properties must hold for every scheme, not just the paper's.
+    let sideband = SidebandConfig {
+        radix: RADIX,
+        ..SidebandConfig::paper()
+    };
+    let scheme = match rng.below(7) {
         0 => Scheme::Base,
         1 => Scheme::Alo,
+        2 => Scheme::Static {
+            threshold: 2 + rng.below(40) as u32,
+            sideband,
+        },
+        3 => Scheme::Aimd(AimdConfig {
+            sideband,
+            ..AimdConfig::paper()
+        }),
+        4 => Scheme::DecBit(DecBitConfig {
+            sideband,
+            ..DecBitConfig::paper()
+        }),
+        5 => Scheme::Bbr(BbrConfig {
+            sideband,
+            ..BbrConfig::paper()
+        }),
         _ => Scheme::Tuned(TuneConfig {
-            sideband: SidebandConfig {
-                radix: RADIX,
-                ..SidebandConfig::paper()
-            },
+            sideband,
             ..TuneConfig::paper()
         }),
     };

@@ -1,0 +1,52 @@
+//! Controller-zoo head-to-head: every registered controller over every
+//! traffic pattern (see DESIGN.md §6).
+//!
+//! Usage: the shared figure flags plus `--controllers a,b,c` to restrict
+//! the roster (names as in `Scheme::by_name`: `base`, `alo`, `tune`,
+//! `aimd`, `decbit`, `bbr`, `static-<N>`).
+use experiments::{figures::controllers, Cli};
+use stcc::Scheme;
+
+fn main() {
+    // `--controllers` is this binary's own flag: extract it before the
+    // shared parser, which rejects anything it doesn't know.
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut only: Option<Vec<String>> = None;
+    if let Some(pos) = raw.iter().position(|a| a == "--controllers") {
+        if pos + 1 >= raw.len() {
+            eprintln!("--controllers needs a comma-separated list (e.g. aimd,bbr)");
+            std::process::exit(2);
+        }
+        let list = raw.remove(pos + 1);
+        raw.remove(pos);
+        only = Some(list.split(',').map(str::to_owned).collect());
+    }
+    let cli = match Cli::parse(raw) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}\n       [--controllers name,name,...]");
+            std::process::exit(2);
+        }
+    };
+    let schemes = match &only {
+        None => controllers::roster(cli.net),
+        Some(names) => {
+            let sideband = cli.net.sideband();
+            names
+                .iter()
+                .map(|name| {
+                    Scheme::by_name(name, &sideband).unwrap_or_else(|| {
+                        eprintln!(
+                            "unknown controller '{name}' \
+                             (base|alo|tune|aimd|decbit|bbr|static-<N>)"
+                        );
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        }
+    };
+    cli.run_sweep("fig_controllers", |ctx| {
+        controllers::generate_filtered(cli.net, cli.scale, ctx, &schemes)
+    });
+}

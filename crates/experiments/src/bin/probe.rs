@@ -16,16 +16,13 @@ fn bail(msg: &str) -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scheme = match args.first().map(String::as_str) {
-        Some("alo") => Scheme::Alo,
-        Some("tune") => Scheme::tuned_paper(),
-        Some(s) if s.starts_with("static-") => Scheme::Static {
-            threshold: match s.trim_start_matches("static-").parse() {
-                Ok(t) => t,
-                Err(_) => bail(&format!("bad static threshold in '{s}'")),
-            },
-            sideband: sideband::SidebandConfig::paper(),
+        None => Scheme::Base,
+        Some(name) => match Scheme::by_name(name, &sideband::SidebandConfig::paper()) {
+            Some(s) => s,
+            None => bail(&format!(
+                "unknown scheme '{name}' (base|alo|tune|aimd|decbit|bbr|static-<N>)"
+            )),
         },
-        _ => Scheme::Base,
     };
     let rate: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
     let deadlock = match args.get(2).map(String::as_str) {

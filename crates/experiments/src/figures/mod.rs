@@ -3,6 +3,7 @@
 //! [`Table`](crate::Table) with the same rows/series the paper reports.
 
 pub mod ablations;
+pub mod controllers;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

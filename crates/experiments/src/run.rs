@@ -152,6 +152,9 @@ pub struct PointResult {
     pub recovered: u64,
     /// Injection-gate denials during the measured window.
     pub throttled: u64,
+    /// Jain's fairness index over per-source delivered packets (1.0 =
+    /// perfectly equal service).
+    pub fairness: f64,
 }
 
 /// Runs one simulation (guarded; see [`drive`]) and condenses its summary.
@@ -283,6 +286,7 @@ fn condense(s: &RunSummary) -> PointResult {
         latency_total: s.total_latency.mean().unwrap_or(f64::NAN),
         recovered: s.recovered_packets,
         throttled: s.throttled_injections,
+        fairness: s.fairness,
     }
 }
 

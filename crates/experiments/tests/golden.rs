@@ -1,6 +1,6 @@
 //! Golden snapshot tests: the committed `tests/golden/*.tiny.csv` files
-//! are the reference outputs of fig2/fig4/fig5/resilience on the small
-//! network preset (8-ary 2-cube) at tiny scale. Each test re-simulates and
+//! are the reference outputs of fig2/fig4/fig5/fig_controllers/resilience
+//! on the small network preset (8-ary 2-cube) at tiny scale. Each test re-simulates and
 //! asserts the CSV rendering is **byte-identical** to the snapshot —
 //! at `--jobs 1`, `2` and `8`, and across two runs at the same seed —
 //! which is the determinism guarantee the parallel runner advertises.
@@ -8,13 +8,13 @@
 //! Regenerate after an intentional simulator change with:
 //!
 //! ```text
-//! for f in fig2 fig4 fig5 resilience; do
+//! for f in fig2 fig4 fig5 fig_controllers resilience; do
 //!   cargo run --release -p experiments --bin $f -- \
 //!     --scale tiny --net small --out crates/experiments/tests/golden
 //! done
 //! ```
 
-use experiments::figures::{fig2, fig4, fig5, resilience};
+use experiments::figures::{controllers, fig2, fig4, fig5, resilience};
 use experiments::runner::{Pool, SweepError};
 use experiments::{NetPreset, Scale, SweepCtx, Table};
 
@@ -61,6 +61,13 @@ fn fig4_matches_golden_at_every_job_count() {
 fn fig5_matches_golden_at_every_job_count() {
     check("fig5.tiny.csv", &[1, 8], |ctx| {
         fig5::generate_on(NetPreset::Small, Scale::Tiny, ctx)
+    });
+}
+
+#[test]
+fn controllers_matches_golden_at_every_job_count() {
+    check("fig_controllers.tiny.csv", &[1, 2, 8], |ctx| {
+        controllers::generate_on(NetPreset::Small, Scale::Tiny, ctx)
     });
 }
 

@@ -30,4 +30,4 @@ mod summary;
 
 pub use latency::LatencyStats;
 pub use series::{GaugeSeries, WindowSeries};
-pub use summary::RunSummary;
+pub use summary::{jain_fairness, RunSummary};

@@ -27,6 +27,33 @@ pub struct RunSummary {
     pub recovered_packets: u64,
     /// Injection-gate denials during the measured window.
     pub throttled_injections: u64,
+    /// Jain's fairness index over per-source delivered packets during the
+    /// measured window: 1.0 when every source delivered equally, `1/nodes`
+    /// when one source monopolized the network (and, by convention, 1.0
+    /// when nothing was delivered at all).
+    pub fairness: f64,
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` over per-source counts.
+///
+/// 1.0 means perfectly equal shares, `1/n` means one source took
+/// everything. Empty input and all-zero input return 1.0 (nothing was
+/// delivered, so nobody was treated unfairly).
+///
+/// ```
+/// use simstats::jain_fairness;
+/// assert_eq!(jain_fairness(&[5, 5, 5, 5]), 1.0);
+/// assert_eq!(jain_fairness(&[8, 0, 0, 0]), 0.25);
+/// assert_eq!(jain_fairness(&[]), 1.0);
+/// ```
+#[must_use]
+pub fn jain_fairness(per_source: &[u64]) -> f64 {
+    let sum: f64 = per_source.iter().map(|&x| x as f64).sum();
+    if sum == 0.0 {
+        return 1.0;
+    }
+    let sum_sq: f64 = per_source.iter().map(|&x| (x as f64) * (x as f64)).sum();
+    (sum * sum) / (per_source.len() as f64 * sum_sq)
 }
 
 impl RunSummary {
@@ -72,7 +99,17 @@ mod tests {
             total_latency: LatencyStats::new(),
             recovered_packets: 0,
             throttled_injections: 0,
+            fairness: 1.0,
         }
+    }
+
+    #[test]
+    fn jain_fairness_endpoints() {
+        assert_eq!(jain_fairness(&[3, 3, 3, 3]), 1.0);
+        assert_eq!(jain_fairness(&[10, 0, 0, 0]), 0.25);
+        assert_eq!(jain_fairness(&[0, 0]), 1.0, "idle run is vacuously fair");
+        let mixed = jain_fairness(&[4, 2, 2, 0]);
+        assert!(mixed > 0.25 && mixed < 1.0, "partial skew lands between");
     }
 
     #[test]

@@ -5,13 +5,15 @@
 #   3. rustdoc audit     (broken intra-doc links are errors)
 #   4. tier-1 verify     (cargo build --release && cargo test -q)
 #   5. workspace tests   (incl. the golden determinism suite)
-#   6. zero-alloc gate   (steady-state cycles make no heap allocations)
-#   7. parallel smoke    (a --jobs 4 sweep through the runner)
-#   8. kill-and-resume   (SIGKILL a sweep mid-run, finish it with --resume)
-#   9. audited sweep     (STCC_AUDIT=256 fig2 run must still match golden)
-#  10. chaos smoke       (fixed-seed chaos trials, kill/resume determinism)
-#  11. tiny bench gate   (always on: 64-node preset, >50% regression fails)
-#  12. paper bench gate  (opt-in: STCC_BENCH_GATE=1, >15% regression fails)
+#   6. conformance       (every controller through the shared battery)
+#   7. zero-alloc gate   (steady-state cycles make no heap allocations)
+#   8. controller smoke  (fig_controllers tiny sweep must match golden)
+#   9. parallel smoke    (a --jobs 4 sweep through the runner)
+#  10. kill-and-resume   (SIGKILL a sweep mid-run, finish it with --resume)
+#  11. audited sweep     (STCC_AUDIT=256 fig2 run must still match golden)
+#  12. chaos smoke       (fixed-seed chaos trials, kill/resume determinism)
+#  13. tiny bench gate   (always on: 64-node preset, >50% regression fails)
+#  14. paper bench gate  (opt-in: STCC_BENCH_GATE=1, >15% regression fails)
 # Everything is hermetic — no network access is required (see README,
 # "Hermetic build"). Each step reports its wall time.
 set -eu
@@ -54,6 +56,14 @@ step "tier-1: test" cargo test -q
 
 step "workspace tests" cargo test --workspace -q
 
+# Controller conformance: every controller in the registry (plus a static
+# representative) through the shared five-property battery — checkpoint
+# bit-equality, fast-forward veto/equivalence, audit-clean stepping,
+# watchdog fail-open, and the synthetic-census throttle gate. Part of the
+# workspace run too; named so a conformance break is unmistakable.
+step "controller conformance" \
+    cargo test -q -p stcc --test controller_conformance
+
 # Zero-allocation gate: after warmup, saturated simulation cycles (in both
 # deadlock modes, drains included) must perform zero heap allocations. The
 # counting allocator lives in its own test binary, so this runs alone.
@@ -63,6 +73,19 @@ step "zero-alloc steady state" cargo test -q -p wormsim --test zero_alloc
 # byte-for-byte at --jobs 1, 2 and 8 (already part of the workspace run;
 # kept as an explicit named gate so a failure is unmistakable).
 step "golden determinism" cargo test -q -p experiments --test golden
+
+# Controller-zoo smoke: the head-to-head binary end to end (CLI, runner,
+# CSV emission) at a job count the golden suite doesn't use; the output
+# must still match the committed golden byte for byte.
+controllers_smoke() {
+    out=target/ci-controllers
+    rm -rf "$out"
+    cargo run --release -q -p experiments --bin fig_controllers -- \
+        --scale tiny --net small --jobs 4 --out "$out" >/dev/null
+    cmp "$out/fig_controllers.tiny.csv" \
+        crates/experiments/tests/golden/fig_controllers.tiny.csv
+}
+step "controller zoo smoke (fig_controllers vs golden)" controllers_smoke
 
 # Parallel smoke: one real sweep binary through the runner at --jobs 4.
 step "parallel smoke (--jobs 4)" \
