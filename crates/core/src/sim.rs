@@ -264,6 +264,10 @@ pub struct FaultReport {
     pub watchdog_rearms: u64,
     /// Whether the watchdog is tripped right now.
     pub watchdog_active: bool,
+    /// The controller's full decision/watchdog counters (raises, cuts,
+    /// resets, …), so degradation reports can show decision activity
+    /// alongside the fault counters without a second query.
+    pub controller: crate::ControllerCounters,
     /// Cycles flits stalled on faulted network links.
     pub link_stall_cycles: u64,
     /// Cycles flits stalled on hotspot-faulted delivery channels.
@@ -674,6 +678,7 @@ impl Simulation {
             watchdog_trips: counters.watchdog_trips,
             watchdog_rearms: counters.watchdog_rearms,
             watchdog_active: Controller::watchdog_active(&self.ctl),
+            controller: counters,
             link_stall_cycles: c.link_stall_cycles,
             hotspot_stall_cycles: c.hotspot_stall_cycles,
         }

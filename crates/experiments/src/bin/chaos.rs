@@ -420,15 +420,15 @@ fn main() {
         )
         .as_bytes(),
     );
-    let (mut journal, done) = match Journal::begin(&journal_path, fingerprint, args.resume) {
+    let (mut journal, load) = match Journal::begin(&journal_path, fingerprint, args.resume) {
         Ok(j) => j,
         Err(e) => {
             eprintln!("chaos: cannot open journal {}: {e}", journal_path.display());
             std::process::exit(1);
         }
     };
-    if args.resume && !done.is_empty() {
-        eprintln!("[resuming: {} completed trials journaled]", done.len());
+    if args.resume && !load.done.is_empty() {
+        eprintln!("[resuming: {} completed trials journaled]", load.done.len());
     }
 
     let mut lines: Vec<String> = Vec::with_capacity(args.trials as usize);
@@ -438,9 +438,9 @@ fn main() {
                 "chaos: interrupted after {} trials; re-run with --resume to continue",
                 lines.len()
             );
-            std::process::exit(130);
+            std::process::exit(experiments::sigint::EXIT_INTERRUPTED);
         }
-        if let Some(rows) = done.get(&trial) {
+        if let Some(rows) = load.done.get(&trial) {
             // Journaled line from a previous run: reuse verbatim so the
             // resumed report is byte-identical to an uninterrupted one.
             lines.push(rows[0][0].clone());

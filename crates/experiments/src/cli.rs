@@ -166,11 +166,21 @@ impl Cli {
         crate::sigint::install();
         let journal_path = self.journal_path(stem);
         let ctx = match Journal::begin(&journal_path, self.sweep_fingerprint(stem), self.resume) {
-            Ok((journal, done)) => {
-                if self.resume && !done.is_empty() {
-                    eprintln!("[resuming: {} completed points journaled]", done.len());
+            Ok((journal, load)) => {
+                if self.resume && (!load.done.is_empty() || !load.failed.is_empty()) {
+                    eprintln!(
+                        "[resuming: {} completed points journaled, {} failed points to retry]",
+                        load.done.len(),
+                        load.failed.len()
+                    );
+                    for (idx, failure) in &load.failed {
+                        eprintln!(
+                            "[retrying point {idx}: {} — {}]",
+                            failure.kind, failure.message
+                        );
+                    }
                 }
-                SweepCtx::with_journal(self.pool(), journal, done)
+                SweepCtx::with_journal(self.pool(), journal, load)
             }
             Err(e) => {
                 eprintln!(
@@ -193,11 +203,12 @@ impl Cli {
                     "{stem}: interrupted ({label}); completed points are journaled — \
                      re-run with --resume to continue"
                 );
-                std::process::exit(130);
+                std::process::exit(crate::sigint::EXIT_INTERRUPTED);
             }
             Err(e) => {
                 eprintln!(
-                    "{stem}: {e}\n[completed points remain in {}; re-run with --resume]",
+                    "{stem}: {e}\n[completed points remain in {}; failed points carry \
+                     typed records and will be retried — re-run with --resume]",
                     journal_path.display()
                 );
                 std::process::exit(1);

@@ -7,7 +7,9 @@
 //! informed schemes must degrade gracefully: as snapshots disappear their
 //! estimates go quiet and both fall back towards uncontrolled (Base)
 //! behavior — the self-tuner additionally via its staleness watchdog, whose
-//! trip/re-arm counters the table reports. At 100% loss the Tuned scheme
+//! trip/re-arm counters the table reports alongside the controller's
+//! raise/cut decision counts (quieting decisions are the mechanism of the
+//! fallback, so the columns make the degradation story auditable). At 100% loss the Tuned scheme
 //! must neither panic nor collapse: it fails open and lands within a few
 //! percent of Static.
 
@@ -77,6 +79,8 @@ pub fn generate_on(net: NetPreset, scale: Scale, ctx: &SweepCtx) -> Result<Table
             "rejected",
             "wd_trips",
             "wd_rearms",
+            "raises",
+            "cuts",
         ],
     );
     let mut jobs = Vec::new();
@@ -116,6 +120,8 @@ pub fn generate_on(net: NetPreset, scale: Scale, ctx: &SweepCtx) -> Result<Table
                 sb.rejected().to_string(),
                 f.watchdog_trips.to_string(),
                 f.watchdog_rearms.to_string(),
+                f.controller.raises.to_string(),
+                f.controller.cuts.to_string(),
             ]])
         },
     )?;

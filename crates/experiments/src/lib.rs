@@ -15,6 +15,7 @@
 //! CSV atomically, and guards each job against livelock and blown budgets
 //! (see `EXPERIMENTS.md`, "Interrupting and resuming sweeps").
 
+pub mod campaign;
 pub mod cli;
 pub mod figures;
 pub mod journal;
@@ -28,7 +29,8 @@ pub mod table;
 pub use cli::Cli;
 pub use run::{
     run_point, run_point_with_faults, run_series, steady_config, sweep_rates, sweep_rates_for,
-    try_run_point, try_run_point_with_faults, try_run_series, NetPreset, PointResult, SeriesResult,
+    try_run_point, try_run_point_instrumented, try_run_point_with_faults, try_run_series,
+    NetPreset, PointResult, SeriesResult,
 };
 pub use runner::{JobBudget, JobError, Pool, SweepError};
 pub use scale::Scale;

@@ -190,6 +190,34 @@ pub fn run_point(cfg: SimConfig) -> PointResult {
     try_run_point(cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
+/// Runs one simulation — under a fault plan when one is given — and
+/// condenses its summary together with the run's fault/degradation report
+/// (which carries the controller's full decision counters even on a
+/// fault-free run).
+///
+/// # Errors
+///
+/// Returns a typed [`JobError`] naming the offending point on an invalid
+/// configuration or fault plan, a tripped guard, or SIGINT.
+pub fn try_run_point_instrumented(
+    cfg: SimConfig,
+    plan: Option<FaultPlan>,
+) -> Result<(PointResult, FaultReport), JobError> {
+    let label = point_label(&cfg);
+    let mut sim = match plan {
+        Some(plan) => Simulation::with_faults(cfg, plan),
+        None => Simulation::new(cfg),
+    }
+    .map_err(|e| JobError::Failed(format!("bad experiment ({label}): {e}")))?;
+    drive(&mut sim, &label, |_| {})?;
+    report_stage_stats(&label, &sim);
+    let report = sim.fault_report();
+    let s = sim
+        .summary()
+        .map_err(|e| JobError::Failed(format!("summary failed ({label}): {e}")))?;
+    Ok((condense(&s), report))
+}
+
 /// Runs one simulation under an installed fault plan and condenses its
 /// summary together with the run's fault/degradation counters.
 ///
@@ -201,16 +229,7 @@ pub fn try_run_point_with_faults(
     cfg: SimConfig,
     plan: FaultPlan,
 ) -> Result<(PointResult, FaultReport), JobError> {
-    let label = point_label(&cfg);
-    let mut sim = Simulation::with_faults(cfg, plan)
-        .map_err(|e| JobError::Failed(format!("bad experiment ({label}): {e}")))?;
-    drive(&mut sim, &label, |_| {})?;
-    report_stage_stats(&label, &sim);
-    let report = sim.fault_report();
-    let s = sim
-        .summary()
-        .map_err(|e| JobError::Failed(format!("summary failed ({label}): {e}")))?;
-    Ok((condense(&s), report))
+    try_run_point_instrumented(cfg, Some(plan))
 }
 
 /// Runs one simulation under an installed fault plan and condenses its

@@ -11,6 +11,11 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+/// Process exit code for a run cut short by SIGINT/SIGTERM (the shell
+/// convention `128 + SIGINT`); part of the exit-code contract documented in
+/// `EXPERIMENTS.md`.
+pub const EXIT_INTERRUPTED: i32 = 130;
+
 static INTERRUPTED: AtomicBool = AtomicBool::new(false);
 
 /// Installs the SIGINT and SIGTERM handlers (idempotent; a no-op off

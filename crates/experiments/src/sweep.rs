@@ -9,7 +9,7 @@
 //! order, so a binary that runs several sweeps (e.g. `fig7`) gets stable
 //! indices across runs.
 
-use crate::journal::{Journal, Rows};
+use crate::journal::{FailureKind, Journal, JournalLoad, Rows};
 use crate::runner::{JobError, Pool, SweepError};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,6 +22,7 @@ pub struct SweepCtx {
     pool: Pool,
     journal: Option<Mutex<Journal>>,
     done: BTreeMap<u64, Rows>,
+    retried: usize,
     next_id: AtomicU64,
 }
 
@@ -33,18 +34,21 @@ impl SweepCtx {
             pool,
             journal: None,
             done: BTreeMap::new(),
+            retried: 0,
             next_id: AtomicU64::new(0),
         }
     }
 
-    /// A journaling context seeded with previously completed jobs
+    /// A journaling context seeded with a previous run's load: completed
+    /// jobs are replayed, journaled failures are *retried*
     /// (see [`Journal::begin`]).
     #[must_use]
-    pub fn with_journal(pool: Pool, journal: Journal, done: BTreeMap<u64, Rows>) -> SweepCtx {
+    pub fn with_journal(pool: Pool, journal: Journal, load: JournalLoad) -> SweepCtx {
         SweepCtx {
             pool,
             journal: Some(Mutex::new(journal)),
-            done,
+            done: load.done,
+            retried: load.failed.len(),
             next_id: AtomicU64::new(0),
         }
     }
@@ -62,6 +66,13 @@ impl SweepCtx {
         self.done.len()
     }
 
+    /// Number of journaled *failed* jobs this context resumed with — they
+    /// are re-run, not replayed.
+    #[must_use]
+    pub fn retried_jobs(&self) -> usize {
+        self.retried
+    }
+
     /// Runs `work(job)` for every job not already journaled, fanned across
     /// the pool, and returns every job's rendered rows — journaled and
     /// fresh alike — flattened in input order.
@@ -72,7 +83,9 @@ impl SweepCtx {
     /// # Errors
     ///
     /// Returns the first failing point's [`SweepError`]; completed points
-    /// stay journaled, so the sweep can be resumed.
+    /// stay journaled and failed points get a typed failure record
+    /// ([`FailureKind`]), so a resume replays the former and retries the
+    /// latter.
     pub fn try_run_rows<J, L, F, E>(
         &self,
         jobs: Vec<J>,
@@ -97,7 +110,10 @@ impl SweepCtx {
                 pending.push((id, i, job));
             }
         }
-        let fresh = self.pool.try_run(
+        let ids: Vec<u64> = pending.iter().map(|(id, _, _)| *id).collect();
+        // `run`, not `try_run`: every job's outcome is needed so each
+        // failure (not just the first) gets its typed journal record.
+        let outcomes = self.pool.run(
             pending,
             |(_, _, job)| label(job),
             |(id, i, job)| {
@@ -111,9 +127,29 @@ impl SweepCtx {
                 }
                 Ok::<_, JobError>((i, rows))
             },
-        )?;
-        for (i, rows) in fresh {
-            slots[i] = Some(rows);
+        );
+        let mut first_err: Option<SweepError> = None;
+        for (outcome, id) in outcomes.into_iter().zip(ids) {
+            match outcome {
+                Ok((i, rows)) => slots[i] = Some(rows),
+                Err(err) => {
+                    if let (Some(journal), Some(kind)) =
+                        (&self.journal, FailureKind::of(&err.error))
+                    {
+                        let message = format!("{}: {}", err.label, err.error);
+                        // Best-effort: a failed failure record just means
+                        // the point re-runs without its diagnosis.
+                        let _ = journal
+                            .lock()
+                            .expect("journal lock")
+                            .append_failure(id, kind, &message);
+                    }
+                    first_err.get_or_insert(err);
+                }
+            }
+        }
+        if let Some(err) = first_err {
+            return Err(err);
         }
         Ok(slots
             .into_iter()
@@ -157,8 +193,8 @@ mod tests {
         let (mut j, _) = Journal::begin(&path, 42, false).unwrap();
         j.append(1, &rowset("from-journal")).unwrap();
         drop(j);
-        let (j, done) = Journal::begin(&path, 42, true).unwrap();
-        let ctx = SweepCtx::with_journal(Pool::new(2), j, done);
+        let (j, load) = Journal::begin(&path, 42, true).unwrap();
+        let ctx = SweepCtx::with_journal(Pool::new(2), j, load);
         let rows = ctx
             .try_run_rows(
                 vec!["a", "b", "c"],
@@ -170,9 +206,9 @@ mod tests {
         assert_eq!(rows[1][0], "from-journal", "job 1 came from the journal");
         assert_eq!(rows[2][0], "ran-c");
         // Jobs a and c were appended, so a second resume replays all three.
-        let (j, done) = Journal::begin(&path, 42, true).unwrap();
-        assert_eq!(done.len(), 3);
-        let ctx = SweepCtx::with_journal(Pool::new(2), j, done);
+        let (j, load) = Journal::begin(&path, 42, true).unwrap();
+        assert_eq!(load.done.len(), 3);
+        let ctx = SweepCtx::with_journal(Pool::new(2), j, load);
         assert_eq!(ctx.resumed_jobs(), 3);
         let rows = ctx
             .try_run_rows(
@@ -190,8 +226,8 @@ mod tests {
         let dir = std::env::temp_dir().join("stcc-sweep-test-multi");
         let path = dir.join("m.tiny.journal");
         let _ = fs::remove_file(&path);
-        let (j, done) = Journal::begin(&path, 7, false).unwrap();
-        let ctx = SweepCtx::with_journal(Pool::new(1), j, done);
+        let (j, load) = Journal::begin(&path, 7, false).unwrap();
+        let ctx = SweepCtx::with_journal(Pool::new(1), j, load);
         ctx.try_run_rows(
             vec![0u32, 1],
             |j| j.to_string(),
@@ -204,9 +240,65 @@ mod tests {
             |j| Ok::<_, String>(rowset(&format!("second-{j}"))),
         )
         .unwrap();
-        let (_, done) = Journal::begin(&path, 7, true).unwrap();
-        assert_eq!(done.keys().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
-        assert_eq!(done[&2], rowset("second-0"));
+        let (_, load) = Journal::begin(&path, 7, true).unwrap();
+        assert_eq!(load.done.keys().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(load.done[&2], rowset("second-0"));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failures_are_journaled_typed_and_retried_on_resume() {
+        let dir = std::env::temp_dir().join("stcc-sweep-test-failrec");
+        let path = dir.join("f.tiny.journal");
+        let _ = fs::remove_file(&path);
+        let (j, load) = Journal::begin(&path, 99, false).unwrap();
+        let ctx = SweepCtx::with_journal(Pool::new(2), j, load);
+        // Job "b" times out, job "p" panics; "a" and "c" succeed. All four
+        // outcomes must land in the journal even though only the first
+        // failure is reported.
+        let err = ctx
+            .try_run_rows(
+                vec!["a", "b", "p", "c"],
+                |j| (*j).to_owned(),
+                |j| match j {
+                    "b" => Err(JobError::TimedOut("wedged at cycle 7".into())),
+                    "p" => panic!("worker exploded"),
+                    other => Ok(rowset(&format!("ran-{other}"))),
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.label, "b", "lowest-index failure is reported");
+        assert!(matches!(err.error, JobError::TimedOut(_)));
+        // Resume: successes replay, both failures come back typed and are
+        // re-run (they are not in `done`).
+        let (j, load) = Journal::begin(&path, 99, true).unwrap();
+        assert_eq!(load.done.keys().copied().collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(load.failed.keys().copied().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(load.failed[&1].kind, FailureKind::TimedOut);
+        assert!(load.failed[&1].message.contains("wedged at cycle 7"));
+        assert_eq!(load.failed[&2].kind, FailureKind::Panicked);
+        assert!(load.failed[&2].message.contains("worker exploded"));
+        let ctx = SweepCtx::with_journal(Pool::new(2), j, load);
+        assert_eq!(ctx.resumed_jobs(), 2);
+        assert_eq!(ctx.retried_jobs(), 2);
+        let rows = ctx
+            .try_run_rows(
+                vec!["a", "b", "p", "c"],
+                |j| (*j).to_owned(),
+                |j| match j {
+                    // This time they succeed: the retry supersedes the
+                    // failure records.
+                    "b" | "p" => Ok::<_, JobError>(rowset(&format!("retried-{j}"))),
+                    other => Ok(rowset(&format!("must-not-rerun-{other}"))),
+                },
+            )
+            .unwrap();
+        assert_eq!(rows[0][0], "ran-a", "success replayed from journal");
+        assert_eq!(rows[1][0], "retried-b");
+        assert_eq!(rows[2][0], "retried-p");
+        let (_, load) = Journal::begin(&path, 99, true).unwrap();
+        assert_eq!(load.done.len(), 4);
+        assert!(load.failed.is_empty());
         fs::remove_file(&path).unwrap();
     }
 }

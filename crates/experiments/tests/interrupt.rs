@@ -15,8 +15,8 @@ use std::fs;
 fn interrupt_stops_unstarted_jobs_and_keeps_journaled_ones() {
     let path = std::env::temp_dir().join("stcc-interrupt-test/x.journal");
     let _ = fs::remove_file(&path);
-    let (journal, done) = Journal::begin(&path, 5, false).unwrap();
-    let ctx = SweepCtx::with_journal(Pool::new(1), journal, done);
+    let (journal, load) = Journal::begin(&path, 5, false).unwrap();
+    let ctx = SweepCtx::with_journal(Pool::new(1), journal, load);
 
     // Job 0 completes (and is journaled), then raises the interrupt flag;
     // the single worker must refuse to claim job 1.
@@ -38,8 +38,12 @@ fn interrupt_stops_unstarted_jobs_and_keeps_journaled_ones() {
     sigint::reset();
 
     // The completed point survived the interrupt: a resume replays it.
-    let (_, done) = Journal::begin(&path, 5, true).unwrap();
-    assert_eq!(done.keys().copied().collect::<Vec<_>>(), vec![0]);
-    assert_eq!(done[&0], vec![vec!["done-0".to_owned()]]);
+    let (_, load) = Journal::begin(&path, 5, true).unwrap();
+    assert_eq!(load.done.keys().copied().collect::<Vec<_>>(), vec![0]);
+    assert_eq!(load.done[&0], vec![vec!["done-0".to_owned()]]);
+    assert!(
+        load.failed.is_empty(),
+        "interrupted jobs never ran, so they must not be recorded as failed"
+    );
     let _ = fs::remove_file(&path);
 }

@@ -38,21 +38,21 @@ fn resume_from_partial_journal_is_bit_identical() {
     let want = fig4_csv(&SweepCtx::bare(Pool::new(1)));
 
     // A full run with a journal: completes and records both variants.
-    let (journal, done) = Journal::begin(&path, FP, false).unwrap();
-    assert!(done.is_empty());
-    let first = fig4_csv(&SweepCtx::with_journal(Pool::new(2), journal, done));
+    let (journal, load) = Journal::begin(&path, FP, false).unwrap();
+    assert!(load.done.is_empty());
+    let first = fig4_csv(&SweepCtx::with_journal(Pool::new(2), journal, load));
     assert_eq!(first, want, "journaling must not perturb the output");
 
     // Simulate a crash after only job 1 finished: reload the full journal,
     // keep just one record, and resume. Job 0 re-simulates, job 1 replays.
     let (_, full) = Journal::begin(&path, FP, true).unwrap();
-    assert_eq!(full.len(), 2, "both fig4 variants journaled");
+    assert_eq!(full.done.len(), 2, "both fig4 variants journaled");
     let (mut journal, _) = Journal::begin(&path, FP, false).unwrap();
-    journal.append(1, &full[&1]).unwrap();
+    journal.append(1, &full.done[&1]).unwrap();
     drop(journal);
-    let (journal, done) = Journal::begin(&path, FP, true).unwrap();
-    assert_eq!(done.keys().copied().collect::<Vec<_>>(), vec![1]);
-    let resumed = fig4_csv(&SweepCtx::with_journal(Pool::new(2), journal, done));
+    let (journal, load) = Journal::begin(&path, FP, true).unwrap();
+    assert_eq!(load.done.keys().copied().collect::<Vec<_>>(), vec![1]);
+    let resumed = fig4_csv(&SweepCtx::with_journal(Pool::new(2), journal, load));
     assert_eq!(
         resumed, want,
         "resume from a partial journal must be byte-identical to an uninterrupted run"
@@ -79,8 +79,8 @@ fn journaled_points_are_replayed_not_rerun() {
     journal.append(0, &sentinel).unwrap();
     drop(journal);
 
-    let (journal, done) = Journal::begin(&path, FP, true).unwrap();
-    let csv = fig4_csv(&SweepCtx::with_journal(Pool::new(2), journal, done));
+    let (journal, load) = Journal::begin(&path, FP, true).unwrap();
+    let csv = fig4_csv(&SweepCtx::with_journal(Pool::new(2), journal, load));
     assert!(
         csv.contains("sentinel-from-journal"),
         "journaled rows must be replayed verbatim"
@@ -127,7 +127,10 @@ fn resume_ignores_a_foreign_fingerprint() {
     journal.append(0, &vec![vec!["junk".to_owned()]]).unwrap();
     drop(journal);
     // A different sweep identity must not pick these rows up.
-    let (_, done) = Journal::begin(&path, FP ^ 1, true).unwrap();
-    assert!(done.is_empty(), "foreign journal records must be ignored");
+    let (_, load) = Journal::begin(&path, FP ^ 1, true).unwrap();
+    assert!(
+        load.done.is_empty(),
+        "foreign journal records must be ignored"
+    );
     let _ = fs::remove_file(&path);
 }

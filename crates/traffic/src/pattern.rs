@@ -69,6 +69,41 @@ impl Pattern {
         }
     }
 
+    /// Resolves a pattern by its table name (the strings [`Pattern::name`]
+    /// emits): `uniform-random`, `bit-reversal`, `perfect-shuffle`,
+    /// `butterfly`, `bit-complement`, `transpose`, or `hotspot` (node 0 at
+    /// the literature's 25% skew). Returns `None` for an unknown name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Pattern> {
+        match name {
+            "uniform-random" => Some(Pattern::UniformRandom),
+            "bit-reversal" => Some(Pattern::BitReversal),
+            "perfect-shuffle" => Some(Pattern::PerfectShuffle),
+            "butterfly" => Some(Pattern::Butterfly),
+            "bit-complement" => Some(Pattern::BitComplement),
+            "transpose" => Some(Pattern::Transpose),
+            "hotspot" => Some(Pattern::Hotspot {
+                target: 0,
+                fraction: 0.25,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Every name [`Pattern::by_name`] resolves, in display order.
+    #[must_use]
+    pub fn names() -> &'static [&'static str] {
+        &[
+            "uniform-random",
+            "bit-reversal",
+            "perfect-shuffle",
+            "butterfly",
+            "bit-complement",
+            "transpose",
+            "hotspot",
+        ]
+    }
+
     /// Validates the pattern against a node count.
     ///
     /// # Errors
@@ -298,6 +333,17 @@ mod tests {
             .count();
         // 30% +- noise (uniform part can also hit node 5 with prob ~1.1%).
         assert!((2500..4000).contains(&hits), "hotspot fraction off: {hits}");
+    }
+
+    #[test]
+    fn by_name_round_trips_every_listed_name() {
+        for &name in Pattern::names() {
+            let p = Pattern::by_name(name)
+                .unwrap_or_else(|| panic!("listed pattern name {name} must resolve"));
+            assert_eq!(p.name(), name);
+        }
+        assert_eq!(Pattern::by_name("tornado"), None);
+        assert_eq!(Pattern::by_name(""), None);
     }
 
     #[test]

@@ -12,8 +12,9 @@
 #  10. kill-and-resume   (SIGKILL a sweep mid-run, finish it with --resume)
 #  11. audited sweep     (STCC_AUDIT=256 fig2 run must still match golden)
 #  12. chaos smoke       (fixed-seed chaos trials, kill/resume determinism)
-#  13. tiny bench gate   (always on: 64-node preset, >50% regression fails)
-#  14. paper bench gate  (opt-in: STCC_BENCH_GATE=1, >15% regression fails)
+#  13. campaign smoke    (orchestrator retry/quarantine + kill/resume)
+#  14. tiny bench gate   (always on: 64-node preset, >50% regression fails)
+#  15. paper bench gate  (opt-in: STCC_BENCH_GATE=1, >15% regression fails)
 # Everything is hermetic — no network access is required (see README,
 # "Hermetic build"). Each step reports its wall time.
 set -eu
@@ -175,6 +176,83 @@ chaos_gate() {
     fi
 }
 step "chaos smoke (fixed seed, kill/resume determinism)" chaos_gate
+
+# Campaign supervision: the multi-process orchestrator end to end. First a
+# rigged manifest — one scenario's worker crashes on its first attempt (must
+# be retried to success), another crashes on every attempt (must be
+# quarantined while the campaign continues and exits 4). Then the committed
+# example manifest runs clean, the same campaign is SIGKILLed once its
+# ledger holds completed rows, and --resume must reproduce the
+# uninterrupted report byte for byte.
+campaign_gate() {
+    out=target/ci-campaign
+    rm -rf "$out"
+    mkdir -p "$out"
+    bin=target/release/campaign
+    cat >"$out/rig.toml" <<'EOF'
+[campaign]
+name = "ci-rig"
+seed = 9
+retries = 1
+backoff_ms = 1
+timeout_s = 60
+workers = 2
+
+[scenario.flaky]
+net = "small"
+scale = "tiny"
+schemes = ["tune"]
+patterns = ["uniform-random"]
+rates = [0.005]
+
+[scenario.doomed]
+net = "small"
+scale = "tiny"
+schemes = ["base"]
+patterns = ["transpose"]
+rates = [0.005]
+EOF
+    status=0
+    STCC_CAMPAIGN_FAIL='flaky:1,doomed:all' \
+        "$bin" --manifest "$out/rig.toml" --out "$out/rig" >/dev/null 2>&1 ||
+        status=$?
+    if [ "$status" -ne 4 ]; then
+        echo "rigged campaign exited $status, want 4 (quarantined)" >&2
+        return 1
+    fi
+    grep -q 'ok-retried' "$out/rig/campaign.report"
+    grep -q 'quarantined 1' "$out/rig/campaign.report"
+
+    "$bin" --manifest examples/campaign.toml --out "$out/ref" >/dev/null
+    "$bin" --manifest examples/campaign.toml --out "$out/killed" \
+        >/dev/null 2>&1 &
+    pid=$!
+    for _ in $(seq 1 500); do
+        if [ -f "$out/killed/campaign.ledger" ] &&
+            [ "$(wc -l <"$out/killed/campaign.ledger")" -ge 2 ]; then
+            break
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            break
+        fi
+        sleep 0.01
+    done
+    if kill -9 "$pid" 2>/dev/null; then
+        echo "  (killed campaign pid $pid mid-run)"
+    else
+        echo "  (campaign finished before the kill; resume runs fresh)"
+    fi
+    wait "$pid" 2>/dev/null || true
+    "$bin" --manifest examples/campaign.toml --out "$out/killed" --resume \
+        >/dev/null
+    cmp "$out/killed/campaign.report" "$out/ref/campaign.report"
+    cmp "$out/killed/campaign.csv" "$out/ref/campaign.csv"
+    if [ -f "$out/killed/campaign.ledger" ]; then
+        echo "campaign ledger not retired after a successful run" >&2
+        return 1
+    fi
+}
+step "campaign smoke (retry/quarantine, kill/resume determinism)" campaign_gate
 
 # Perf regression gates. The tiny (64-node) gate always runs: it takes a
 # few seconds and its 50% tolerance only has to catch order-of-magnitude
