@@ -15,24 +15,34 @@
 //! 8-ary 2-cube (64 nodes) and is cheap enough that `scripts/ci.sh` gates
 //! it unconditionally (with a generous tolerance — it only has to catch
 //! order-of-magnitude cliffs on a shared 1-core host). The full paper
-//! gate stays opt-in via `STCC_BENCH_GATE=1`.
+//! gate stays opt-in via `STCC_BENCH_GATE=1`. `big` is the 64-ary 3-cube
+//! (262,144 nodes) — the first preset past `TABLE_NODE_LIMIT`, stepping
+//! on the dynamic routing fallback; it exists for `--out` records, not
+//! for gating.
 //!
-//! v2 baselines also record the per-stage work-share breakdown of the
-//! saturated run (inject/route/starvation/switch/drain, in percent).
-//! Those shares are informational: `--gate` prints the drift but never
-//! fails on them, and accepts v1 baselines that lack them entirely. The
-//! JSON is hand-rolled and hand-parsed — one metric per line, no
-//! dependencies — keeping the build hermetic.
+//! v2 baselines added the per-stage work-share breakdown of the saturated
+//! run (inject/route/starvation/switch/drain, in percent); v3 adds the
+//! shard-scaling rows (`saturated_cycles_per_sec@shards=1/2/4` — the same
+//! saturated workload stepped across 1/2/4 threads). Both are
+//! informational: `--gate` prints the drift but never fails on them, and
+//! accepts v1/v2 baselines that lack them entirely. The JSON is
+//! hand-rolled and hand-parsed — one metric per line, no dependencies —
+//! keeping the build hermetic.
 
 use bench::harness::{BenchConfig, Group};
 use std::hint::black_box;
 use std::process::ExitCode;
 use wormsim::{DeadlockMode, NetConfig, Network, NoControl};
 
-/// Schema tag written into new baseline files.
+/// Schema tag written into new baseline files. v3 adds the informational
+/// shard-scaling rows (`saturated_cycles_per_sec@shards=N`) and the `big`
+/// preset.
+const SCHEMA_V3: &str = "stcc-bench-netsim-v3";
+
+/// Previous schema, still accepted by `--gate` (no shard rows).
 const SCHEMA_V2: &str = "stcc-bench-netsim-v2";
 
-/// Previous schema, still accepted by `--gate` (no stage shares).
+/// Oldest schema, still accepted by `--gate` (no stage shares either).
 const SCHEMA_V1: &str = "stcc-bench-netsim-v1";
 
 /// Largest tolerated regression per metric (fraction; `--tolerance`
@@ -46,6 +56,12 @@ enum Preset {
     Paper,
     /// An 8-ary 2-cube (64 nodes) — fast enough for an always-on CI gate.
     Tiny,
+    /// A 64-ary 3-cube (262,144 nodes): two orders of magnitude past
+    /// `TABLE_NODE_LIMIT`, so every routing decision takes the dynamic
+    /// fallback. One VC and short packets keep the arenas in memory;
+    /// measurements use fewer, shorter samples and skip the checkpoint
+    /// metrics.
+    Big,
 }
 
 impl Preset {
@@ -53,6 +69,7 @@ impl Preset {
         match s {
             "paper" => Some(Preset::Paper),
             "tiny" => Some(Preset::Tiny),
+            "big" => Some(Preset::Big),
             _ => None,
         }
     }
@@ -61,6 +78,7 @@ impl Preset {
         match self {
             Preset::Paper => "paper",
             Preset::Tiny => "tiny",
+            Preset::Big => "big",
         }
     }
 
@@ -68,6 +86,14 @@ impl Preset {
         match self {
             Preset::Paper => NetConfig::paper(deadlock),
             Preset::Tiny => NetConfig::small(deadlock),
+            Preset::Big => NetConfig {
+                radix: 64,
+                dimensions: 3,
+                vcs: 1,
+                buf_depth: 4,
+                packet_len: 4,
+                ..NetConfig::paper(deadlock)
+            },
         }
     }
 
@@ -76,6 +102,7 @@ impl Preset {
         match self {
             Preset::Paper => 16,
             Preset::Tiny => 8,
+            Preset::Big => 64,
         }
     }
 }
@@ -91,15 +118,21 @@ struct Metric {
 }
 
 fn measure(preset: Preset) -> Vec<Metric> {
+    // The big preset has three orders of magnitude more nodes than tiny:
+    // fewer, shorter samples keep a full measurement in the minutes while
+    // still stepping hundreds of saturated cycles.
+    let (samples, cycles_per_iter, warm_cycles) = match preset {
+        Preset::Big => (3, 200u64, 300u64),
+        _ => (10, 1_000, 5_000),
+    };
     let mut g = Group::new(
-        "netsim baseline (1000 cycles/iter)",
+        "netsim baseline",
         BenchConfig {
-            samples: 10,
+            samples,
             iters_per_sample: 1,
             warmup_iters: 1,
         },
     );
-    let cycles_per_iter = 1_000u64;
 
     // Idle torus: the floor cost of one cycle with no live flits.
     {
@@ -112,7 +145,10 @@ fn measure(preset: Preset) -> Vec<Metric> {
     }
 
     // Saturated: worst-case per-cycle cost (pre-warmed network). Also the
-    // run whose stage-visit counters become the v2 share breakdown.
+    // run whose stage-visit counters become the v2 share breakdown, and —
+    // re-partitioned in place — the v3 shard-scaling rows. The unsharded
+    // measurement doubles as the `@shards=1` row; results are bit-identical
+    // at every shard count, so the rows differ only in wall-clock.
     let stages = {
         let mut net = Network::new(preset.net(DeadlockMode::PAPER_RECOVERY)).unwrap();
         let nodes = net.torus().node_count();
@@ -123,16 +159,25 @@ fn measure(preset: Preset) -> Vec<Metric> {
                 .wrapping_add(node + 1);
             Some((x >> 33) % nodes)
         };
-        net.run(5_000, &mut src, &mut NoControl); // warm into saturation
+        net.run(warm_cycles, &mut src, &mut NoControl); // warm into saturation
         g.bench_units("saturated", cycles_per_iter as f64, || {
             net.run(cycles_per_iter, &mut src, &mut NoControl);
             black_box(net.counters().delivered_flits)
         });
+        for (shards, label) in [(2, "saturated@shards=2"), (4, "saturated@shards=4")] {
+            net.set_shards(shards);
+            g.bench_units(label, cycles_per_iter as f64, || {
+                net.run(cycles_per_iter, &mut src, &mut NoControl);
+                black_box(net.counters().delivered_flits)
+            });
+        }
         net.counters().stage_cycles()
     };
 
-    // Checkpoint codec cost on a warmed tuned simulation.
-    {
+    // Checkpoint codec cost on a warmed tuned simulation (skipped on the
+    // big preset: a quarter-million-node tuned simulation is not what the
+    // checkpoint codec numbers are for).
+    if preset != Preset::Big {
         use sideband::SidebandConfig;
         use stcc::{Scheme, SimConfig, Simulation, TuneConfig};
         use traffic::{Pattern, Process, Workload};
@@ -163,32 +208,60 @@ fn measure(preset: Preset) -> Vec<Metric> {
     }
 
     let r = g.results();
+    let by_name = |name: &str| {
+        r.iter()
+            .find(|b| b.name == name)
+            .unwrap_or_else(|| panic!("no bench named {name}"))
+    };
     let total = stages.total().max(1) as f64;
     let share = |v: u64| 100.0 * (v as f64) / total;
-    vec![
+    let saturated = by_name("saturated").units_per_second().unwrap();
+    let mut metrics = vec![
         Metric {
             name: "idle_cycles_per_sec",
-            value: r[0].units_per_second().unwrap(),
+            value: by_name("idle").units_per_second().unwrap(),
             higher_is_better: true,
             informational: false,
         },
         Metric {
             name: "saturated_cycles_per_sec",
-            value: r[1].units_per_second().unwrap(),
+            value: saturated,
             higher_is_better: true,
             informational: false,
         },
-        Metric {
+    ];
+    if preset != Preset::Big {
+        metrics.push(Metric {
             name: "ckpt_serialize_ns",
-            value: r[2].median_ns,
+            value: by_name("ckpt_serialize").median_ns,
             higher_is_better: false,
             informational: false,
+        });
+        metrics.push(Metric {
+            name: "ckpt_restore_ns",
+            value: by_name("ckpt_restore").median_ns,
+            higher_is_better: false,
+            informational: false,
+        });
+    }
+    metrics.extend([
+        Metric {
+            name: "saturated_cycles_per_sec@shards=1",
+            value: saturated,
+            higher_is_better: true,
+            informational: true,
         },
         Metric {
-            name: "ckpt_restore_ns",
-            value: r[3].median_ns,
-            higher_is_better: false,
-            informational: false,
+            name: "saturated_cycles_per_sec@shards=2",
+            value: by_name("saturated@shards=2").units_per_second().unwrap(),
+            higher_is_better: true,
+            informational: true,
+        },
+        Metric {
+            name: "saturated_cycles_per_sec@shards=4",
+            value: by_name("saturated@shards=4").units_per_second().unwrap(),
+            higher_is_better: true,
+            informational: true,
         },
         Metric {
             name: "stage_share_inject_pct",
@@ -220,13 +293,14 @@ fn measure(preset: Preset) -> Vec<Metric> {
             higher_is_better: false,
             informational: true,
         },
-    ]
+    ]);
+    metrics
 }
 
 /// Renders the baseline as flat JSON, one metric per line.
 fn render_json(preset: Preset, metrics: &[Metric]) -> String {
     let mut out = String::from("{\n");
-    out.push_str(&format!("  \"schema\": \"{SCHEMA_V2}\",\n"));
+    out.push_str(&format!("  \"schema\": \"{SCHEMA_V3}\",\n"));
     out.push_str(&format!("  \"preset\": \"{}\",\n", preset.label()));
     for (i, m) in metrics.iter().enumerate() {
         let comma = if i + 1 == metrics.len() { "" } else { "," };
@@ -284,7 +358,7 @@ fn check(m: &Metric, baseline: f64, tolerance: f64) -> Result<String, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bench_netsim [--preset paper|tiny] [--tolerance FRAC] \
+        "usage: bench_netsim [--preset paper|tiny|big] [--tolerance FRAC] \
          (--out <file.json> | --gate <baseline.json>)"
     );
     ExitCode::FAILURE
@@ -354,8 +428,10 @@ fn main() -> ExitCode {
                 }
             };
             let schema = parse_string(&baseline, "schema").unwrap_or("");
-            if schema != SCHEMA_V1 && schema != SCHEMA_V2 {
-                eprintln!("bench_netsim: {path} is not a {SCHEMA_V1}/{SCHEMA_V2} baseline");
+            if schema != SCHEMA_V1 && schema != SCHEMA_V2 && schema != SCHEMA_V3 {
+                eprintln!(
+                    "bench_netsim: {path} is not a {SCHEMA_V1}/{SCHEMA_V2}/{SCHEMA_V3} baseline"
+                );
                 return ExitCode::FAILURE;
             }
             // v1 baselines predate presets and were always measured on the
@@ -438,12 +514,23 @@ mod tests {
             metric("ckpt_serialize_ns", 1_151_000.0, false),
         ];
         let json = render_json(Preset::Paper, &metrics);
-        assert!(json.contains("\"schema\": \"stcc-bench-netsim-v2\""));
-        assert_eq!(parse_string(&json, "schema"), Some(SCHEMA_V2));
+        assert!(json.contains("\"schema\": \"stcc-bench-netsim-v3\""));
+        assert_eq!(parse_string(&json, "schema"), Some(SCHEMA_V3));
         assert_eq!(parse_string(&json, "preset"), Some("paper"));
         assert_eq!(parse_metric(&json, "idle_cycles_per_sec"), Some(627_690.4));
         assert_eq!(parse_metric(&json, "ckpt_serialize_ns"), Some(1_151_000.0));
         assert_eq!(parse_metric(&json, "no_such_metric"), None);
+        // The shard-row keys carry '@' and '=': they must survive the
+        // flat format's quoting and lookup unchanged.
+        let json = render_json(
+            Preset::Big,
+            &[metric("saturated_cycles_per_sec@shards=4", 123_456.7, true)],
+        );
+        assert_eq!(parse_string(&json, "preset"), Some("big"));
+        assert_eq!(
+            parse_metric(&json, "saturated_cycles_per_sec@shards=4"),
+            Some(123_456.7)
+        );
     }
 
     #[test]
@@ -479,6 +566,8 @@ mod tests {
         .unwrap();
         assert_eq!((c.mode, c.preset), ("--gate", Preset::Tiny));
         assert!((c.tolerance - 0.5).abs() < 1e-12);
+        let c = parse_cli(&args(&["--preset", "big", "--out", "x.json"])).unwrap();
+        assert_eq!(c.preset, Preset::Big);
         assert!(parse_cli(&args(&["--gate"])).is_none());
         assert!(parse_cli(&args(&["--preset", "huge", "--out", "x"])).is_none());
         assert!(parse_cli(&args(&["--tolerance", "-1", "--out", "x"])).is_none());
@@ -492,5 +581,20 @@ mod tests {
         assert_eq!(parse_string(v1, "schema"), Some(SCHEMA_V1));
         assert_eq!(parse_string(v1, "preset"), None);
         assert_eq!(parse_metric(v1, "idle_cycles_per_sec"), Some(603_936.9));
+    }
+
+    #[test]
+    fn v2_baselines_still_parse() {
+        let v2 = "{\n  \"schema\": \"stcc-bench-netsim-v2\",\n  \"preset\": \"tiny\",\n  \
+                  \"saturated_cycles_per_sec\": 128311.1\n}\n";
+        assert_eq!(parse_string(v2, "schema"), Some(SCHEMA_V2));
+        assert_eq!(parse_string(v2, "preset"), Some("tiny"));
+        assert_eq!(
+            parse_metric(v2, "saturated_cycles_per_sec"),
+            Some(128_311.1)
+        );
+        // A v2 baseline has no shard rows: the gate treats them as
+        // informational and must simply show '-' rather than fail.
+        assert_eq!(parse_metric(v2, "saturated_cycles_per_sec@shards=4"), None);
     }
 }

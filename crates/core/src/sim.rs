@@ -335,6 +335,27 @@ fn audit_cadence() -> Option<u64> {
     }
 }
 
+/// Parses `STCC_SHARDS`: unset, empty, `0` or `1` steps the network
+/// unsharded; any larger integer `N` shards the step loop across `N`
+/// threads (results are bit-identical for any value). Anything else
+/// warns once (per process) and falls back to 1.
+fn shards_from_env() -> usize {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    match std::env::var("STCC_SHARDS") {
+        Ok(v) if v.is_empty() || v == "0" => 1,
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => {
+                WARNED.call_once(|| {
+                    eprintln!("ignoring STCC_SHARDS={v} (want a thread count, e.g. STCC_SHARDS=4)");
+                });
+                1
+            }
+        },
+        Err(_) => 1,
+    }
+}
+
 impl Simulation {
     /// Builds the simulation.
     ///
@@ -349,7 +370,8 @@ impl Simulation {
                 cycles: cfg.cycles,
             });
         }
-        let net = Network::new(cfg.net.clone())?;
+        let mut net = Network::new(cfg.net.clone())?;
+        net.set_shards(shards_from_env());
         let nodes = net.torus().node_count();
         let runner = WorkloadRunner::new(&cfg.workload, nodes, cfg.seed)?;
         let ctl = cfg.scheme.build();
@@ -646,6 +668,19 @@ impl Simulation {
     #[must_use]
     pub fn audit_every(&self) -> Option<u64> {
         self.audit_every
+    }
+
+    /// Overrides the `STCC_SHARDS` step-loop shard count (clamped to
+    /// `[1, nodes]` by the network). Results are bit-identical for any
+    /// value; call between steps.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.net.set_shards(shards);
+    }
+
+    /// The active step-loop shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.net.shards()
     }
 
     /// Read access to the network (counters, census, topology).
@@ -1041,6 +1076,44 @@ mod tests {
             assert_eq!(
                 s.network_latency.mean(),
                 golden_summary.network_latency.mean()
+            );
+        }
+    }
+
+    /// Checkpoints are shard-agnostic: a snapshot taken while stepping at
+    /// S shards restores at any S′, audits clean, re-serializes to the
+    /// same bytes, and resumes to a final state bit-identical to the
+    /// unsharded uninterrupted run. The shard plan is runtime
+    /// configuration, never state — this pins that.
+    #[test]
+    fn checkpoint_crosses_shard_counts() {
+        let cfg = ckpt_cfg(0.10);
+        let mut golden = Simulation::new(cfg.clone()).unwrap();
+        golden.run_to_end();
+        let golden_end = golden.checkpoint();
+
+        let mut sharded = Simulation::new(cfg.clone()).unwrap();
+        sharded.set_shards(3);
+        step_to(&mut sharded, 2_500);
+        let snap = sharded.checkpoint();
+
+        for restore_shards in [1usize, 2, 4] {
+            let mut resumed = Simulation::restore(cfg.clone(), None, &snap).unwrap();
+            resumed.set_shards(restore_shards);
+            assert!(
+                resumed.audit().is_clean(),
+                "restore at {restore_shards} shards audits dirty"
+            );
+            assert_eq!(
+                resumed.checkpoint(),
+                snap,
+                "re-serialize at {restore_shards} shards changed bytes"
+            );
+            resumed.run_to_end();
+            assert_eq!(
+                resumed.checkpoint(),
+                golden_end,
+                "resume at {restore_shards} shards diverged"
             );
         }
     }

@@ -133,6 +133,10 @@ impl Rng {
 struct Trial {
     cfg: SimConfig,
     plan: Option<FaultPlan>,
+    /// Step-loop shard counts for the original and the restored twin —
+    /// drawn independently, so the final-checkpoint comparison doubles as
+    /// a shard-invariance check (results must not depend on either).
+    shards: (usize, usize),
     /// fnv1a64 over the Debug rendering of the scenario: a stable
     /// fingerprint to pin a repro against drift in the drawing code.
     fingerprint: u64,
@@ -262,8 +266,13 @@ fn draw_trial(seed: u64, trial: u64) -> Trial {
         }
     });
 
+    // Drawn last so the scenario draws above are unchanged by the shard
+    // axis. The trial steps the original at `shards.0` and the restored
+    // twin at `shards.1`; both must land on identical bytes.
+    let shards = (1 + rng.below(4) as usize, 1 + rng.below(4) as usize);
+
     let describe = format!(
-        "{} {} load={load:.2} vcs={vcs} depth={} plen={} {} cycles={cycles} {}",
+        "{} {} load={load:.2} vcs={vcs} depth={} plen={} {} cycles={cycles} shards={}/{} {}",
         cfg.scheme.label(),
         cfg.workload.phases()[0].pattern.name(),
         cfg.net.buf_depth,
@@ -272,6 +281,8 @@ fn draw_trial(seed: u64, trial: u64) -> Trial {
             DeadlockMode::Avoidance => "avoidance".to_owned(),
             DeadlockMode::Recovery { timeout } => format!("recovery/{timeout}"),
         },
+        shards.0,
+        shards.1,
         match &plan {
             Some(p) => format!(
                 "storm(links={} hotspots={} loss={:.1})",
@@ -286,6 +297,7 @@ fn draw_trial(seed: u64, trial: u64) -> Trial {
     Trial {
         cfg,
         plan,
+        shards,
         fingerprint,
         describe,
     }
@@ -326,6 +338,7 @@ fn run_trial(seed: u64, trial: u64, audit_every: u64) -> Result<Trial, Box<(Tria
     // The harness audits manually so a violation yields a repro line, not a
     // panic; make sure an ambient STCC_AUDIT doesn't double up.
     sim.set_audit_every(None);
+    sim.set_shards(t.shards.0);
 
     let mid = t.cfg.cycles / 2;
     if let Err(v) = step_audited(&mut sim, mid, audit_every) {
@@ -339,6 +352,7 @@ fn run_trial(seed: u64, trial: u64, audit_every: u64) -> Result<Trial, Box<(Tria
         Err(e) => return fail(t, format!("restore of own checkpoint failed: {e}")),
     };
     twin.set_audit_every(None);
+    twin.set_shards(t.shards.1);
 
     let end = t.cfg.cycles;
     if let Err(v) = step_audited(&mut sim, end, audit_every) {

@@ -112,6 +112,9 @@ pub struct Manifest {
     pub cycle_budget: Option<u64>,
     /// Concurrent worker processes.
     pub workers: usize,
+    /// Step-loop shard count inside every worker (`STCC_SHARDS` for the
+    /// worker processes; results are bit-identical for any value).
+    pub shards: usize,
     /// The scenarios, in manifest order.
     pub scenarios: Vec<Scenario>,
 }
@@ -604,6 +607,7 @@ impl Manifest {
             "timeout_s",
             "cycle_budget",
             "workers",
+            "shards",
         ];
         for (key, _, line) in &campaign.keys {
             if !CAMPAIGN_KEYS.contains(&key.as_str()) {
@@ -634,6 +638,8 @@ impl Manifest {
             .transpose()?;
         #[allow(clippy::cast_possible_truncation)]
         let workers = (uint_or("workers", 2)?.clamp(1, 64)) as usize;
+        #[allow(clippy::cast_possible_truncation)]
+        let shards = (uint_or("shards", 1)?.clamp(1, 64)) as usize;
 
         if scenarios.is_empty() {
             return Err(ManifestError::NoScenarios);
@@ -650,6 +656,7 @@ impl Manifest {
             timeout_s,
             cycle_budget,
             workers,
+            shards,
             scenarios,
         })
     }
@@ -668,6 +675,7 @@ retries = 1
 backoff_ms = 10
 timeout_s = 30
 workers = 3
+shards = 2
 
 [scenario.alpha]
 net = "small"
@@ -693,6 +701,7 @@ rates = [0.01]
         assert_eq!(m.timeout_s, 30);
         assert_eq!(m.cycle_budget, None);
         assert_eq!(m.workers, 3);
+        assert_eq!(m.shards, 2);
         assert_eq!(m.scenarios.len(), 2);
         let a = &m.scenarios[0];
         assert_eq!(a.id, "alpha");
@@ -708,6 +717,12 @@ rates = [0.01]
         assert_eq!(b.net, NetPreset::Paper, "net defaults to paper");
         assert_eq!(b.scale, Scale::Reduced, "scale defaults to reduced");
         assert_eq!(b.faults, vec![FaultSpec::None], "faults default to none");
+    }
+
+    #[test]
+    fn shards_defaults_to_one() {
+        let text = GOOD.replace("shards = 2\n", "");
+        assert_eq!(Manifest::parse(&text).unwrap().shards, 1);
     }
 
     #[test]

@@ -274,6 +274,10 @@ pub fn worker_main(m: &Manifest, job_idx: u64, attempt: u32) -> i32 {
         // Crash-test rig: die like a real defect would — no marker line.
         std::process::exit(7);
     }
+    // The manifest's `shards` key is authoritative for every job: publish
+    // it before the pool (and its simulations) exist. Results are
+    // bit-identical for any value, so this only sets the thread layout.
+    std::env::set_var("STCC_SHARDS", m.shards.to_string());
     let budget = JobBudget {
         wall: (m.timeout_s > 0).then(|| Duration::from_secs(m.timeout_s)),
         cycles: m.cycle_budget,
@@ -330,6 +334,7 @@ fn supervise_attempt(
         .arg(spec.idx.to_string())
         .arg("--attempt")
         .arg(attempt.to_string())
+        .env("STCC_SHARDS", m.shards.to_string())
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn();

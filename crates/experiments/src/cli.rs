@@ -21,6 +21,10 @@ pub struct Cli {
     pub seed: u64,
     /// Resume from this sweep's journal, skipping completed points.
     pub resume: bool,
+    /// Step-loop shard count override (default: `STCC_SHARDS`, else 1).
+    /// Results are bit-identical for any value, so — like `jobs` — it is
+    /// deliberately absent from [`Cli::sweep_fingerprint`].
+    pub shards: Option<usize>,
 }
 
 impl Default for Cli {
@@ -32,6 +36,7 @@ impl Default for Cli {
             out: PathBuf::from("results"),
             seed: 1,
             resume: false,
+            shards: None,
         }
     }
 }
@@ -73,10 +78,18 @@ impl Cli {
                     cli.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
                 }
                 "--resume" => cli.resume = true,
+                "--shards" => {
+                    let v = it.next().ok_or("--shards needs a value")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad shard count '{v}'"))?;
+                    if n == 0 {
+                        return Err("--shards must be at least 1".to_owned());
+                    }
+                    cli.shards = Some(n);
+                }
                 "--help" | "-h" => {
                     return Err(
                         "usage: [--scale paper|reduced|smoke|tiny] [--net paper|small] \
-                         [--jobs N] [--out DIR] [--seed N] [--resume]"
+                         [--jobs N] [--shards N] [--out DIR] [--seed N] [--resume]"
                             .to_owned(),
                     )
                 }
@@ -87,10 +100,19 @@ impl Cli {
     }
 
     /// Parses the process arguments, exiting with a message on error.
+    ///
+    /// A `--shards` override is published as `STCC_SHARDS` here — before
+    /// any worker thread exists — so every `Simulation` this process (or
+    /// a respawned campaign worker) builds picks it up.
     #[must_use]
     pub fn from_env() -> Cli {
         match Cli::parse(std::env::args().skip(1)) {
-            Ok(cli) => cli,
+            Ok(cli) => {
+                if let Some(shards) = cli.shards {
+                    std::env::set_var("STCC_SHARDS", shards.to_string());
+                }
+                cli
+            }
             Err(msg) => {
                 eprintln!("{msg}");
                 std::process::exit(2);
@@ -246,6 +268,9 @@ mod tests {
         assert_eq!(cli.jobs, Some(4));
         assert_eq!(cli.net, NetPreset::Small);
         assert_eq!(cli.pool().jobs(), 4);
+        assert_eq!(cli.shards, None);
+        let cli = Cli::parse(args(&["--shards", "4"])).unwrap();
+        assert_eq!(cli.shards, Some(4));
     }
 
     #[test]
@@ -275,5 +300,16 @@ mod tests {
         assert!(Cli::parse(args(&["--jobs", "0"])).is_err());
         assert!(Cli::parse(args(&["--jobs", "many"])).is_err());
         assert!(Cli::parse(args(&["--net", "huge"])).is_err());
+        assert!(Cli::parse(args(&["--shards", "0"])).is_err());
+        assert!(Cli::parse(args(&["--shards", "lots"])).is_err());
+    }
+
+    /// `--shards` must not enter the sweep fingerprint: a journal written
+    /// at one shard count resumes at any other (results are identical).
+    #[test]
+    fn fingerprint_ignores_shards() {
+        let a = Cli::parse(args(&["--scale", "tiny"])).unwrap();
+        let b = Cli::parse(args(&["--scale", "tiny", "--shards", "4"])).unwrap();
+        assert_eq!(a.sweep_fingerprint("fig4"), b.sweep_fingerprint("fig4"));
     }
 }

@@ -87,3 +87,47 @@ fn two_runs_same_seed_are_identical() {
     };
     assert_eq!(run(), run(), "same-seed reruns must be byte-identical");
 }
+
+/// Shard invariance, end to end: every figure's tiny CSV must be
+/// byte-identical to the committed golden when each simulation steps
+/// across 1, 2 or 4 intra-network shards (`STCC_SHARDS`, the analogue of
+/// the `--jobs` axis above). The env var is process-global; tests in this
+/// binary run concurrently, but any value another thread reads still
+/// produces identical bytes — that's the invariant itself — so the races
+/// are benign. Values are restored to "1" (not unset) to keep the
+/// variable's lifetime simple.
+#[test]
+fn every_figure_matches_golden_at_every_shard_count() {
+    type Generate = fn(&SweepCtx) -> Result<Table, SweepError>;
+    let figures: &[(&str, Generate)] = &[
+        ("fig2.tiny.csv", |ctx| {
+            fig2::generate_on(NetPreset::Small, Scale::Tiny, ctx)
+        }),
+        ("fig4.tiny.csv", |ctx| {
+            fig4::generate_on(NetPreset::Small, Scale::Tiny, ctx)
+        }),
+        ("fig5.tiny.csv", |ctx| {
+            fig5::generate_on(NetPreset::Small, Scale::Tiny, ctx)
+        }),
+        ("fig_controllers.tiny.csv", |ctx| {
+            controllers::generate_on(NetPreset::Small, Scale::Tiny, ctx)
+        }),
+        ("resilience.tiny.csv", |ctx| {
+            resilience::generate_on(NetPreset::Small, Scale::Tiny, ctx)
+        }),
+    ];
+    for shards in [1usize, 2, 4] {
+        std::env::set_var("STCC_SHARDS", shards.to_string());
+        for (name, generate) in figures {
+            let want = golden(name);
+            let ctx = SweepCtx::bare(Pool::new(2));
+            let t = generate(&ctx).unwrap_or_else(|e| panic!("{name} @ shards={shards}: {e}"));
+            assert_eq!(
+                t.to_csv(),
+                want,
+                "{name} differs from golden snapshot at shards={shards}"
+            );
+        }
+    }
+    std::env::set_var("STCC_SHARDS", "1");
+}

@@ -62,6 +62,14 @@ pub enum AuditKind {
     Recovery,
     /// Incremental quiescence predicate vs. a full scan.
     Quiescence,
+    /// Per-shard decision mailbox conservation: cumulative staged ≠
+    /// applied, or ops left in a buffer between cycles.
+    MailboxConservation,
+    /// Shard partition not a disjoint ascending cover of the node range.
+    ShardPartition,
+    /// A per-shard census word inconsistent with the global occupancy
+    /// bitset over that shard's node range.
+    ShardCensus,
 }
 
 impl AuditKind {
@@ -87,6 +95,9 @@ impl AuditKind {
             AuditKind::TokenQueue => "token-queue",
             AuditKind::Recovery => "recovery",
             AuditKind::Quiescence => "quiescence",
+            AuditKind::MailboxConservation => "mailbox-conservation",
+            AuditKind::ShardPartition => "shard-partition",
+            AuditKind::ShardCensus => "shard-census",
         }
     }
 }
@@ -161,6 +172,7 @@ impl Network {
         self.audit_token_queue(&mut v);
         self.audit_recovery(&mut v);
         self.audit_quiescence(&mut v);
+        self.audit_shards(&mut v);
         AuditReport {
             cycle: self.now,
             violations: v,
@@ -641,6 +653,86 @@ impl Network {
         }
     }
 
+    /// Shard-plan invariants: the partition is a disjoint ascending cover
+    /// of the node range with a consistent node→shard map, every decision
+    /// mailbox conserved its ops (cumulative staged = applied, buffers
+    /// empty between cycles), and the per-shard census words agree with
+    /// the global occupancy bitset and sum to the global census.
+    fn audit_shards(&self, v: &mut Vec<AuditViolation>) {
+        let nodes = self.torus().node_count();
+        let shards = self.plan.shards();
+        if self.plan.bounds.len() != shards + 1
+            || self.plan.bounds.first() != Some(&0)
+            || self.plan.bounds.last() != Some(&nodes)
+            || self.plan.full_count.len() != shards
+            || self.plan.node_shard.len() != nodes
+        {
+            v.push(AuditViolation {
+                kind: AuditKind::ShardPartition,
+                detail: format!(
+                    "plan shape broken: {} stage(s), bounds {:?}, {} census word(s) over {nodes} nodes",
+                    shards,
+                    self.plan.bounds,
+                    self.plan.full_count.len()
+                ),
+            });
+            return; // Everything below indexes through the plan's shape.
+        }
+        for s in 0..shards {
+            let (lo, hi) = (self.plan.bounds[s], self.plan.bounds[s + 1]);
+            if lo >= hi {
+                v.push(AuditViolation {
+                    kind: AuditKind::ShardPartition,
+                    detail: format!("shard {s} range {lo}..{hi} is empty or descending"),
+                });
+                continue;
+            }
+            for node in lo..hi {
+                if self.plan.node_shard[node] as usize != s {
+                    v.push(AuditViolation {
+                        kind: AuditKind::ShardPartition,
+                        detail: format!(
+                            "node {node} in range of shard {s} but mapped to shard {}",
+                            self.plan.node_shard[node]
+                        ),
+                    });
+                }
+            }
+            let stage = &self.plan.stages[s];
+            if stage.staged_total != stage.applied_total
+                || !stage.route_ops.is_empty()
+                || !stage.switch_ops.is_empty()
+            {
+                v.push(AuditViolation {
+                    kind: AuditKind::MailboxConservation,
+                    detail: format!(
+                        "shard {s}: staged {} vs applied {}, {} route + {} switch op(s) \
+                         left in the mailbox",
+                        stage.staged_total,
+                        stage.applied_total,
+                        stage.route_ops.len(),
+                        stage.switch_ops.len()
+                    ),
+                });
+            }
+            let popcount: u32 = self.vc_full[lo..hi].iter().map(|w| w.count_ones()).sum();
+            if popcount != self.plan.full_count[s] {
+                v.push(AuditViolation {
+                    kind: AuditKind::ShardCensus,
+                    detail: format!(
+                        "shard {s}: census word {} but occupancy planes popcount to {popcount}",
+                        self.plan.full_count[s]
+                    ),
+                });
+            }
+        }
+        // No separate sum check: per-shard equality with the occupancy
+        // planes plus the `Census` invariant (global popcount vs. the
+        // running census) already pin the shard words' sum to
+        // `full_buffers`, and keeping each poke to one kind preserves the
+        // corruption tests' exactness.
+    }
+
     /// The O(1) quiescence predicate vs. a full scan of every buffer,
     /// queue and interface.
     fn audit_quiescence(&self, v: &mut Vec<AuditViolation>) {
@@ -830,6 +922,48 @@ mod tests {
             .expect("every output VC allocated");
         net.out_alloc[oidx] = true;
         assert_exactly(&net, AuditKind::OutAllocOwnership);
+    }
+
+    #[test]
+    fn clean_when_sharded() {
+        let mut net = hot_net();
+        for shards in [2usize, 3, 4] {
+            net.set_shards(shards);
+            let report = net.audit();
+            assert!(report.is_clean(), "shards={shards}: {report}");
+            drive(&mut net, 4, 60, 64);
+            let report = net.audit();
+            assert!(report.is_clean(), "shards={shards} after traffic: {report}");
+        }
+    }
+
+    #[test]
+    fn detects_mailbox_drift() {
+        let mut net = hot_net();
+        net.set_shards(2);
+        net.plan.stages[0].staged_total += 1;
+        assert_exactly(&net, AuditKind::MailboxConservation);
+    }
+
+    #[test]
+    fn detects_shard_partition_break() {
+        let mut net = hot_net();
+        net.set_shards(2);
+        // Remap one node to the wrong shard: the partition invariant
+        // breaks while the ranges (and thus the census words) stay intact.
+        net.plan.node_shard[0] = 1;
+        assert_exactly(&net, AuditKind::ShardPartition);
+    }
+
+    #[test]
+    fn detects_shard_census_drift() {
+        let mut net = hot_net();
+        net.set_shards(2);
+        // Desync one shard's census word. The global census still matches
+        // the occupancy planes, so this must fire `ShardCensus` — not
+        // `Census`.
+        net.plan.full_count[0] += 1;
+        assert_exactly(&net, AuditKind::ShardCensus);
     }
 
     #[test]

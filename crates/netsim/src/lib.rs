@@ -56,6 +56,7 @@ mod network;
 mod packet;
 mod ring;
 mod routing;
+mod shard;
 mod snapshot;
 mod wheel;
 

@@ -5,6 +5,7 @@ use crate::counters::Counters;
 use crate::packet::{DeliveredRecord, Flit, PacketId, PacketInfo, PacketStore};
 use crate::ring::{DeliveryDrain, DeliveryRing, FlitRings, IdRing};
 use crate::routing::RouteTables;
+use crate::shard::{RouteOp, ShardPlan, ShardStage, SwitchOp};
 use crate::wheel::TimerWheel;
 use faults::{FaultPlan, FaultPlanError};
 use kncube::{Dir, NodeId, Torus};
@@ -185,6 +186,11 @@ pub struct Network {
     /// Scheduled link/hotspot faults (`None` = fault-free network; the hot
     /// path is untouched until a non-quiet plan is installed).
     faults: Option<FaultPlan>,
+    /// Shard partition + per-shard decision mailboxes for parallel
+    /// stepping ([`crate::shard`]). Runtime-only configuration: never
+    /// serialized, never fingerprinted — a checkpoint taken at S shards
+    /// restores at any S′ by construction.
+    pub(crate) plan: ShardPlan,
 }
 
 impl Network {
@@ -250,8 +256,29 @@ impl Network {
             last_delivery_at: 0,
             last_progress_at: 0,
             faults: None,
+            plan: ShardPlan::new(1, nodes, d * v, d + 1),
             cfg,
         })
+    }
+
+    /// Re-partitions the network into `shards` contiguous node ranges for
+    /// parallel stepping (clamped to `[1, nodes]`). Results are
+    /// bit-identical for every shard count: the parallel decide phases
+    /// read only pre-phase state and the barrier applies staged decisions
+    /// in canonical ascending-node order regardless of the partition. The
+    /// partition is runtime-only configuration — never serialized, so a
+    /// checkpoint moves freely between shard counts. Call between cycles.
+    pub fn set_shards(&mut self, shards: usize) {
+        let nodes = self.torus.node_count();
+        let mut plan = ShardPlan::new(shards, nodes, self.d * self.v, self.d + 1);
+        plan.rebuild_census(&self.vc_full);
+        self.plan = plan;
+    }
+
+    /// The current shard count (1 unless [`Network::set_shards`] raised it).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.plan.shards()
     }
 
     /// Installs the data-network portion of a fault plan: scheduled link
@@ -466,6 +493,7 @@ impl Network {
         let full = u64::from(self.vc_bufs.len(idx) >= self.depth);
         self.vc_full[node] |= full << (idx % fpn);
         self.full_buffers += full as u32;
+        self.plan.full_count[self.plan.node_shard[node] as usize] += full as u32;
     }
 
     /// Clears input VC `idx` from the worklists if its buffer is now empty
@@ -485,6 +513,7 @@ impl Network {
         let was_full = self.vc_full[node] >> f & 1;
         self.vc_full[node] &= !(1u64 << f);
         self.full_buffers -= was_full as u32;
+        self.plan.full_count[self.plan.node_shard[node] as usize] -= was_full as u32;
     }
 
     /// Sets `vc_assign[idx]` while keeping the assignment bit-planes
@@ -544,6 +573,7 @@ impl Network {
             self.vc_switchable[node] = switchable;
             self.vc_full[node] = full;
         }
+        self.plan.rebuild_census(&self.vc_full);
     }
 
     /// Debug-only audit that every derived structure — both worklist
@@ -601,6 +631,19 @@ impl Network {
             );
         }
         debug_assert_eq!(census, self.full_buffers, "census out of sync");
+        for s in 0..self.plan.shards() {
+            let range = &self.vc_full[self.plan.bounds[s]..self.plan.bounds[s + 1]];
+            debug_assert_eq!(
+                range.iter().map(|w| w.count_ones()).sum::<u32>(),
+                self.plan.full_count[s],
+                "shard {s} census out of sync"
+            );
+            let stage = &self.plan.stages[s];
+            debug_assert_eq!(
+                stage.staged_total, stage.applied_total,
+                "shard {s} mailbox out of sync"
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -622,12 +665,12 @@ impl Network {
         self.generate(now, source);
         ctl.on_cycle(now, self);
         self.decide_injection(now, ctl);
-        self.route_stage(now);
+        self.route_phase(now);
         if let DeadlockMode::Recovery { timeout } = self.cfg.deadlock {
             self.starvation_dispatch(now, timeout);
             self.recovery_stage(now);
         }
-        self.switch_stage(now);
+        self.switch_phase(now);
         #[cfg(debug_assertions)]
         self.debug_check_worklist();
         self.now = now + 1;
@@ -698,20 +741,70 @@ impl Network {
         }
     }
 
-    /// Routing + VC allocation: each router's central arbiter routes at most
-    /// one header per cycle, demand-slotted round-robin over requesters.
-    fn route_stage(&mut self, now: u64) {
+    /// Routing + VC allocation: each router's central arbiter routes at
+    /// most one header per cycle, demand-slotted round-robin over
+    /// requesters. Runs as a parallel decide over the shard partition
+    /// followed by a sequential apply barrier (see [`crate::shard`]); with
+    /// one shard the decide runs inline on the caller's thread — the same
+    /// staged code path, so every shard count computes the same function.
+    fn route_phase(&mut self, now: u64) {
+        let mut stages = std::mem::take(&mut self.plan.stages);
+        if stages.len() == 1 {
+            self.route_decide(
+                now,
+                self.plan.bounds[0],
+                self.plan.bounds[1],
+                &mut stages[0],
+            );
+        } else if !self.idle_route() {
+            let this: &Network = self;
+            std::thread::scope(|scope| {
+                for (s, stage) in stages.iter_mut().enumerate() {
+                    let (lo, hi) = (this.plan.bounds[s], this.plan.bounds[s + 1]);
+                    scope.spawn(move || this.route_decide(now, lo, hi, stage));
+                }
+            });
+        }
+        for stage in &mut stages {
+            self.apply_route_ops(now, stage);
+        }
+        self.plan.stages = stages;
+    }
+
+    /// Whether no router has anything to arbitrate (skips the thread
+    /// fan-out on idle cycles; one OR per 64 nodes).
+    fn idle_route(&self) -> bool {
+        (0..self.busy_nodes.word_count())
+            .all(|w| (self.busy_nodes.word(w) | self.allow_nodes.word(w)) == 0)
+    }
+
+    /// See [`Network::idle_route`], for the switch phase.
+    fn idle_switch(&self) -> bool {
+        (0..self.busy_nodes.word_count())
+            .all(|w| (self.busy_nodes.word(w) | self.inj_nodes.word(w)) == 0)
+    }
+
+    /// The route stage's read-only decide: arbitrates every router in
+    /// `lo..hi` over *pre-phase* state and stages the decisions. Safe to
+    /// run concurrently with other shards' decides: every input it reads
+    /// (`out_alloc` claims, `route_rr`, `vc_blocked`, buffer fronts,
+    /// `escaped`) is written only by the staged ops of the node that owns
+    /// it, and those writes are deferred to the barrier — so the decision
+    /// for each node is exactly the sequential reference's.
+    fn route_decide(&self, now: u64, lo: usize, hi: usize, stage: &mut ShardStage) {
         let fpn = self.feeders_per_node();
         let inj_feeder = self.d * self.v;
         let timeout = match self.cfg.deadlock {
             DeadlockMode::Recovery { timeout } => timeout,
             DeadlockMode::Avoidance => u64::MAX,
         };
+        let staged_before = stage.route_ops.len();
         let mut requests: [u16; 64] = [0; 64];
         // Only routers with buffered flits or an admitted injection can
         // have anything to arbitrate.
-        for w in 0..self.busy_nodes.word_count() {
-            let mut nword = self.busy_nodes.word(w) | self.allow_nodes.word(w);
+        for w in (lo >> 6)..hi.div_ceil(64) {
+            let mut nword =
+                (self.busy_nodes.word(w) | self.allow_nodes.word(w)) & range_word_mask(w, lo, hi);
             while nword != 0 {
                 let node = (w << 6) | nword.trailing_zeros() as usize;
                 nword &= nword - 1;
@@ -723,7 +816,7 @@ impl Network {
                 if cand == 0 && !allow {
                     continue;
                 }
-                self.counters.stage_route_visits += 1;
+                stage.route_visits += 1;
                 // Gather routing requests from occupied input VCs
                 // (ascending feeder order, same as a full scan).
                 let mut nreq = 0usize;
@@ -759,10 +852,31 @@ impl Network {
                     .find(|&&f| usize::from(f) >= cursor)
                     .unwrap_or(&requests[0]);
                 let winner = usize::from(winner);
-                self.route_rr[node] = winner + 1;
+                stage.route_ops.push(RouteOp::Rr {
+                    node: node as u32,
+                    cursor: (winner + 1) as u8,
+                });
 
-                // Attempt allocation for the winner.
-                let routed = self.try_route(now, node, winner, inj_feeder);
+                // Routing decision for the winner.
+                let pid = if winner == inj_feeder {
+                    self.source_q.front(node)
+                } else {
+                    self.vc_bufs.front_packet(base + winner)
+                };
+                let dst = self.packets.get(pid).dst;
+                let assign = if dst == node {
+                    Some(Assign::Delivery)
+                } else {
+                    self.choose_output(node, dst, pid)
+                };
+                let routed = assign.is_some();
+                if let Some(assign) = assign {
+                    stage.route_ops.push(RouteOp::Win {
+                        node: node as u32,
+                        feeder: winner as u8,
+                        assign,
+                    });
+                }
 
                 // Blocked-cycle accounting for every input-VC requester
                 // that did not end up routed this cycle (drives Disha
@@ -774,9 +888,9 @@ impl Network {
                     }
                     let idx = base + f;
                     if routed && f == winner {
-                        self.vc_blocked[idx] = 0;
+                        // The winner's blocked-counter reset is part of
+                        // the `Win` apply.
                     } else if self.vc_assign[idx] == Assign::None {
-                        self.vc_blocked[idx] += 1;
                         // Disha suspicion: the header has starved for
                         // `timeout` cycles AND no flit of the whole worm
                         // has moved for `timeout` cycles (transient
@@ -784,22 +898,54 @@ impl Network {
                         // not trip this). A suspected packet queues for
                         // the recovery token but keeps retrying normal
                         // routing until the token is captured.
-                        if self.vc_blocked[idx] >= timeout {
+                        if self.vc_blocked[idx] + 1 >= timeout {
                             let pid = self.vc_bufs.front_packet(idx);
                             if now.saturating_sub(self.packets.get(pid).last_move) >= timeout {
-                                self.set_assign(idx, Assign::AwaitToken);
-                                self.vc_blocked[idx] = 0;
-                                if !self.vc_queued[idx] {
-                                    self.vc_queued[idx] = true;
-                                    self.token_queue.push_back(0, idx as u32);
-                                }
-                                self.counters.recovery_timeouts += 1;
+                                stage.route_ops.push(RouteOp::Suspect { idx: idx as u32 });
+                                continue;
                             }
                         }
+                        stage.route_ops.push(RouteOp::Blocked { idx: idx as u32 });
                     }
                 }
             }
         }
+        stage.staged_total += (stage.route_ops.len() - staged_before) as u64;
+    }
+
+    /// Applies one shard's staged route ops in staging (ascending-node)
+    /// order, and folds its counter deltas into the global counters.
+    fn apply_route_ops(&mut self, now: u64, stage: &mut ShardStage) {
+        let inj_feeder = self.d * self.v;
+        self.counters.stage_route_visits += stage.route_visits;
+        stage.route_visits = 0;
+        stage.applied_total += stage.route_ops.len() as u64;
+        for i in 0..stage.route_ops.len() {
+            match stage.route_ops[i] {
+                RouteOp::Rr { node, cursor } => {
+                    self.route_rr[node as usize] = usize::from(cursor);
+                }
+                RouteOp::Win {
+                    node,
+                    feeder,
+                    assign,
+                } => {
+                    self.apply_route(now, node as usize, usize::from(feeder), assign, inj_feeder);
+                }
+                RouteOp::Blocked { idx } => self.vc_blocked[idx as usize] += 1,
+                RouteOp::Suspect { idx } => {
+                    let idx = idx as usize;
+                    self.set_assign(idx, Assign::AwaitToken);
+                    self.vc_blocked[idx] = 0;
+                    if !self.vc_queued[idx] {
+                        self.vc_queued[idx] = true;
+                        self.token_queue.push_back(0, idx as u32);
+                    }
+                    self.counters.recovery_timeouts += 1;
+                }
+            }
+        }
+        stage.route_ops.clear();
     }
 
     /// Starved-head detection: timer wheel in production; tests may switch
@@ -830,7 +976,7 @@ impl Network {
     ///
     /// Fires the due bucket of the deadline timer wheel ([`TimerWheel`])
     /// instead of scanning every busy VC. Enrollment happens where the
-    /// only trip-enabling transition happens — [`Self::try_route`]
+    /// only trip-enabling transition happens — [`Self::apply_route`]
     /// assigning an output VC — and a due entry that no longer satisfies
     /// the predicate is either dropped (header gone: any successor
     /// re-enrolls through routing) or re-parked at the earliest cycle the
@@ -874,7 +1020,7 @@ impl Network {
     /// gone), or re-park at the next cycle the predicate could hold.
     fn recheck_starved_head(&mut self, now: u64, timeout: u64, idx: usize) {
         let Assign::Out { port, vc: ovc } = self.vc_assign[idx] else {
-            return; // header delivered/recovered/demoted: re-enrolls via try_route
+            return; // header delivered/recovered/demoted: re-enrolls via apply_route
         };
         if self.vc_bufs.is_empty(idx) || self.vc_bufs.front_idx(idx) != 0 {
             return; // header already departed on its output VC
@@ -955,22 +1101,24 @@ impl Network {
         self.counters.recovery_timeouts += 1;
     }
 
-    /// Routes the winning feeder of `node`'s arbiter; returns whether an
-    /// assignment was made.
-    fn try_route(&mut self, now: u64, node: NodeId, feeder: usize, inj_feeder: usize) -> bool {
+    /// Performs the allocation tail of a staged routing win: output-VC
+    /// claim, escape marking, and the injection start or VC assignment +
+    /// timer-wheel enrollment. The decision itself (`assign`) was made by
+    /// [`Network::route_decide`] over pre-phase state.
+    fn apply_route(
+        &mut self,
+        now: u64,
+        node: NodeId,
+        feeder: usize,
+        assign: Assign,
+        inj_feeder: usize,
+    ) {
         let (pid, is_inj) = if feeder == inj_feeder {
             (self.source_q.front(node), true)
         } else {
             let idx = self.vc_idx(node, 0, 0) + feeder;
             (self.vc_bufs.front_packet(idx), false)
         };
-        let dst = self.packets.get(pid).dst;
-        let assign = if dst == node {
-            Some(Assign::Delivery)
-        } else {
-            self.choose_output(node, dst, pid)
-        };
-        let Some(assign) = assign else { return false };
         if let Assign::Out { port, vc } = assign {
             let oidx = self.vc_idx(node, usize::from(port), usize::from(vc));
             debug_assert!(!self.out_alloc[oidx], "allocating an owned VC");
@@ -1012,13 +1160,48 @@ impl Network {
                 }
             }
         }
-        true
     }
 
     /// Switch + link traversal: each output channel (network ports and the
     /// delivery channel) moves at most one flit per cycle, round-robin over
-    /// the input VCs assigned to it.
-    fn switch_stage(&mut self, now: u64) {
+    /// the input VCs assigned to it. Parallel decide over the shard
+    /// partition, then a sequential apply barrier moving the flits in
+    /// ascending-node order — see [`Network::route_phase`].
+    fn switch_phase(&mut self, now: u64) {
+        let mut stages = std::mem::take(&mut self.plan.stages);
+        if stages.len() == 1 {
+            self.switch_decide(
+                now,
+                self.plan.bounds[0],
+                self.plan.bounds[1],
+                &mut stages[0],
+            );
+        } else if !self.idle_switch() {
+            let this: &Network = self;
+            std::thread::scope(|scope| {
+                for (s, stage) in stages.iter_mut().enumerate() {
+                    let (lo, hi) = (this.plan.bounds[s], this.plan.bounds[s + 1]);
+                    scope.spawn(move || this.switch_decide(now, lo, hi, stage));
+                }
+            });
+        }
+        for stage in &mut stages {
+            self.apply_switch_ops(now, stage);
+        }
+        self.plan.stages = stages;
+    }
+
+    /// The switch stage's read-only decide over `lo..hi`. Every per-port
+    /// arbitration input (candidate masks, assignments, `out_rr` cursors,
+    /// fronts) is node-local; the one cross-node read — downstream buffer
+    /// occupancy for the credit check — uses *pre-phase* occupancy, i.e.
+    /// credit freed by a pop this same cycle becomes usable next cycle
+    /// (credit return takes a cycle). That makes the decision a pure
+    /// function of pre-phase state, identical for every shard count, and
+    /// keeps the apply overflow-free: each downstream VC has exactly one
+    /// upstream owner moving at most one flit per cycle, so a buffer seen
+    /// below capacity pre-phase still has room at apply time.
+    fn switch_decide(&self, now: u64, lo: usize, hi: usize, stage: &mut ShardStage) {
         let inj_feeder = self.d * self.v;
         let nports = self.d + 1; // network ports + delivery
                                  // Per-port candidate buckets, hoisted out of the node loop: zeroing
@@ -1027,17 +1210,19 @@ impl Network {
         let mut buckets: [[u16; 64]; 17] = [[0; 64]; 17];
         let mut counts = [0usize; 17];
         debug_assert!(nports <= 17 && self.feeders_per_node() <= 64);
+        let staged_before = stage.switch_ops.len();
         // Only routers with buffered flits or an active injection can move
-        // anything. Bits this stage itself sets (a flit pushed downstream
-        // into a previously idle router) are deliberately not revisited:
-        // that flit is not ready before `now + hop_latency`, so visiting
-        // its router would do nothing — exactly as the full scan behaved.
-        for w in 0..self.busy_nodes.word_count() {
-            let mut nword = self.busy_nodes.word(w) | self.inj_nodes.word(w);
+        // anything. Routers made busy mid-phase by a downstream push are
+        // not visited: the pushed flit is not ready before
+        // `now + hop_latency` and its VC is unrouted, so a visit would do
+        // nothing.
+        for w in (lo >> 6)..hi.div_ceil(64) {
+            let mut nword =
+                (self.busy_nodes.word(w) | self.inj_nodes.word(w)) & range_word_mask(w, lo, hi);
             while nword != 0 {
                 let node = (w << 6) | nword.trailing_zeros() as usize;
                 nword &= nword - 1;
-                self.counters.stage_switch_visits += 1;
+                stage.switch_visits += 1;
                 // Bucket ready feeders by output port. The bit-plane
                 // intersection prunes unrouted and recovering worms before
                 // any per-VC state is touched.
@@ -1104,11 +1289,11 @@ impl Network {
                     if let Some(plan) = &self.faults {
                         if port == self.d {
                             if plan.delivery_down(node, now) {
-                                self.counters.hotspot_stall_cycles += 1;
+                                stage.hotspot_stalls += 1;
                                 continue;
                             }
                         } else if plan.link_down(node, port, now) {
-                            self.counters.link_stall_cycles += 1;
+                            stage.link_stalls += 1;
                             continue;
                         }
                     }
@@ -1118,11 +1303,36 @@ impl Network {
                         .iter()
                         .find(|&&f| usize::from(f) >= cursor)
                         .unwrap_or(&cands[0]);
-                    self.out_rr[node * nports + port] = usize::from(pick) + 1;
-                    self.move_flit(now, node, usize::from(pick), inj_feeder);
+                    stage.switch_ops.push(SwitchOp {
+                        node: node as u32,
+                        port: port as u8,
+                        pick: pick as u8,
+                    });
                 }
             }
         }
+        stage.staged_total += (stage.switch_ops.len() - staged_before) as u64;
+    }
+
+    /// Applies one shard's staged switch ops in staging order: bumps the
+    /// output channel's round-robin cursor and moves the flit.
+    fn apply_switch_ops(&mut self, now: u64, stage: &mut ShardStage) {
+        let inj_feeder = self.d * self.v;
+        let nports = self.d + 1;
+        self.counters.stage_switch_visits += stage.switch_visits;
+        self.counters.hotspot_stall_cycles += stage.hotspot_stalls;
+        self.counters.link_stall_cycles += stage.link_stalls;
+        stage.switch_visits = 0;
+        stage.hotspot_stalls = 0;
+        stage.link_stalls = 0;
+        stage.applied_total += stage.switch_ops.len() as u64;
+        for i in 0..stage.switch_ops.len() {
+            let SwitchOp { node, port, pick } = stage.switch_ops[i];
+            let (node, port, pick) = (node as usize, usize::from(port), usize::from(pick));
+            self.out_rr[node * nports + port] = pick + 1;
+            self.move_flit(now, node, pick, inj_feeder);
+        }
+        stage.switch_ops.clear();
     }
 
     /// Moves one flit from feeder `f` of `node` along its assignment.
@@ -1229,6 +1439,21 @@ impl Network {
     }
 }
 
+/// Mask selecting the bits of bitset word `w` whose node indices fall in
+/// `lo..hi`. Shard ranges are not word-aligned, so the decide phases trim
+/// the first and last word of their range with this.
+#[inline]
+#[must_use]
+fn range_word_mask(w: usize, lo: usize, hi: usize) -> u64 {
+    let lo_mask = if w == lo >> 6 { !0u64 << (lo & 63) } else { !0 };
+    let hi_mask = if w == hi >> 6 && hi & 63 != 0 {
+        (1u64 << (hi & 63)) - 1
+    } else {
+        !0
+    };
+    lo_mask & hi_mask
+}
+
 /// Output/input port index of `(dim, dir)`: `2*dim` for `Plus`, `2*dim + 1`
 /// for `Minus`.
 #[inline]
@@ -1254,6 +1479,51 @@ pub(crate) fn dim_dir_of(port: usize) -> (usize, Dir) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::control::NoControl;
+
+    /// Stepping under saturating random traffic must produce bit-identical
+    /// state for every shard count: the decide phases are pure functions
+    /// of pre-phase state and the barrier applies in ascending-node order
+    /// regardless of the partition.
+    #[test]
+    fn stepping_is_bit_identical_across_shard_counts() {
+        let cfg = NetConfig {
+            radix: 4,
+            dimensions: 3,
+            ..NetConfig::small(DeadlockMode::Recovery { timeout: 8 })
+        };
+        let run = |shards: usize| {
+            let mut net = Network::new(cfg.clone()).unwrap();
+            net.set_shards(shards);
+            assert_eq!(net.shards(), shards);
+            let nodes = net.torus().node_count();
+            let mut src = move |now: u64, node: usize| {
+                let mut x = (now + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (node as u64) << 17;
+                x ^= x >> 29;
+                (x % 100 < 55).then(|| (x >> 32) as usize % nodes)
+            };
+            net.run(1_200, &mut src, &mut NoControl);
+            let mut enc = checkpoint::Enc::new();
+            net.save_state(&mut enc);
+            let delivered = net.counters().delivered_packets;
+            (enc.into_vec(), delivered)
+        };
+        let (base, delivered) = run(1);
+        assert!(delivered > 0, "vacuous: nothing was delivered");
+        for shards in [2usize, 3, 4, 7] {
+            assert_eq!(run(shards).0, base, "shards={shards} diverged from 1");
+        }
+    }
+
+    #[test]
+    fn range_word_mask_trims_unaligned_edges() {
+        assert_eq!(range_word_mask(0, 0, 64), !0);
+        assert_eq!(range_word_mask(0, 3, 64), !0u64 << 3);
+        assert_eq!(range_word_mask(0, 0, 16), (1u64 << 16) - 1);
+        assert_eq!(range_word_mask(1, 70, 130), !0u64 << 6);
+        assert_eq!(range_word_mask(2, 70, 130), (1u64 << 2) - 1);
+        assert_eq!(range_word_mask(1, 0, 128), !0);
+    }
 
     #[test]
     fn port_mapping_round_trips() {

@@ -46,6 +46,14 @@ impl RouteTables {
     /// Builds the tables for `torus` with `vcs` virtual channels per
     /// physical channel.
     pub(crate) fn build(torus: &Torus, vcs: usize) -> Self {
+        Self::build_with_limit(torus, vcs, TABLE_NODE_LIMIT)
+    }
+
+    /// [`RouteTables::build`] with an explicit pair-table node limit, so
+    /// tests can force the O(nodes²) tables on a network large enough to
+    /// take the dynamic fallback in production and prove the two paths
+    /// equivalent.
+    pub(crate) fn build_with_limit(torus: &Torus, vcs: usize, limit: usize) -> Self {
         let nodes = torus.node_count();
         let d = torus.channels_per_node();
         let mut downstream = vec![0u32; nodes * d * vcs];
@@ -60,7 +68,7 @@ impl RouteTables {
                 }
             }
         }
-        let (mesh_next, productive) = if nodes <= TABLE_NODE_LIMIT {
+        let (mesh_next, productive) = if nodes <= limit {
             let mut mesh_next = vec![NO_HOP; nodes * nodes];
             let mut productive = vec![0u16; nodes * nodes];
             for cur in 0..nodes {
@@ -221,8 +229,9 @@ impl Network {
 
 #[cfg(test)]
 mod tests {
-    use super::{mesh_dor_hop_dyn, productive_mask_dyn};
+    use super::{mesh_dor_hop_dyn, productive_mask_dyn, RouteTables, TABLE_NODE_LIMIT};
     use crate::config::{DeadlockMode, NetConfig};
+    use crate::control::NoControl;
     use crate::network::Network;
     use crate::network::{dim_dir_of, port_of};
     use kncube::Dir;
@@ -256,6 +265,51 @@ mod tests {
                 assert_eq!(cur, dst);
             }
         }
+    }
+
+    /// Above [`TABLE_NODE_LIMIT`] the pair tables are skipped and every
+    /// routing decision falls back to the coordinate computation — a path
+    /// the Tiny/Small/paper presets never take. Build a 12-ary 3-cube
+    /// (1728 nodes) twice, force the O(nodes²) tables onto one of the two
+    /// otherwise-identical networks, drive both under the same traffic,
+    /// and require bit-identical observables: serialized state and full
+    /// counters. Avoidance mode exercises both tables (the productive
+    /// mask on the adaptive path, the mesh next hop on every escape).
+    #[test]
+    fn dynamic_fallback_matches_forced_tables_above_limit() {
+        let cfg = NetConfig {
+            radix: 12,
+            dimensions: 3,
+            vcs: 2,
+            buf_depth: 4,
+            packet_len: 4,
+            ..NetConfig::small(DeadlockMode::Avoidance)
+        };
+        let nodes = cfg.torus().unwrap().node_count();
+        assert!(
+            nodes > TABLE_NODE_LIMIT,
+            "config no longer exercises the dynamic fallback"
+        );
+        let run = |force_tables: bool| {
+            let mut net = Network::new(cfg.clone()).unwrap();
+            if force_tables {
+                let t = net.torus().clone();
+                net.tables = RouteTables::build_with_limit(&t, cfg.vcs, usize::MAX);
+            }
+            assert_eq!(net.tables.has_pair_tables(), force_tables);
+            let mut src = move |now: u64, node: usize| {
+                let mut x = (now + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (node as u64) << 21;
+                x ^= x >> 31;
+                (x % 100 < 45).then(|| (x >> 32) as usize % nodes)
+            };
+            net.run(400, &mut src, &mut NoControl);
+            let mut enc = checkpoint::Enc::new();
+            net.save_state(&mut enc);
+            (enc.into_vec(), net.counters().delivered_packets)
+        };
+        let (dynamic, delivered) = run(false);
+        assert!(delivered > 0, "vacuous: nothing was delivered");
+        assert_eq!(run(true).0, dynamic, "table and dynamic paths diverged");
     }
 
     /// Exhaustive table-vs-dynamic equivalence over every (cur, dst) pair

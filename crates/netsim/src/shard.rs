@@ -1,0 +1,209 @@
+//! Intra-simulation sharding: the shard plan and per-shard op staging.
+//!
+//! One [`crate::Network`] is stepped across a fixed set of *shards* —
+//! contiguous node ranges — with a deterministic per-cycle barrier. The
+//! route and switch stages each split into two phases:
+//!
+//! 1. **Decide** (parallel): every shard scans its own node range of the
+//!    *pre-phase* network state through a shared `&Network` borrow and
+//!    stages its decisions as typed ops into its own [`ShardStage`]
+//!    buffer. Nothing is mutated, so workers never race.
+//! 2. **Apply** (sequential barrier): the staged ops are applied with
+//!    full `&mut Network` access in canonical order — ascending shard,
+//!    and within a shard in the order they were staged (ascending node).
+//!    Because shards are contiguous ascending ranges, this reproduces a
+//!    single global ascending-node application order for *any* shard
+//!    count, which is what makes results bit-identical at `--shards
+//!    1/2/4/…`.
+//!
+//! The plan is runtime-only configuration: it is never serialized and
+//! never enters a checkpoint fingerprint, so a snapshot taken at S shards
+//! restores at any S′ by construction. The op buffers are preallocated at
+//! their per-cycle worst case, keeping the steady-state cycle pipeline
+//! allocation-free (see `tests/zero_alloc.rs`).
+
+use crate::network::Assign;
+
+/// One staged routing-stage decision. Ops are applied in staging order,
+/// which per node is: the arbiter cursor update, the winner's allocation
+/// (if it routed), then blocked-cycle accounting per losing requester —
+/// the exact write order of the sequential reference implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RouteOp {
+    /// Demand-slotted round-robin cursor update of `node`'s arbiter.
+    Rr { node: u32, cursor: u8 },
+    /// The arbiter's winning feeder routed: perform the allocation tail
+    /// (output-VC claim, escape marking, injection start or VC
+    /// assignment + wheel enrollment).
+    Win {
+        node: u32,
+        feeder: u8,
+        assign: Assign,
+    },
+    /// A losing (or unroutable) requester accrues one blocked cycle.
+    Blocked { idx: u32 },
+    /// A requester tripped Disha's suspicion predicate: commit it to the
+    /// recovery token queue.
+    Suspect { idx: u32 },
+}
+
+/// One staged switch-stage decision: output channel `port` of `node`
+/// moves one flit from feeder `pick`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SwitchOp {
+    pub node: u32,
+    pub port: u8,
+    pub pick: u8,
+}
+
+/// Per-shard staging buffer: the mailbox decisions travel through between
+/// the parallel decide phase and the sequential apply barrier.
+#[derive(Debug, Default)]
+pub(crate) struct ShardStage {
+    /// Ops staged by this shard's route decide, in node order.
+    pub route_ops: Vec<RouteOp>,
+    /// Ops staged by this shard's switch decide, in (node, port) order.
+    pub switch_ops: Vec<SwitchOp>,
+    /// Routers this shard's route decide visited (counter delta, folded
+    /// into [`crate::counters::Counters`] at the barrier).
+    pub route_visits: u64,
+    /// Routers this shard's switch decide visited.
+    pub switch_visits: u64,
+    /// Ready flits stalled on faulted links / hot delivery channels this
+    /// cycle (counter deltas).
+    pub link_stalls: u64,
+    pub hotspot_stalls: u64,
+    /// Cumulative ops ever staged into / applied from this buffer. The
+    /// audit's mailbox-conservation invariant: between cycles the two are
+    /// equal and both op vectors are empty — every staged decision was
+    /// applied, none invented.
+    pub staged_total: u64,
+    pub applied_total: u64,
+}
+
+impl ShardStage {
+    fn with_capacity(route_cap: usize, switch_cap: usize) -> Self {
+        ShardStage {
+            route_ops: Vec::with_capacity(route_cap),
+            switch_ops: Vec::with_capacity(switch_cap),
+            ..ShardStage::default()
+        }
+    }
+}
+
+/// The shard partition of one network: contiguous node ranges, the
+/// node→shard map, the per-shard full-buffer census and the per-shard op
+/// buffers. Runtime-only: never serialized, never fingerprinted.
+#[derive(Debug)]
+pub(crate) struct ShardPlan {
+    /// Shard `s` owns nodes `bounds[s]..bounds[s + 1]`. Ascending,
+    /// `bounds[0] == 0`, last element == node count, every range
+    /// non-empty.
+    pub bounds: Vec<usize>,
+    /// Which shard owns each node (inverse of `bounds`).
+    pub node_shard: Vec<u32>,
+    /// Per-shard count of completely full input VC buffers. Maintained
+    /// incrementally alongside the global census; the network-wide
+    /// `full_buffers` equals the fixed-order sum over shards.
+    pub full_count: Vec<u32>,
+    /// Per-shard decision mailboxes.
+    pub stages: Vec<ShardStage>,
+}
+
+impl ShardPlan {
+    /// Builds a plan with `shards` contiguous, near-equal node ranges.
+    /// The effective shard count is clamped to `[1, nodes]`; ranges use
+    /// the `s * nodes / shards` split so every shard is non-empty and
+    /// sizes differ by at most one node (ranges are *not* word-aligned —
+    /// workers mask bitset words at range edges).
+    ///
+    /// `fpn` is input-VC feeders per node (`d * v`), `nports` output
+    /// channels per node (`d + 1`); both size the worst-case per-cycle op
+    /// capacity: a router stages at most `fpn + 2` route ops (cursor +
+    /// winner + one blocked entry per input feeder) and `nports` switch
+    /// ops (one flit per output channel).
+    pub fn new(shards: usize, nodes: usize, fpn: usize, nports: usize) -> Self {
+        let shards = shards.clamp(1, nodes.max(1));
+        let mut bounds = Vec::with_capacity(shards + 1);
+        for s in 0..=shards {
+            bounds.push(s * nodes / shards);
+        }
+        let mut node_shard = vec![0u32; nodes];
+        for s in 0..shards {
+            for owner in &mut node_shard[bounds[s]..bounds[s + 1]] {
+                *owner = s as u32;
+            }
+        }
+        let stages = (0..shards)
+            .map(|s| {
+                let span = bounds[s + 1] - bounds[s];
+                ShardStage::with_capacity(span * (fpn + 2), span * nports)
+            })
+            .collect();
+        ShardPlan {
+            bounds,
+            node_shard,
+            full_count: vec![0; shards],
+            stages,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Recomputes the per-shard census from the occupancy bit-planes
+    /// (after a restore or a re-partition).
+    pub fn rebuild_census(&mut self, vc_full: &[u64]) {
+        for (s, count) in self.full_count.iter_mut().enumerate() {
+            *count = vc_full[self.bounds[s]..self.bounds[s + 1]]
+                .iter()
+                .map(|w| w.count_ones())
+                .sum();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_all_nodes_exactly_once() {
+        for nodes in [1usize, 2, 63, 64, 65, 256] {
+            for shards in [1usize, 2, 3, 4, 7, 300] {
+                let plan = ShardPlan::new(shards, nodes, 8, 5);
+                assert_eq!(plan.bounds[0], 0);
+                assert_eq!(*plan.bounds.last().unwrap(), nodes);
+                assert_eq!(plan.shards(), shards.min(nodes));
+                for s in 0..plan.shards() {
+                    assert!(
+                        plan.bounds[s] < plan.bounds[s + 1],
+                        "empty shard {s} of {shards} over {nodes} nodes"
+                    );
+                }
+                for (node, &s) in plan.node_shard.iter().enumerate() {
+                    let s = s as usize;
+                    assert!((plan.bounds[s]..plan.bounds[s + 1]).contains(&node));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_networks_still_split() {
+        // A 64-node network must genuinely split at 4 shards (ranges are
+        // not word-aligned), so shard-invariance tests on tiny presets
+        // are not vacuous.
+        let plan = ShardPlan::new(4, 64, 8, 5);
+        assert_eq!(plan.bounds, vec![0, 16, 32, 48, 64]);
+    }
+
+    #[test]
+    fn census_rebuild_sums_ranges() {
+        let mut plan = ShardPlan::new(2, 4, 8, 5);
+        plan.rebuild_census(&[0b11, 0b1, 0, 0b111]);
+        assert_eq!(plan.full_count, vec![3, 3]);
+    }
+}
