@@ -21,11 +21,17 @@
 //! for gating.
 //!
 //! v2 baselines added the per-stage work-share breakdown of the saturated
-//! run (inject/route/starvation/switch/drain, in percent); v3 adds the
+//! run (inject/route/starvation/switch/drain, in percent); v3 added the
 //! shard-scaling rows (`saturated_cycles_per_sec@shards=1/2/4` — the same
-//! saturated workload stepped across 1/2/4 threads). Both are
+//! saturated workload stepped across 1/2/4 threads). Those are
 //! informational: `--gate` prints the drift but never fails on them, and
-//! accepts v1/v2 baselines that lack them entirely. The JSON is
+//! accepts v1/v2 baselines that lack them entirely. v4 adds the
+//! decide/apply/barrier time split of a sharded cycle
+//! (`phase_*_ns_per_cycle@shards=2`, informational) and one new *gated*
+//! metric: `shard_overhead_ratio`, the shards=2 / shards=1 saturated
+//! throughput ratio, checked against an **absolute** floor of 0.9 rather
+//! than against the baseline — the persistent worker pool must keep a
+//! second shard essentially free even on a single-core host. The JSON is
 //! hand-rolled and hand-parsed — one metric per line, no dependencies —
 //! keeping the build hermetic.
 
@@ -34,12 +40,16 @@ use std::hint::black_box;
 use std::process::ExitCode;
 use wormsim::{DeadlockMode, NetConfig, Network, NoControl};
 
-/// Schema tag written into new baseline files. v3 adds the informational
-/// shard-scaling rows (`saturated_cycles_per_sec@shards=N`) and the `big`
-/// preset.
+/// Schema tag written into new baseline files. v4 adds the gated
+/// `shard_overhead_ratio` (absolute floor, see [`SHARD_OVERHEAD_FLOOR`])
+/// and the informational `phase_*_ns_per_cycle@shards=2` time split.
+const SCHEMA_V4: &str = "stcc-bench-netsim-v4";
+
+/// Previous schema, still accepted by `--gate` (no shard-overhead ratio
+/// or phase split; the ratio still gates on its absolute floor).
 const SCHEMA_V3: &str = "stcc-bench-netsim-v3";
 
-/// Previous schema, still accepted by `--gate` (no shard rows).
+/// Older schema, still accepted by `--gate` (no shard rows).
 const SCHEMA_V2: &str = "stcc-bench-netsim-v2";
 
 /// Oldest schema, still accepted by `--gate` (no stage shares either).
@@ -48,6 +58,14 @@ const SCHEMA_V1: &str = "stcc-bench-netsim-v1";
 /// Largest tolerated regression per metric (fraction; `--tolerance`
 /// overrides).
 const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// Absolute floor for `shard_overhead_ratio`: stepping the saturated
+/// workload at two shards must stay within 10% of the single-shard rate
+/// even when both shards share one core. Unlike every other gated metric
+/// this is not relative to the baseline — a fleet-wide slowdown that
+/// preserves the ratio passes, a pool regression that taxes only the
+/// sharded path fails no matter what the baseline recorded.
+const SHARD_OVERHEAD_FLOOR: f64 = 0.9;
 
 /// Which network the baseline measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,12 +127,15 @@ impl Preset {
 
 /// One measured metric: name, value, and whether bigger is better
 /// (throughputs) or worse (latencies). Informational metrics (the stage
-/// shares) are written to baselines but never gated.
+/// shares, the phase split) are written to baselines but never gated. A
+/// metric with a `floor` gates against that absolute value instead of the
+/// baseline — and therefore gates even when the baseline predates it.
 struct Metric {
     name: &'static str,
     value: f64,
     higher_is_better: bool,
     informational: bool,
+    floor: Option<f64>,
 }
 
 fn measure(preset: Preset) -> Vec<Metric> {
@@ -149,7 +170,7 @@ fn measure(preset: Preset) -> Vec<Metric> {
     // re-partitioned in place — the v3 shard-scaling rows. The unsharded
     // measurement doubles as the `@shards=1` row; results are bit-identical
     // at every shard count, so the rows differ only in wall-clock.
-    let stages = {
+    let (stages, phase_split) = {
         let mut net = Network::new(preset.net(DeadlockMode::PAPER_RECOVERY)).unwrap();
         let nodes = net.torus().node_count();
         let mut x = 0usize;
@@ -171,7 +192,28 @@ fn measure(preset: Preset) -> Vec<Metric> {
                 black_box(net.counters().delivered_flits)
             });
         }
-        net.counters().stage_cycles()
+        // v4 phase split: where a two-shard saturated cycle spends its
+        // time — parallel decide, parallel apply + sequential boundary
+        // tail, or waiting on the epoch barrier. Timed outside the
+        // benchmark samples above so the instrumentation (two `Instant`
+        // reads per phase) never pollutes the throughput rows.
+        net.set_shards(2);
+        net.set_phase_stats(true);
+        let split_cycles = cycles_per_iter * 2;
+        net.run(split_cycles, &mut src, &mut NoControl);
+        let ps = net
+            .phase_stats()
+            .expect("phase stats were enabled for the split run");
+        net.set_phase_stats(false);
+        let per_cycle = |ns: u64| ns as f64 / split_cycles as f64;
+        (
+            net.counters().stage_cycles(),
+            [
+                per_cycle(ps.decide_ns),
+                per_cycle(ps.apply_ns),
+                per_cycle(ps.barrier_ns),
+            ],
+        )
     };
 
     // Checkpoint codec cost on a warmed tuned simulation (skipped on the
@@ -216,18 +258,21 @@ fn measure(preset: Preset) -> Vec<Metric> {
     let total = stages.total().max(1) as f64;
     let share = |v: u64| 100.0 * (v as f64) / total;
     let saturated = by_name("saturated").units_per_second().unwrap();
+    let saturated_s2 = by_name("saturated@shards=2").units_per_second().unwrap();
     let mut metrics = vec![
         Metric {
             name: "idle_cycles_per_sec",
             value: by_name("idle").units_per_second().unwrap(),
             higher_is_better: true,
             informational: false,
+            floor: None,
         },
         Metric {
             name: "saturated_cycles_per_sec",
             value: saturated,
             higher_is_better: true,
             informational: false,
+            floor: None,
         },
     ];
     if preset != Preset::Big {
@@ -236,62 +281,100 @@ fn measure(preset: Preset) -> Vec<Metric> {
             value: by_name("ckpt_serialize").median_ns,
             higher_is_better: false,
             informational: false,
+            floor: None,
         });
         metrics.push(Metric {
             name: "ckpt_restore_ns",
             value: by_name("ckpt_restore").median_ns,
             higher_is_better: false,
             informational: false,
+            floor: None,
         });
     }
+    metrics.push(Metric {
+        name: "shard_overhead_ratio",
+        value: saturated_s2 / saturated,
+        higher_is_better: true,
+        informational: false,
+        floor: Some(SHARD_OVERHEAD_FLOOR),
+    });
     metrics.extend([
         Metric {
             name: "saturated_cycles_per_sec@shards=1",
             value: saturated,
             higher_is_better: true,
             informational: true,
+            floor: None,
         },
         Metric {
             name: "saturated_cycles_per_sec@shards=2",
-            value: by_name("saturated@shards=2").units_per_second().unwrap(),
+            value: saturated_s2,
             higher_is_better: true,
             informational: true,
+            floor: None,
         },
         Metric {
             name: "saturated_cycles_per_sec@shards=4",
             value: by_name("saturated@shards=4").units_per_second().unwrap(),
             higher_is_better: true,
             informational: true,
+            floor: None,
         },
         Metric {
             name: "stage_share_inject_pct",
             value: share(stages.inject),
             higher_is_better: false,
             informational: true,
+            floor: None,
         },
         Metric {
             name: "stage_share_route_pct",
             value: share(stages.route),
             higher_is_better: false,
             informational: true,
+            floor: None,
         },
         Metric {
             name: "stage_share_starvation_pct",
             value: share(stages.starvation),
             higher_is_better: false,
             informational: true,
+            floor: None,
         },
         Metric {
             name: "stage_share_switch_pct",
             value: share(stages.switch),
             higher_is_better: false,
             informational: true,
+            floor: None,
         },
         Metric {
             name: "stage_share_drain_pct",
             value: share(stages.drain),
             higher_is_better: false,
             informational: true,
+            floor: None,
+        },
+        Metric {
+            name: "phase_decide_ns_per_cycle@shards=2",
+            value: phase_split[0],
+            higher_is_better: false,
+            informational: true,
+            floor: None,
+        },
+        Metric {
+            name: "phase_apply_ns_per_cycle@shards=2",
+            value: phase_split[1],
+            higher_is_better: false,
+            informational: true,
+            floor: None,
+        },
+        Metric {
+            name: "phase_barrier_ns_per_cycle@shards=2",
+            value: phase_split[2],
+            higher_is_better: false,
+            informational: true,
+            floor: None,
         },
     ]);
     metrics
@@ -300,11 +383,13 @@ fn measure(preset: Preset) -> Vec<Metric> {
 /// Renders the baseline as flat JSON, one metric per line.
 fn render_json(preset: Preset, metrics: &[Metric]) -> String {
     let mut out = String::from("{\n");
-    out.push_str(&format!("  \"schema\": \"{SCHEMA_V3}\",\n"));
+    out.push_str(&format!("  \"schema\": \"{SCHEMA_V4}\",\n"));
     out.push_str(&format!("  \"preset\": \"{}\",\n", preset.label()));
     for (i, m) in metrics.iter().enumerate() {
         let comma = if i + 1 == metrics.len() { "" } else { "," };
-        out.push_str(&format!("  \"{}\": {:.1}{comma}\n", m.name, m.value));
+        // Three decimals: enough for the ratio metrics that live near 1.0
+        // without turning the throughput rows into noise.
+        out.push_str(&format!("  \"{}\": {:.3}{comma}\n", m.name, m.value));
     }
     out.push_str("}\n");
     out
@@ -331,21 +416,30 @@ fn parse_string<'j>(json: &'j str, key: &str) -> Option<&'j str> {
 }
 
 /// Compares a fresh measurement against a baseline value; returns an error
-/// line when it regressed beyond `tolerance`.
+/// line when it regressed beyond `tolerance`. A metric with an absolute
+/// floor ignores the baseline (shown for drift context only) and fails
+/// exactly when the measured value falls below the floor.
 fn check(m: &Metric, baseline: f64, tolerance: f64) -> Result<String, String> {
     let ratio = m.value / baseline;
-    let (regressed, direction) = if m.higher_is_better {
-        (ratio < 1.0 - tolerance, "slower")
-    } else {
-        (ratio > 1.0 + tolerance, "costlier")
-    };
     let line = format!(
-        "{:<28} baseline {:>14.1}  now {:>14.1}  ({:+.1}%)",
+        "{:<36} baseline {:>14.3}  now {:>14.3}  ({:+.1}%)",
         m.name,
         baseline,
         m.value,
         (ratio - 1.0) * 100.0
     );
+    if let Some(floor) = m.floor {
+        return if m.value < floor {
+            Err(format!("{line}  REGRESSED: below absolute floor {floor}"))
+        } else {
+            Ok(line)
+        };
+    }
+    let (regressed, direction) = if m.higher_is_better {
+        (ratio < 1.0 - tolerance, "slower")
+    } else {
+        (ratio > 1.0 + tolerance, "costlier")
+    };
     if regressed {
         Err(format!(
             "{line}  REGRESSED: >{:.0}% {direction}",
@@ -428,9 +522,10 @@ fn main() -> ExitCode {
                 }
             };
             let schema = parse_string(&baseline, "schema").unwrap_or("");
-            if schema != SCHEMA_V1 && schema != SCHEMA_V2 && schema != SCHEMA_V3 {
+            if ![SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4].contains(&schema) {
                 eprintln!(
-                    "bench_netsim: {path} is not a {SCHEMA_V1}/{SCHEMA_V2}/{SCHEMA_V3} baseline"
+                    "bench_netsim: {path} is not a {SCHEMA_V1}/{SCHEMA_V2}/{SCHEMA_V3}/{SCHEMA_V4} \
+                     baseline"
                 );
                 return ExitCode::FAILURE;
             }
@@ -459,18 +554,36 @@ fn main() -> ExitCode {
                     // them, never fail on them (and v1 baselines lack them).
                     match base {
                         Some(b) => println!(
-                            "{:<28} baseline {:>14.1}  now {:>14.1}  (informational)",
+                            "{:<36} baseline {:>14.3}  now {:>14.3}  (informational)",
                             m.name, b, m.value
                         ),
                         None => println!(
-                            "{:<28} {:>14} now {:>14.1}  (informational)",
+                            "{:<36} {:>23} now {:>14.3}  (informational)",
                             m.name, "-", m.value
                         ),
                     }
                     continue;
                 }
                 let Some(base) = base else {
-                    eprintln!("{:<28} missing from baseline", m.name);
+                    // A floor-gated metric carries its pass bar with it, so
+                    // pre-v4 baselines that lack the row still gate it.
+                    if let Some(floor) = m.floor {
+                        if m.value < floor {
+                            eprintln!(
+                                "{:<36} {:>23} now {:>14.3}  REGRESSED: below absolute \
+                                 floor {floor}",
+                                m.name, "-", m.value
+                            );
+                            failed = true;
+                        } else {
+                            println!(
+                                "{:<36} {:>23} now {:>14.3}  (floor {floor})",
+                                m.name, "-", m.value
+                            );
+                        }
+                        continue;
+                    }
+                    eprintln!("{:<36} missing from baseline", m.name);
                     failed = true;
                     continue;
                 };
@@ -504,6 +617,17 @@ mod tests {
             value,
             higher_is_better,
             informational: false,
+            floor: None,
+        }
+    }
+
+    fn floored(value: f64, floor: f64) -> Metric {
+        Metric {
+            name: "shard_overhead_ratio",
+            value,
+            higher_is_better: true,
+            informational: false,
+            floor: Some(floor),
         }
     }
 
@@ -514,8 +638,8 @@ mod tests {
             metric("ckpt_serialize_ns", 1_151_000.0, false),
         ];
         let json = render_json(Preset::Paper, &metrics);
-        assert!(json.contains("\"schema\": \"stcc-bench-netsim-v3\""));
-        assert_eq!(parse_string(&json, "schema"), Some(SCHEMA_V3));
+        assert!(json.contains("\"schema\": \"stcc-bench-netsim-v4\""));
+        assert_eq!(parse_string(&json, "schema"), Some(SCHEMA_V4));
         assert_eq!(parse_string(&json, "preset"), Some("paper"));
         assert_eq!(parse_metric(&json, "idle_cycles_per_sec"), Some(627_690.4));
         assert_eq!(parse_metric(&json, "ckpt_serialize_ns"), Some(1_151_000.0));
@@ -547,6 +671,17 @@ mod tests {
         assert!(check(&metric("l", 500.0, false), base, tol).is_ok());
         // A looser tolerance admits what the default rejects.
         assert!(check(&metric("t", 800.0, true), base, 0.5).is_ok());
+    }
+
+    #[test]
+    fn floor_metrics_gate_on_the_absolute_value_not_the_baseline() {
+        // Above the floor passes even far below the recorded baseline;
+        // below the floor fails even when it beats the baseline. No
+        // tolerance ever widens the floor.
+        assert!(check(&floored(0.95, 0.9), 2.0, DEFAULT_TOLERANCE).is_ok());
+        assert!(check(&floored(0.85, 0.9), 0.5, DEFAULT_TOLERANCE).is_err());
+        assert!(check(&floored(0.85, 0.9), 0.5, 10.0).is_err());
+        assert!(check(&floored(0.9, 0.9), 0.9, DEFAULT_TOLERANCE).is_ok());
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub use statik::StaticThreshold;
 pub use tuned::{decide, SelfTuned, TuneAction, TuneConfig};
 // The audit layer's types, so `SimError::Audit` and `Simulation::audit`
 // are usable without importing `wormsim` directly.
-pub use wormsim::{AuditKind, AuditReport, AuditViolation};
+pub use wormsim::{AuditKind, AuditReport, AuditViolation, PhaseStats};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {

@@ -7,7 +7,7 @@ use sideband::SidebandStats;
 use simstats::{LatencyStats, RunSummary};
 use std::time::Instant;
 use traffic::{TrafficError, Workload, WorkloadRunner};
-use wormsim::{AuditReport, ConfigError, CongestionControl, NetConfig, Network};
+use wormsim::{AuditReport, ConfigError, CongestionControl, NetConfig, Network, PhaseStats};
 
 /// Everything needed to run one simulation: a network, a workload, a
 /// congestion-control scheme and the measurement window.
@@ -681,6 +681,20 @@ impl Simulation {
     #[must_use]
     pub fn shards(&self) -> usize {
         self.net.shards()
+    }
+
+    /// Toggles per-cycle phase timing (decide / apply / barrier wall time,
+    /// accumulated across route and switch passes). Observability only:
+    /// simulated state is unaffected. Enabling resets the accumulators.
+    pub fn set_phase_stats(&mut self, enabled: bool) {
+        self.net.set_phase_stats(enabled);
+    }
+
+    /// The accumulated phase timings, if [`Simulation::set_phase_stats`]
+    /// is on.
+    #[must_use]
+    pub fn phase_stats(&self) -> Option<PhaseStats> {
+        self.net.phase_stats()
     }
 
     /// Read access to the network (counters, census, topology).

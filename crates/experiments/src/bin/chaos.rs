@@ -269,7 +269,7 @@ fn draw_trial(seed: u64, trial: u64) -> Trial {
     // Drawn last so the scenario draws above are unchanged by the shard
     // axis. The trial steps the original at `shards.0` and the restored
     // twin at `shards.1`; both must land on identical bytes.
-    let shards = (1 + rng.below(4) as usize, 1 + rng.below(4) as usize);
+    let shards = (1 + rng.below(8) as usize, 1 + rng.below(8) as usize);
 
     let describe = format!(
         "{} {} load={load:.2} vcs={vcs} depth={} plen={} {} cycles={cycles} shards={}/{} {}",
@@ -353,6 +353,12 @@ fn run_trial(seed: u64, trial: u64, audit_every: u64) -> Result<Trial, Box<(Tria
     };
     twin.set_audit_every(None);
     twin.set_shards(t.shards.1);
+    // Bounce the original's shard count mid-trial: the persistent worker
+    // pool must tear down (join its workers) and rebuild cleanly with
+    // traffic in flight. Returning to `shards.0` keeps the back half a
+    // genuine cross-count comparison against the twin at `shards.1`.
+    sim.set_shards(t.shards.1);
+    sim.set_shards(t.shards.0);
 
     let end = t.cfg.cycles;
     if let Err(v) = step_audited(&mut sim, end, audit_every) {

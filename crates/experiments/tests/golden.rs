@@ -90,7 +90,7 @@ fn two_runs_same_seed_are_identical() {
 
 /// Shard invariance, end to end: every figure's tiny CSV must be
 /// byte-identical to the committed golden when each simulation steps
-/// across 1, 2 or 4 intra-network shards (`STCC_SHARDS`, the analogue of
+/// across 1, 2, 4 or 8 intra-network shards (`STCC_SHARDS`, the analogue of
 /// the `--jobs` axis above). The env var is process-global; tests in this
 /// binary run concurrently, but any value another thread reads still
 /// produces identical bytes — that's the invariant itself — so the races
@@ -116,7 +116,7 @@ fn every_figure_matches_golden_at_every_shard_count() {
             resilience::generate_on(NetPreset::Small, Scale::Tiny, ctx)
         }),
     ];
-    for shards in [1usize, 2, 4] {
+    for shards in [1usize, 2, 4, 8] {
         std::env::set_var("STCC_SHARDS", shards.to_string());
         for (name, generate) in figures {
             let want = golden(name);

@@ -65,6 +65,14 @@ impl NodeSet {
     pub fn clear(&mut self) {
         self.words.fill(0);
     }
+
+    /// The backing words, mutably — the parallel shard-local apply wraps
+    /// them in an atomic view because one word packs 64 nodes and shard
+    /// boundaries are not word-aligned (see `crate::shard::AtomicBits`).
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
 }
 
 #[cfg(test)]

@@ -655,8 +655,9 @@ impl Network {
 
     /// Shard-plan invariants: the partition is a disjoint ascending cover
     /// of the node range with a consistent node→shard map, every decision
-    /// mailbox conserved its ops (cumulative staged = applied, buffers
-    /// empty between cycles), and the per-shard census words agree with
+    /// mailbox conserved its ops (cumulative staged = applied, both the
+    /// local and the boundary-tail buffers empty between cycles), and the
+    /// per-shard census words agree with
     /// the global occupancy bitset and sum to the global census.
     fn audit_shards(&self, v: &mut Vec<AuditViolation>) {
         let nodes = self.torus().node_count();
@@ -702,16 +703,20 @@ impl Network {
             if stage.staged_total != stage.applied_total
                 || !stage.route_ops.is_empty()
                 || !stage.switch_ops.is_empty()
+                || !stage.route_tail.is_empty()
+                || !stage.switch_tail.is_empty()
             {
                 v.push(AuditViolation {
                     kind: AuditKind::MailboxConservation,
                     detail: format!(
-                        "shard {s}: staged {} vs applied {}, {} route + {} switch op(s) \
-                         left in the mailbox",
+                        "shard {s}: staged {} vs applied {}, {} route + {} switch local \
+                         op(s) and {} route + {} switch boundary op(s) left in the mailbox",
                         stage.staged_total,
                         stage.applied_total,
                         stage.route_ops.len(),
-                        stage.switch_ops.len()
+                        stage.switch_ops.len(),
+                        stage.route_tail.len(),
+                        stage.switch_tail.len()
                     ),
                 });
             }
@@ -942,6 +947,18 @@ mod tests {
         let mut net = hot_net();
         net.set_shards(2);
         net.plan.stages[0].staged_total += 1;
+        assert_exactly(&net, AuditKind::MailboxConservation);
+    }
+
+    #[test]
+    fn detects_leftover_boundary_op() {
+        let mut net = hot_net();
+        net.set_shards(2);
+        // A boundary op stranded in a tail buffer — the sequential fold
+        // missed it — must trip the same conservation audit as a local one.
+        net.plan.stages[1]
+            .route_tail
+            .push(crate::shard::RouteOp::Suspect { idx: 0 });
         assert_exactly(&net, AuditKind::MailboxConservation);
     }
 

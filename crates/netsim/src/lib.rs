@@ -66,3 +66,4 @@ pub use control::{CongestionControl, NoControl};
 pub use counters::{Counters, StageCycles};
 pub use network::Network;
 pub use packet::{DeliveredRecord, Flit, PacketId, PacketInfo, PacketStore};
+pub use shard::PhaseStats;

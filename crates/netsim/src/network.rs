@@ -5,7 +5,10 @@ use crate::counters::Counters;
 use crate::packet::{DeliveredRecord, Flit, PacketId, PacketInfo, PacketStore};
 use crate::ring::{DeliveryDrain, DeliveryRing, FlitRings, IdRing};
 use crate::routing::RouteTables;
-use crate::shard::{RouteOp, ShardPlan, ShardStage, SwitchOp};
+use crate::shard::{
+    ApplyCtx, AtomicBits, Job, Pass, PhaseStats, RacySlice, RouteOp, ShardPlan, ShardStage,
+    SharedSlice, SwitchOp, WorkerPool,
+};
 use crate::wheel::TimerWheel;
 use faults::{FaultPlan, FaultPlanError};
 use kncube::{Dir, NodeId, Torus};
@@ -42,7 +45,7 @@ pub(crate) struct InjState {
 }
 
 impl InjState {
-    fn idle() -> Self {
+    pub(crate) fn idle() -> Self {
         InjState {
             active: None,
             sent: 0,
@@ -186,6 +189,10 @@ pub struct Network {
     /// Scheduled link/hotspot faults (`None` = fault-free network; the hot
     /// path is untouched until a non-quiet plan is installed).
     faults: Option<FaultPlan>,
+    /// Opt-in decide/apply/barrier wall-clock split ([`PhaseStats`];
+    /// `None` = off, the default — the cycle pipeline then pays one branch
+    /// per phase). Runtime-only instrumentation, never serialized.
+    phase_stats: Option<Box<PhaseStats>>,
     /// Shard partition + per-shard decision mailboxes for parallel
     /// stepping ([`crate::shard`]). Runtime-only configuration: never
     /// serialized, never fingerprinted — a checkpoint taken at S shards
@@ -256,6 +263,7 @@ impl Network {
             last_delivery_at: 0,
             last_progress_at: 0,
             faults: None,
+            phase_stats: None,
             plan: ShardPlan::new(1, nodes, d * v, d + 1),
             cfg,
         })
@@ -272,6 +280,12 @@ impl Network {
         let nodes = self.torus.node_count();
         let mut plan = ShardPlan::new(shards, nodes, self.d * self.v, self.d + 1);
         plan.rebuild_census(&self.vc_full);
+        if plan.shards() > 1 {
+            plan.pool = Some(WorkerPool::new(plan.shards()));
+        }
+        // Replacing the plan drops any previous pool, which shuts down and
+        // joins its workers — no worker thread ever outlives the partition
+        // (or the network) it was spawned for.
         self.plan = plan;
     }
 
@@ -279,6 +293,19 @@ impl Network {
     #[must_use]
     pub fn shards(&self) -> usize {
         self.plan.shards()
+    }
+
+    /// Enables (with fresh zeroed totals) or disables the per-phase
+    /// wall-clock split. Informational instrumentation for benchmarks —
+    /// it never affects simulation results.
+    pub fn set_phase_stats(&mut self, enabled: bool) {
+        self.phase_stats = enabled.then(|| Box::new(PhaseStats::default()));
+    }
+
+    /// The accumulated phase split, if enabled.
+    #[must_use]
+    pub fn phase_stats(&self) -> Option<PhaseStats> {
+        self.phase_stats.as_deref().copied()
     }
 
     /// Installs the data-network portion of a fault plan: scheduled link
@@ -748,27 +775,26 @@ impl Network {
     /// one shard the decide runs inline on the caller's thread — the same
     /// staged code path, so every shard count computes the same function.
     fn route_phase(&mut self, now: u64) {
-        let mut stages = std::mem::take(&mut self.plan.stages);
-        if stages.len() == 1 {
+        if self.plan.shards() == 1 {
+            let mut stages = std::mem::take(&mut self.plan.stages);
+            let t0 = self.phase_stats.as_ref().map(|_| std::time::Instant::now());
             self.route_decide(
                 now,
                 self.plan.bounds[0],
                 self.plan.bounds[1],
                 &mut stages[0],
             );
+            let t1 = t0.map(|_| std::time::Instant::now());
+            self.apply_route_ops(now, &mut stages[0]);
+            if let (Some(t0), Some(t1)) = (t0, t1) {
+                let st = self.phase_stats.as_mut().expect("timed implies enabled");
+                st.decide_ns += (t1 - t0).as_nanos() as u64;
+                st.apply_ns += t1.elapsed().as_nanos() as u64;
+            }
+            self.plan.stages = stages;
         } else if !self.idle_route() {
-            let this: &Network = self;
-            std::thread::scope(|scope| {
-                for (s, stage) in stages.iter_mut().enumerate() {
-                    let (lo, hi) = (this.plan.bounds[s], this.plan.bounds[s + 1]);
-                    scope.spawn(move || this.route_decide(now, lo, hi, stage));
-                }
-            });
+            self.parallel_phase(now, Pass::Route);
         }
-        for stage in &mut stages {
-            self.apply_route_ops(now, stage);
-        }
-        self.plan.stages = stages;
     }
 
     /// Whether no router has anything to arbitrate (skips the thread
@@ -791,14 +817,18 @@ impl Network {
     /// `escaped`) is written only by the staged ops of the node that owns
     /// it, and those writes are deferred to the barrier — so the decision
     /// for each node is exactly the sequential reference's.
-    fn route_decide(&self, now: u64, lo: usize, hi: usize, stage: &mut ShardStage) {
+    pub(crate) fn route_decide(&self, now: u64, lo: usize, hi: usize, stage: &mut ShardStage) {
         let fpn = self.feeders_per_node();
         let inj_feeder = self.d * self.v;
         let timeout = match self.cfg.deadlock {
             DeadlockMode::Recovery { timeout } => timeout,
             DeadlockMode::Avoidance => u64::MAX,
         };
+        // With one shard nothing is classified (`plan.stages` is taken out
+        // during a parallel pass, so the shard count comes from `bounds`).
+        let split = self.plan.bounds.len() > 2;
         let staged_before = stage.route_ops.len();
+        let tail_before = stage.route_tail.len();
         let mut requests: [u16; 64] = [0; 64];
         // Only routers with buffered flits or an admitted injection can
         // have anything to arbitrate.
@@ -901,7 +931,14 @@ impl Network {
                         if self.vc_blocked[idx] + 1 >= timeout {
                             let pid = self.vc_bufs.front_packet(idx);
                             if now.saturating_sub(self.packets.get(pid).last_move) >= timeout {
-                                stage.route_ops.push(RouteOp::Suspect { idx: idx as u32 });
+                                // Token-queue commits are globally
+                                // FIFO-ordered: a boundary op when sharded.
+                                let op = RouteOp::Suspect { idx: idx as u32 };
+                                if split {
+                                    stage.route_tail.push(op);
+                                } else {
+                                    stage.route_ops.push(op);
+                                }
                                 continue;
                             }
                         }
@@ -910,7 +947,8 @@ impl Network {
                 }
             }
         }
-        stage.staged_total += (stage.route_ops.len() - staged_before) as u64;
+        stage.staged_total += (stage.route_ops.len() - staged_before) as u64
+            + (stage.route_tail.len() - tail_before) as u64;
     }
 
     /// Applies one shard's staged route ops in staging (ascending-node)
@@ -933,19 +971,23 @@ impl Network {
                     self.apply_route(now, node as usize, usize::from(feeder), assign, inj_feeder);
                 }
                 RouteOp::Blocked { idx } => self.vc_blocked[idx as usize] += 1,
-                RouteOp::Suspect { idx } => {
-                    let idx = idx as usize;
-                    self.set_assign(idx, Assign::AwaitToken);
-                    self.vc_blocked[idx] = 0;
-                    if !self.vc_queued[idx] {
-                        self.vc_queued[idx] = true;
-                        self.token_queue.push_back(0, idx as u32);
-                    }
-                    self.counters.recovery_timeouts += 1;
-                }
+                RouteOp::Suspect { idx } => self.commit_suspect(idx as usize),
             }
         }
         stage.route_ops.clear();
+    }
+
+    /// Commits a suspected-deadlocked VC to the recovery token queue (the
+    /// apply of a staged [`RouteOp::Suspect`]; shared between the inline
+    /// single-shard apply and the sharded barrier's sequential tail).
+    fn commit_suspect(&mut self, idx: usize) {
+        self.set_assign(idx, Assign::AwaitToken);
+        self.vc_blocked[idx] = 0;
+        if !self.vc_queued[idx] {
+            self.vc_queued[idx] = true;
+            self.token_queue.push_back(0, idx as u32);
+        }
+        self.counters.recovery_timeouts += 1;
     }
 
     /// Starved-head detection: timer wheel in production; tests may switch
@@ -1168,27 +1210,166 @@ impl Network {
     /// partition, then a sequential apply barrier moving the flits in
     /// ascending-node order — see [`Network::route_phase`].
     fn switch_phase(&mut self, now: u64) {
-        let mut stages = std::mem::take(&mut self.plan.stages);
-        if stages.len() == 1 {
+        if self.plan.shards() == 1 {
+            let mut stages = std::mem::take(&mut self.plan.stages);
+            let t0 = self.phase_stats.as_ref().map(|_| std::time::Instant::now());
             self.switch_decide(
                 now,
                 self.plan.bounds[0],
                 self.plan.bounds[1],
                 &mut stages[0],
             );
+            let t1 = t0.map(|_| std::time::Instant::now());
+            self.apply_switch_ops(now, &mut stages[0]);
+            if let (Some(t0), Some(t1)) = (t0, t1) {
+                let st = self.phase_stats.as_mut().expect("timed implies enabled");
+                st.decide_ns += (t1 - t0).as_nanos() as u64;
+                st.apply_ns += t1.elapsed().as_nanos() as u64;
+            }
+            self.plan.stages = stages;
         } else if !self.idle_switch() {
-            let this: &Network = self;
-            std::thread::scope(|scope| {
-                for (s, stage) in stages.iter_mut().enumerate() {
-                    let (lo, hi) = (this.plan.bounds[s], this.plan.bounds[s + 1]);
-                    scope.spawn(move || this.switch_decide(now, lo, hi, stage));
-                }
-            });
+            self.parallel_phase(now, Pass::Switch);
         }
-        for stage in &mut stages {
-            self.apply_switch_ops(now, stage);
+    }
+
+    /// Executes one sharded pass — parallel decide, parallel shard-local
+    /// apply, then the sequential boundary tail — through the persistent
+    /// worker pool. Per-cycle cost beyond the sequential path is a handful
+    /// of atomic ticket operations; no threads are spawned here (see
+    /// [`crate::shard::WorkerPool`]).
+    fn parallel_phase(&mut self, now: u64, kind: Pass) {
+        let mut stages = std::mem::take(&mut self.plan.stages);
+        let mut pool = self
+            .plan
+            .pool
+            .take()
+            .expect("sharded network has a worker pool");
+        let mut stats = self.phase_stats.take();
+        let shards = stages.len();
+        // Every pointer the participants use — the shared decide reads and
+        // the shard-local apply views — derives from this one raw borrow,
+        // so none invalidates another; the pool's decide→apply barrier
+        // keeps reads and writes of any location apart in time.
+        let net: *mut Network = self;
+        let job = Job {
+            kind,
+            net: net.cast_const(),
+            // SAFETY: `net` is this exclusive borrow; the views it hands
+            // out are used only during `pool.run`, which this thread
+            // outwaits.
+            ctx: unsafe { (*net).apply_ctx() },
+            stages: stages.as_mut_ptr(),
+            shards,
+            now,
+        };
+        pool.run(job, stats.as_deref_mut());
+        // Sequential barrier tail in ascending shard (= ascending node)
+        // order: fold each shard's counter deltas, then apply its boundary
+        // ops — which reproduces the reference's global ascending-node
+        // order for the FIFO-ordered structures at any shard count.
+        let t0 = stats.as_ref().map(|_| std::time::Instant::now());
+        for (s, stage) in stages.iter_mut().enumerate() {
+            match kind {
+                Pass::Route => self.fold_route_stage(stage),
+                Pass::Switch => self.fold_switch_stage(now, s, stage),
+            }
         }
+        if let (Some(st), Some(t0)) = (stats.as_deref_mut(), t0) {
+            st.apply_ns += t0.elapsed().as_nanos() as u64;
+        }
+        self.phase_stats = stats;
         self.plan.stages = stages;
+        self.plan.pool = Some(pool);
+    }
+
+    /// Builds the raw apply views over this network's state (valid until
+    /// any of the underlying storage moves or reallocates — i.e. for the
+    /// current pass only; `generate` may grow `packets`/`escaped` between
+    /// cycles, so the context is rebuilt per dispatch).
+    fn apply_ctx(&mut self) -> ApplyCtx {
+        let recovery_timeout = match self.cfg.deadlock {
+            DeadlockMode::Recovery { timeout } => timeout,
+            DeadlockMode::Avoidance => 0,
+        };
+        ApplyCtx {
+            d: self.d,
+            v: self.v,
+            fpn: self.d * self.v,
+            nports: self.d + 1,
+            depth: self.depth,
+            escape_vcs: self.cfg.escape_vcs(),
+            hop_latency: self.cfg.hop_latency,
+            recovery_timeout,
+            route_rr: RacySlice::new(&mut self.route_rr),
+            out_rr: RacySlice::new(&mut self.out_rr),
+            vc_assign: RacySlice::new(&mut self.vc_assign),
+            vc_routed_at: RacySlice::new(&mut self.vc_routed_at),
+            vc_blocked: RacySlice::new(&mut self.vc_blocked),
+            out_alloc: RacySlice::new(&mut self.out_alloc),
+            inj: RacySlice::new(&mut self.inj),
+            escaped: RacySlice::new(&mut self.escaped),
+            vc_busy: RacySlice::new(&mut self.vc_busy),
+            vc_unrouted: RacySlice::new(&mut self.vc_unrouted),
+            vc_switchable: RacySlice::new(&mut self.vc_switchable),
+            vc_full: RacySlice::new(&mut self.vc_full),
+            busy_nodes: AtomicBits::new(self.busy_nodes.words_mut()),
+            inj_nodes: AtomicBits::new(self.inj_nodes.words_mut()),
+            srcq_nodes: AtomicBits::new(self.srcq_nodes.words_mut()),
+            vc_bufs: self.vc_bufs.view(),
+            source_q: self.source_q.view(),
+            packets: self.packets.view(),
+            wheel: self.wheel.view(),
+            downstream: SharedSlice::new(self.tables.downstream_raw()),
+        }
+    }
+
+    /// Folds one shard's route-pass results after the parallel barrier:
+    /// counter deltas, then the boundary ops (recovery suspects, globally
+    /// FIFO-ordered through the token queue).
+    fn fold_route_stage(&mut self, stage: &mut ShardStage) {
+        self.counters.stage_route_visits += stage.route_visits;
+        self.counters.escape_allocations += stage.escape_allocs;
+        stage.route_visits = 0;
+        stage.escape_allocs = 0;
+        stage.applied_total += stage.route_tail.len() as u64;
+        for i in 0..stage.route_tail.len() {
+            let RouteOp::Suspect { idx } = stage.route_tail[i] else {
+                unreachable!("route boundary ops are suspects")
+            };
+            self.commit_suspect(idx as usize);
+        }
+        stage.route_tail.clear();
+    }
+
+    /// Folds one shard's switch-pass results after the parallel barrier:
+    /// counter and census deltas, then the boundary ops (deliveries and
+    /// cross-shard handoffs) through the ordinary sequential move path.
+    fn fold_switch_stage(&mut self, now: u64, s: usize, stage: &mut ShardStage) {
+        let inj_feeder = self.d * self.v;
+        let nports = self.d + 1;
+        self.counters.stage_switch_visits += stage.switch_visits;
+        self.counters.hotspot_stall_cycles += stage.hotspot_stalls;
+        self.counters.link_stall_cycles += stage.link_stalls;
+        self.counters.injected_packets += stage.injected;
+        stage.switch_visits = 0;
+        stage.hotspot_stalls = 0;
+        stage.link_stalls = 0;
+        stage.injected = 0;
+        self.full_buffers = self.full_buffers.wrapping_add_signed(stage.full_delta);
+        self.plan.full_count[s] = self.plan.full_count[s].wrapping_add_signed(stage.full_delta);
+        stage.full_delta = 0;
+        if stage.progressed {
+            self.last_progress_at = now;
+            stage.progressed = false;
+        }
+        stage.applied_total += stage.switch_tail.len() as u64;
+        for i in 0..stage.switch_tail.len() {
+            let SwitchOp { node, port, pick } = stage.switch_tail[i];
+            let (node, port, pick) = (node as usize, usize::from(port), usize::from(pick));
+            self.out_rr[node * nports + port] = pick + 1;
+            self.move_flit(now, node, pick, inj_feeder);
+        }
+        stage.switch_tail.clear();
     }
 
     /// The switch stage's read-only decide over `lo..hi`. Every per-port
@@ -1201,8 +1382,9 @@ impl Network {
     /// keeps the apply overflow-free: each downstream VC has exactly one
     /// upstream owner moving at most one flit per cycle, so a buffer seen
     /// below capacity pre-phase still has room at apply time.
-    fn switch_decide(&self, now: u64, lo: usize, hi: usize, stage: &mut ShardStage) {
+    pub(crate) fn switch_decide(&self, now: u64, lo: usize, hi: usize, stage: &mut ShardStage) {
         let inj_feeder = self.d * self.v;
+        let split = self.plan.bounds.len() > 2; // see route_decide
         let nports = self.d + 1; // network ports + delivery
                                  // Per-port candidate buckets, hoisted out of the node loop: zeroing
                                  // ~2 KiB per node per cycle dominated idle-router cost. Only
@@ -1211,6 +1393,7 @@ impl Network {
         let mut counts = [0usize; 17];
         debug_assert!(nports <= 17 && self.feeders_per_node() <= 64);
         let staged_before = stage.switch_ops.len();
+        let tail_before = stage.switch_tail.len();
         // Only routers with buffered flits or an active injection can move
         // anything. Routers made busy mid-phase by a downstream push are
         // not visited: the pushed flit is not ready before
@@ -1303,15 +1486,50 @@ impl Network {
                         .iter()
                         .find(|&&f| usize::from(f) >= cursor)
                         .unwrap_or(&cands[0]);
-                    stage.switch_ops.push(SwitchOp {
+                    let op = SwitchOp {
                         node: node as u32,
                         port: port as u8,
                         pick: pick as u8,
-                    });
+                    };
+                    // Classify the move: a hop whose downstream VC lies in
+                    // this shard's own node range is applied in the
+                    // parallel phase; deliveries (globally FIFO-ordered
+                    // records and packet releases) and cross-shard
+                    // handoffs defer to the sequential tail.
+                    if split && !self.switch_op_is_local(&op, lo, hi, inj_feeder) {
+                        stage.switch_tail.push(op);
+                    } else {
+                        stage.switch_ops.push(op);
+                    }
                 }
             }
         }
-        stage.staged_total += (stage.switch_ops.len() - staged_before) as u64;
+        stage.staged_total += (stage.switch_ops.len() - staged_before) as u64
+            + (stage.switch_tail.len() - tail_before) as u64;
+    }
+
+    /// Whether a staged switch move writes only state of nodes in
+    /// `lo..hi` — i.e. it is an `Out` hop whose downstream input VC
+    /// belongs to a node of the staging shard. (The source node is in
+    /// range by construction; delivery moves touch the global delivery
+    /// ring and packet store, so they are never local.)
+    fn switch_op_is_local(&self, op: &SwitchOp, lo: usize, hi: usize, inj_feeder: usize) -> bool {
+        let (node, pick) = (op.node as usize, usize::from(op.pick));
+        let assign = if pick == inj_feeder {
+            self.inj[node].assign
+        } else {
+            self.vc_assign[self.vc_idx(node, 0, 0) + pick]
+        };
+        match assign {
+            Assign::Out { port, vc } => {
+                let didx = self.downstream_idx(node, usize::from(port), usize::from(vc));
+                (lo..hi).contains(&(didx / (self.d * self.v)))
+            }
+            Assign::Delivery => false,
+            Assign::None | Assign::AwaitToken | Assign::Recovery => {
+                unreachable!("staged move from unassigned feeder")
+            }
+        }
     }
 
     /// Applies one shard's staged switch ops in staging order: bumps the
@@ -1510,7 +1728,7 @@ mod tests {
         };
         let (base, delivered) = run(1);
         assert!(delivered > 0, "vacuous: nothing was delivered");
-        for shards in [2usize, 3, 4, 7] {
+        for shards in [2usize, 3, 4, 7, 8] {
             assert_eq!(run(shards).0, base, "shards={shards} diverged from 1");
         }
     }

@@ -152,6 +152,110 @@ impl FlitRings {
         self.head[r] = 0;
         self.len[r] = 0;
     }
+
+    /// Raw shared-mutable view over the arena for the parallel shard-local
+    /// apply ([`crate::shard::ApplyCtx`]). Valid while the arena is neither
+    /// moved nor reallocated; see [`FlitRingsView`] for the aliasing rule.
+    pub(crate) fn view(&mut self) -> FlitRingsView {
+        FlitRingsView {
+            cap: self.cap,
+            rings: self.head.len(),
+            head: self.head.as_mut_ptr(),
+            len: self.len.as_mut_ptr(),
+            packet: self.packet.as_mut_ptr(),
+            idx: self.idx.as_mut_ptr(),
+            ready: self.ready.as_mut_ptr(),
+        }
+    }
+}
+
+/// Raw view into a [`FlitRings`] arena, used by the sharded apply phase to
+/// mutate rings through a shared context. Mirrors the safe push/pop logic
+/// exactly.
+///
+/// # Safety contract
+///
+/// During a parallel apply, each ring `r` is touched by at most one thread
+/// (the shard-ownership discipline of [`crate::shard::ApplyCtx`]): a ring's
+/// popper is the node that owns it and a concurrent pusher into the same
+/// ring only exists for cross-shard handoffs, which are deferred to the
+/// sequential tail. All methods are `unsafe`: the caller asserts exclusive
+/// access to ring `r` for the duration of the call.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlitRingsView {
+    cap: u32,
+    rings: usize,
+    head: *mut u32,
+    len: *mut u32,
+    packet: *mut PacketId,
+    idx: *mut u16,
+    ready: *mut u64,
+}
+
+// SAFETY: the pointers target one arena partitioned by ring ownership; the
+// per-ring exclusivity contract above makes cross-thread use sound.
+unsafe impl Send for FlitRingsView {}
+unsafe impl Sync for FlitRingsView {}
+
+impl FlitRingsView {
+    #[inline]
+    unsafe fn slot(&self, r: usize, i: u32) -> usize {
+        debug_assert!(r < self.rings);
+        debug_assert!(i < *self.len.add(r), "ring position out of range");
+        let mut pos = *self.head.add(r) + i;
+        if pos >= self.cap {
+            pos -= self.cap;
+        }
+        r * self.cap as usize + pos as usize
+    }
+
+    /// See [`FlitRings::front_packet`].
+    #[inline]
+    pub(crate) unsafe fn front_packet(&self, r: usize) -> PacketId {
+        *self.packet.add(self.slot(r, 0))
+    }
+
+    /// See [`FlitRings::pop_front`].
+    #[inline]
+    pub(crate) unsafe fn pop_front(&self, r: usize) -> Flit {
+        debug_assert!(*self.len.add(r) != 0, "pop from empty flit ring");
+        let s = self.slot(r, 0);
+        let f = Flit {
+            packet: *self.packet.add(s),
+            idx: *self.idx.add(s),
+            ready_at: *self.ready.add(s),
+        };
+        let mut h = *self.head.add(r) + 1;
+        if h >= self.cap {
+            h = 0;
+        }
+        *self.head.add(r) = h;
+        *self.len.add(r) -= 1;
+        f
+    }
+
+    /// See [`FlitRings::push_back`].
+    #[inline]
+    pub(crate) unsafe fn push_back(&self, r: usize, f: Flit) {
+        debug_assert!(r < self.rings);
+        debug_assert!(*self.len.add(r) < self.cap, "flit ring overflow");
+        let mut pos = *self.head.add(r) + *self.len.add(r);
+        if pos >= self.cap {
+            pos -= self.cap;
+        }
+        let s = r * self.cap as usize + pos as usize;
+        *self.packet.add(s) = f.packet;
+        *self.idx.add(s) = f.idx;
+        *self.ready.add(s) = f.ready_at;
+        *self.len.add(r) += 1;
+    }
+
+    /// See [`FlitRings::len`].
+    #[inline]
+    pub(crate) unsafe fn len(&self, r: usize) -> usize {
+        debug_assert!(r < self.rings);
+        *self.len.add(r) as usize
+    }
 }
 
 /// Arena of `rings` fixed-capacity `u32` FIFOs (packet ids, VC indices).
@@ -237,6 +341,63 @@ impl IdRing {
     pub(crate) fn reset(&mut self, r: usize) {
         self.head[r] = 0;
         self.len[r] = 0;
+    }
+
+    /// Raw shared-mutable view; same contract as [`FlitRings::view`].
+    pub(crate) fn view(&mut self) -> IdRingView {
+        IdRingView {
+            cap: self.cap,
+            rings: self.head.len(),
+            head: self.head.as_mut_ptr(),
+            len: self.len.as_mut_ptr(),
+            data: self.data.as_mut_ptr(),
+        }
+    }
+}
+
+/// Raw view into an [`IdRing`] arena for the parallel shard-local apply.
+/// Same per-ring exclusivity contract as [`FlitRingsView`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IdRingView {
+    cap: u32,
+    rings: usize,
+    head: *mut u32,
+    len: *mut u32,
+    data: *mut u32,
+}
+
+// SAFETY: see `FlitRingsView`.
+unsafe impl Send for IdRingView {}
+unsafe impl Sync for IdRingView {}
+
+impl IdRingView {
+    /// See [`IdRing::front`].
+    #[inline]
+    pub(crate) unsafe fn front(&self, r: usize) -> u32 {
+        debug_assert!(r < self.rings);
+        debug_assert!(*self.len.add(r) != 0, "front of empty id ring");
+        let pos = *self.head.add(r);
+        *self.data.add(r * self.cap as usize + pos as usize)
+    }
+
+    /// See [`IdRing::pop_front`].
+    #[inline]
+    pub(crate) unsafe fn pop_front(&self, r: usize) -> u32 {
+        let v = self.front(r);
+        let mut h = *self.head.add(r) + 1;
+        if h >= self.cap {
+            h = 0;
+        }
+        *self.head.add(r) = h;
+        *self.len.add(r) -= 1;
+        v
+    }
+
+    /// See [`IdRing::is_empty`].
+    #[inline]
+    pub(crate) unsafe fn is_empty(&self, r: usize) -> bool {
+        debug_assert!(r < self.rings);
+        *self.len.add(r) == 0
     }
 }
 

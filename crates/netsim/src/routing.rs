@@ -97,6 +97,13 @@ impl RouteTables {
         self.downstream[oidx] as usize
     }
 
+    /// The whole downstream table (entries are input-VC indices), for the
+    /// parallel apply's read-only raw view.
+    #[inline]
+    pub(crate) fn downstream_raw(&self) -> &[u32] {
+        &self.downstream
+    }
+
     /// Whether the O(nodes²) pair tables were built.
     #[inline]
     fn has_pair_tables(&self) -> bool {

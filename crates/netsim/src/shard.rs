@@ -1,20 +1,40 @@
-//! Intra-simulation sharding: the shard plan and per-shard op staging.
+//! Intra-simulation sharding: the shard plan, per-shard op staging, and
+//! the persistent worker pool that executes the parallel phases.
 //!
 //! One [`crate::Network`] is stepped across a fixed set of *shards* —
 //! contiguous node ranges — with a deterministic per-cycle barrier. The
-//! route and switch stages each split into two phases:
+//! route and switch stages each split into phases:
 //!
 //! 1. **Decide** (parallel): every shard scans its own node range of the
 //!    *pre-phase* network state through a shared `&Network` borrow and
 //!    stages its decisions as typed ops into its own [`ShardStage`]
-//!    buffer. Nothing is mutated, so workers never race.
-//! 2. **Apply** (sequential barrier): the staged ops are applied with
-//!    full `&mut Network` access in canonical order — ascending shard,
-//!    and within a shard in the order they were staged (ascending node).
-//!    Because shards are contiguous ascending ranges, this reproduces a
-//!    single global ascending-node application order for *any* shard
-//!    count, which is what makes results bit-identical at `--shards
-//!    1/2/4/…`.
+//!    buffer. Nothing is mutated, so workers never race. Each op is
+//!    classified at staging time as **local** (every write target lands
+//!    inside the staging shard's own node range) or **boundary** (it
+//!    touches another shard, or globally FIFO-ordered structures like the
+//!    recovery token queue or the delivery ring).
+//! 2. **Apply, local** (parallel): each shard applies its own local ops
+//!    through a raw [`ApplyCtx`] view — shard-disjoint arrays with plain
+//!    writes, word-shared bitsets with atomic bit ops. Local ops of
+//!    different shards touch disjoint state (or commute exactly — see the
+//!    safety notes on [`ApplyCtx`]), so the result is independent of
+//!    execution order and bit-identical to the sequential reference.
+//! 3. **Apply, boundary tail** (sequential): the caller's thread applies
+//!    the boundary ops in canonical order — ascending shard, and within a
+//!    shard in staging (ascending node) order — and folds the per-shard
+//!    counter deltas. Because shards are contiguous ascending ranges, the
+//!    tail reproduces the reference's global ascending-node order for the
+//!    globally ordered structures, for *any* shard count.
+//!
+//! The phases are executed by a [`WorkerPool`] of `S - 1` long-lived
+//! threads plus the caller's thread, rendezvousing through an epoch-style
+//! ticket barrier (atomics + park/unpark, no mutex, no per-cycle thread
+//! spawns). Shards are *claimed*, not assigned: any participant may
+//! execute any shard's decide or local apply, because the result depends
+//! only on the shard id. On a single-core host the workers park and the
+//! caller claims every ticket inline, so the barrier degenerates to a
+//! handful of uncontended atomic operations per phase — which is what
+//! keeps `--shards 2` within a few percent of `--shards 1` there.
 //!
 //! The plan is runtime-only configuration: it is never serialized and
 //! never enters a checkpoint fingerprint, so a snapshot taken at S shards
@@ -22,7 +42,15 @@
 //! their per-cycle worst case, keeping the steady-state cycle pipeline
 //! allocation-free (see `tests/zero_alloc.rs`).
 
-use crate::network::Assign;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::network::{Assign, InjState, Network};
+use crate::packet::{Flit, PacketsView};
+use crate::ring::{FlitRingsView, IdRingView};
+use crate::wheel::TimerWheelView;
 
 /// One staged routing-stage decision. Ops are applied in staging order,
 /// which per node is: the arbiter cursor update, the winner's allocation
@@ -43,7 +71,8 @@ pub(crate) enum RouteOp {
     /// A losing (or unroutable) requester accrues one blocked cycle.
     Blocked { idx: u32 },
     /// A requester tripped Disha's suspicion predicate: commit it to the
-    /// recovery token queue.
+    /// recovery token queue. Always a boundary op (the token queue is a
+    /// single global FIFO).
     Suspect { idx: u32 },
 }
 
@@ -57,13 +86,22 @@ pub(crate) struct SwitchOp {
 }
 
 /// Per-shard staging buffer: the mailbox decisions travel through between
-/// the parallel decide phase and the sequential apply barrier.
+/// the parallel decide phase and the (parallel local + sequential
+/// boundary) apply. With one shard nothing is classified: every op goes
+/// into the main vectors and is applied inline in staging order.
 #[derive(Debug, Default)]
 pub(crate) struct ShardStage {
-    /// Ops staged by this shard's route decide, in node order.
+    /// Local ops staged by this shard's route decide, in node order.
     pub route_ops: Vec<RouteOp>,
-    /// Ops staged by this shard's switch decide, in (node, port) order.
+    /// Boundary route ops (recovery suspects), applied in the sequential
+    /// tail in staging order.
+    pub route_tail: Vec<RouteOp>,
+    /// Local ops staged by this shard's switch decide, in (node, port)
+    /// order: moves whose downstream VC lies in this shard's own range.
     pub switch_ops: Vec<SwitchOp>,
+    /// Boundary switch ops: deliveries (global delivery-ring FIFO and
+    /// packet release order) and cross-shard flit handoffs.
+    pub switch_tail: Vec<SwitchOp>,
     /// Routers this shard's route decide visited (counter delta, folded
     /// into [`crate::counters::Counters`] at the barrier).
     pub route_visits: u64,
@@ -73,10 +111,20 @@ pub(crate) struct ShardStage {
     /// cycle (counter deltas).
     pub link_stalls: u64,
     pub hotspot_stalls: u64,
-    /// Cumulative ops ever staged into / applied from this buffer. The
-    /// audit's mailbox-conservation invariant: between cycles the two are
-    /// equal and both op vectors are empty — every staged decision was
-    /// applied, none invented.
+    /// Parallel-apply deltas, folded sequentially at the barrier: escape
+    /// allocations and injected packets (counter sums), the net change to
+    /// the full-buffer census (a local op's census change always lands in
+    /// its own shard, so one delta serves both the global count and the
+    /// per-shard census), and whether any flit moved (advances
+    /// `last_progress_at`).
+    pub escape_allocs: u64,
+    pub injected: u64,
+    pub full_delta: i32,
+    pub progressed: bool,
+    /// Cumulative ops ever staged into / applied from this buffer
+    /// (local + boundary). The audit's mailbox-conservation invariant:
+    /// between cycles the two are equal and all four op vectors are
+    /// empty — every staged decision was applied, none invented.
     pub staged_total: u64,
     pub applied_total: u64,
 }
@@ -85,15 +133,18 @@ impl ShardStage {
     fn with_capacity(route_cap: usize, switch_cap: usize) -> Self {
         ShardStage {
             route_ops: Vec::with_capacity(route_cap),
+            route_tail: Vec::with_capacity(route_cap),
             switch_ops: Vec::with_capacity(switch_cap),
+            switch_tail: Vec::with_capacity(switch_cap),
             ..ShardStage::default()
         }
     }
 }
 
 /// The shard partition of one network: contiguous node ranges, the
-/// node→shard map, the per-shard full-buffer census and the per-shard op
-/// buffers. Runtime-only: never serialized, never fingerprinted.
+/// node→shard map, the per-shard full-buffer census, the per-shard op
+/// buffers and (when sharded) the persistent worker pool. Runtime-only:
+/// never serialized, never fingerprinted.
 #[derive(Debug)]
 pub(crate) struct ShardPlan {
     /// Shard `s` owns nodes `bounds[s]..bounds[s + 1]`. Ascending,
@@ -108,6 +159,10 @@ pub(crate) struct ShardPlan {
     pub full_count: Vec<u32>,
     /// Per-shard decision mailboxes.
     pub stages: Vec<ShardStage>,
+    /// Persistent workers executing the parallel phases (`None` with one
+    /// shard). Attached by `Network::set_shards`; dropping the plan joins
+    /// the workers, so no thread outlives the network.
+    pub pool: Option<WorkerPool>,
 }
 
 impl ShardPlan {
@@ -121,7 +176,9 @@ impl ShardPlan {
     /// channels per node (`d + 1`); both size the worst-case per-cycle op
     /// capacity: a router stages at most `fpn + 2` route ops (cursor +
     /// winner + one blocked entry per input feeder) and `nports` switch
-    /// ops (one flit per output channel).
+    /// ops (one flit per output channel). No worker pool is attached
+    /// here — `Network::set_shards` does that, so plan construction in
+    /// tests stays thread-free.
     pub fn new(shards: usize, nodes: usize, fpn: usize, nports: usize) -> Self {
         let shards = shards.clamp(1, nodes.max(1));
         let mut bounds = Vec::with_capacity(shards + 1);
@@ -145,6 +202,7 @@ impl ShardPlan {
             node_shard,
             full_count: vec![0; shards],
             stages,
+            pool: None,
         }
     }
 
@@ -162,6 +220,706 @@ impl ShardPlan {
                 .map(|w| w.count_ones())
                 .sum();
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Raw apply views
+// ---------------------------------------------------------------------
+
+/// Raw shared-mutable slice for the parallel shard-local apply. All
+/// accesses are `unsafe`: the caller asserts that index `i` belongs to
+/// state its shard owns exclusively during the apply phase.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RacySlice<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: sound under ApplyCtx's shard-ownership discipline.
+unsafe impl<T> Send for RacySlice<T> {}
+unsafe impl<T> Sync for RacySlice<T> {}
+
+impl<T: Copy> RacySlice<T> {
+    pub(crate) fn new(s: &mut [T]) -> Self {
+        RacySlice {
+            ptr: s.as_mut_ptr(),
+            len: s.len(),
+        }
+    }
+
+    #[inline]
+    pub(crate) unsafe fn get(&self, i: usize) -> T {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i)
+    }
+
+    #[inline]
+    pub(crate) unsafe fn set(&self, i: usize, v: T) {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) = v;
+    }
+}
+
+/// Raw read-only slice (the precomputed downstream table; immutable for
+/// the lifetime of the network, so shared reads are always sound).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SharedSlice<T> {
+    ptr: *const T,
+    len: usize,
+}
+
+// SAFETY: read-only over immutable data.
+unsafe impl<T> Send for SharedSlice<T> {}
+unsafe impl<T> Sync for SharedSlice<T> {}
+
+impl<T: Copy> SharedSlice<T> {
+    pub(crate) fn new(s: &[T]) -> Self {
+        SharedSlice {
+            ptr: s.as_ptr(),
+            len: s.len(),
+        }
+    }
+
+    #[inline]
+    pub(crate) unsafe fn get(&self, i: usize) -> T {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i)
+    }
+}
+
+/// Atomic bit view over a node bitset ([`crate::activity::NodeSet`]).
+/// One word packs 64 nodes and shard boundaries are not word-aligned, so
+/// summary-bit updates from adjacent shards can share a word: they go
+/// through atomic RMWs, which commute bit-for-bit.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AtomicBits {
+    ptr: *mut u64,
+    words: usize,
+}
+
+// SAFETY: all accesses are atomic RMWs.
+unsafe impl Send for AtomicBits {}
+unsafe impl Sync for AtomicBits {}
+
+impl AtomicBits {
+    pub(crate) fn new(words: &mut [u64]) -> Self {
+        AtomicBits {
+            ptr: words.as_mut_ptr(),
+            words: words.len(),
+        }
+    }
+
+    #[inline]
+    unsafe fn word(&self, w: usize) -> &AtomicU64 {
+        debug_assert!(w < self.words);
+        AtomicU64::from_ptr(self.ptr.add(w))
+    }
+
+    #[inline]
+    pub(crate) unsafe fn insert(&self, node: usize) {
+        self.word(node >> 6)
+            .fetch_or(1u64 << (node & 63), Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) unsafe fn remove(&self, node: usize) {
+        self.word(node >> 6)
+            .fetch_and(!(1u64 << (node & 63)), Ordering::Relaxed);
+    }
+}
+
+/// Raw decomposition of one `&mut Network` for the parallel shard-local
+/// apply, built by `Network::apply_ctx` just before a dispatch.
+///
+/// # Safety discipline (who may write what)
+///
+/// * **Shard-disjoint state** — everything indexed by node or by input/
+///   output VC (`route_rr`, `out_rr`, `vc_assign`, `vc_routed_at`,
+///   `vc_blocked`, `out_alloc`, `inj`, the per-node `vc_*` bit-plane
+///   words, the flit/source rings, wheel deadlines): local ops only ever
+///   touch entries of their own shard's node range (that is the
+///   *definition* of a local op), so plain reads/writes through
+///   [`RacySlice`] never race.
+/// * **Word-shared summaries** (`busy_nodes`, `inj_nodes`, `srcq_nodes`,
+///   wheel bucket words): updated with atomic bit RMWs ([`AtomicBits`],
+///   [`TimerWheelView`]), which commute.
+/// * **`escaped[pid]`** — at most one routing win per packet per cycle:
+///   unique-writer byte store.
+/// * **`packets`** — see [`PacketsView`] for the field-level rules.
+/// * **Global scalars** (counters, `full_buffers`, the per-shard census,
+///   `last_progress_at`) are *not* in the view: local applies accumulate
+///   deltas in their own [`ShardStage`], folded sequentially after the
+///   barrier.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ApplyCtx {
+    pub d: usize,
+    pub v: usize,
+    /// Input-VC feeders per node (`d * v`); the injection feeder's index.
+    pub fpn: usize,
+    /// Output channels per node (`d + 1`).
+    pub nports: usize,
+    pub depth: usize,
+    pub escape_vcs: usize,
+    pub hop_latency: u64,
+    /// Disha detection timeout; 0 in avoidance mode (no wheel).
+    pub recovery_timeout: u64,
+    pub route_rr: RacySlice<usize>,
+    pub out_rr: RacySlice<usize>,
+    pub vc_assign: RacySlice<Assign>,
+    pub vc_routed_at: RacySlice<u64>,
+    pub vc_blocked: RacySlice<u64>,
+    pub out_alloc: RacySlice<bool>,
+    pub inj: RacySlice<InjState>,
+    pub escaped: RacySlice<bool>,
+    pub vc_busy: RacySlice<u64>,
+    pub vc_unrouted: RacySlice<u64>,
+    pub vc_switchable: RacySlice<u64>,
+    pub vc_full: RacySlice<u64>,
+    pub busy_nodes: AtomicBits,
+    pub inj_nodes: AtomicBits,
+    pub srcq_nodes: AtomicBits,
+    pub vc_bufs: FlitRingsView,
+    pub source_q: IdRingView,
+    pub packets: PacketsView,
+    pub wheel: TimerWheelView,
+    pub downstream: SharedSlice<u32>,
+}
+
+impl ApplyCtx {
+    /// Mirror of `Network::set_assign` over the raw view (plain writes:
+    /// the bit-plane words are per-node and shard-owned).
+    #[inline]
+    unsafe fn set_assign_local(&self, idx: usize, a: Assign) {
+        self.vc_assign.set(idx, a);
+        let (node, bit) = (idx / self.fpn, 1u64 << (idx % self.fpn));
+        let (unrouted, switchable) = (self.vc_unrouted, self.vc_switchable);
+        match a {
+            Assign::None | Assign::AwaitToken => {
+                unrouted.set(node, unrouted.get(node) | bit);
+                switchable.set(node, switchable.get(node) & !bit);
+            }
+            Assign::Out { .. } | Assign::Delivery => {
+                unrouted.set(node, unrouted.get(node) & !bit);
+                switchable.set(node, switchable.get(node) | bit);
+            }
+            Assign::Recovery => {
+                unrouted.set(node, unrouted.get(node) & !bit);
+                switchable.set(node, switchable.get(node) & !bit);
+            }
+        }
+    }
+
+    /// Mirror of `Network::note_vc_filled`; census changes become stage
+    /// deltas (the pushed-into VC is in the stage's own shard — that is
+    /// what made the op local).
+    #[inline]
+    unsafe fn note_vc_filled_local(&self, idx: usize, stage: &mut ShardStage) {
+        let (node, f) = (idx / self.fpn, idx % self.fpn);
+        self.vc_busy.set(node, self.vc_busy.get(node) | 1u64 << f);
+        self.busy_nodes.insert(node);
+        let full = u64::from(self.vc_bufs.len(idx) >= self.depth);
+        self.vc_full.set(node, self.vc_full.get(node) | full << f);
+        stage.full_delta += full as i32;
+    }
+
+    /// Mirror of `Network::note_vc_popped`.
+    #[inline]
+    unsafe fn note_vc_popped_local(&self, idx: usize, stage: &mut ShardStage) {
+        let empty = self.vc_bufs.len(idx) == 0;
+        let (node, f) = (idx / self.fpn, idx % self.fpn);
+        let busy = self.vc_busy.get(node) & !(u64::from(empty) << f);
+        self.vc_busy.set(node, busy);
+        if busy == 0 {
+            self.busy_nodes.remove(node);
+        }
+        let was_full = self.vc_full.get(node) >> f & 1;
+        self.vc_full
+            .set(node, self.vc_full.get(node) & !(1u64 << f));
+        stage.full_delta -= was_full as i32;
+    }
+
+    /// Applies one shard's local route ops (mirror of the sequential
+    /// `Network::apply_route_ops`, minus the boundary `Suspect` arm).
+    ///
+    /// # Safety
+    ///
+    /// Caller holds the unique apply ticket for this shard; every op in
+    /// `stage.route_ops` writes only shard-owned state (see the struct
+    /// docs).
+    pub(crate) unsafe fn apply_route_ops_local(&self, now: u64, stage: &mut ShardStage) {
+        stage.applied_total += stage.route_ops.len() as u64;
+        for i in 0..stage.route_ops.len() {
+            match stage.route_ops[i] {
+                RouteOp::Rr { node, cursor } => {
+                    self.route_rr.set(node as usize, usize::from(cursor));
+                }
+                RouteOp::Win {
+                    node,
+                    feeder,
+                    assign,
+                } => {
+                    self.apply_route_win_local(
+                        now,
+                        node as usize,
+                        usize::from(feeder),
+                        assign,
+                        stage,
+                    );
+                }
+                RouteOp::Blocked { idx } => {
+                    let idx = idx as usize;
+                    self.vc_blocked.set(idx, self.vc_blocked.get(idx) + 1);
+                }
+                RouteOp::Suspect { .. } => unreachable!("suspects are boundary ops"),
+            }
+        }
+        stage.route_ops.clear();
+    }
+
+    /// Mirror of `Network::apply_route` over the raw view.
+    unsafe fn apply_route_win_local(
+        &self,
+        now: u64,
+        node: usize,
+        feeder: usize,
+        assign: Assign,
+        stage: &mut ShardStage,
+    ) {
+        let base = node * self.fpn;
+        let (pid, is_inj) = if feeder == self.fpn {
+            (self.source_q.front(node), true)
+        } else {
+            (self.vc_bufs.front_packet(base + feeder), false)
+        };
+        if let Assign::Out { port, vc } = assign {
+            let oidx = (node * self.d + usize::from(port)) * self.v + usize::from(vc);
+            debug_assert!(!self.out_alloc.get(oidx), "allocating an owned VC");
+            self.out_alloc.set(oidx, true);
+            if usize::from(vc) < self.escape_vcs {
+                self.escaped.set(pid as usize, true);
+                stage.escape_allocs += 1;
+            }
+        }
+        if is_inj {
+            let id = self.source_q.pop_front(node);
+            debug_assert_eq!(id, pid);
+            if self.source_q.is_empty(node) {
+                self.srcq_nodes.remove(node);
+            }
+            self.inj_nodes.insert(node);
+            self.inj.set(
+                node,
+                InjState {
+                    active: Some(id),
+                    sent: 0,
+                    assign,
+                    routed_at: now,
+                },
+            );
+        } else {
+            let idx = base + feeder;
+            self.set_assign_local(idx, assign);
+            self.vc_routed_at.set(idx, now);
+            self.vc_blocked.set(idx, 0);
+            if matches!(assign, Assign::Out { .. }) && self.recovery_timeout > 0 {
+                let timeout = self.recovery_timeout;
+                // Safe plain read: no flit moves during the route phase.
+                let last_move = self.packets.last_move_plain(pid);
+                let d = (last_move + timeout)
+                    .next_multiple_of(timeout)
+                    .max(now.next_multiple_of(timeout));
+                self.wheel.schedule(idx, d);
+            }
+        }
+    }
+
+    /// Applies one shard's local switch ops (mirror of the sequential
+    /// `Network::apply_switch_ops`, minus deliveries and cross-shard
+    /// handoffs, which are boundary ops).
+    ///
+    /// # Safety
+    ///
+    /// Caller holds the unique apply ticket for this shard; every move's
+    /// source *and* downstream VC lie in this shard's node range.
+    pub(crate) unsafe fn apply_switch_ops_local(&self, now: u64, stage: &mut ShardStage) {
+        stage.applied_total += stage.switch_ops.len() as u64;
+        for i in 0..stage.switch_ops.len() {
+            let SwitchOp { node, port, pick } = stage.switch_ops[i];
+            let (node, port, pick) = (node as usize, usize::from(port), usize::from(pick));
+            self.out_rr.set(node * self.nports + port, pick + 1);
+            self.move_flit_local(now, node, pick, stage);
+        }
+        stage.switch_ops.clear();
+    }
+
+    /// Mirror of `Network::move_flit` for local (same-shard `Out`) moves.
+    unsafe fn move_flit_local(&self, now: u64, node: usize, f: usize, stage: &mut ShardStage) {
+        let (flit, assign, is_tail) = if f == self.fpn {
+            let mut inj = self.inj.get(node);
+            let pid = inj.active.expect("injection feeder has active packet");
+            let idx = inj.sent;
+            inj.sent += 1;
+            let is_tail = inj.sent == self.packets.len_of(pid);
+            if idx == 0 {
+                self.packets.set_injected_at(pid, now);
+                stage.injected += 1;
+            }
+            let assign = inj.assign;
+            if is_tail {
+                self.inj.set(node, InjState::idle());
+                self.inj_nodes.remove(node);
+            } else {
+                self.inj.set(node, inj);
+            }
+            (
+                Flit {
+                    packet: pid,
+                    idx,
+                    ready_at: now,
+                },
+                assign,
+                is_tail,
+            )
+        } else {
+            let idx = node * self.fpn + f;
+            let flit = self.vc_bufs.pop_front(idx);
+            let assign = self.vc_assign.get(idx);
+            let is_tail = flit.idx + 1 == self.packets.len_of(flit.packet);
+            if is_tail {
+                self.set_assign_local(idx, Assign::None);
+            }
+            self.note_vc_popped_local(idx, stage);
+            (flit, assign, is_tail)
+        };
+
+        self.packets.set_last_move(flit.packet, now);
+        stage.progressed = true;
+        match assign {
+            Assign::Out { port, vc } => {
+                let oidx = (node * self.d + usize::from(port)) * self.v + usize::from(vc);
+                let didx = self.downstream.get(oidx) as usize;
+                if is_tail {
+                    debug_assert!(self.out_alloc.get(oidx));
+                    self.out_alloc.set(oidx, false);
+                }
+                self.vc_bufs.push_back(
+                    didx,
+                    Flit {
+                        ready_at: now + self.hop_latency,
+                        ..flit
+                    },
+                );
+                self.note_vc_filled_local(didx, stage);
+            }
+            Assign::Delivery | Assign::None | Assign::AwaitToken | Assign::Recovery => {
+                unreachable!("deliveries and cross-shard handoffs are boundary ops")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The persistent worker pool
+// ---------------------------------------------------------------------
+
+/// Which per-cycle pass a dispatch executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pass {
+    Route,
+    Switch,
+}
+
+/// One dispatched pass: everything a participant needs to claim and
+/// execute shard work. Published into the pool's job slot before the
+/// tickets open; all pointers are valid for the duration of the pass
+/// (the coordinator blocks in `WorkerPool::run` until every ticket is
+/// claimed and completed).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Job {
+    pub kind: Pass,
+    pub net: *const Network,
+    pub ctx: ApplyCtx,
+    pub stages: *mut ShardStage,
+    pub shards: usize,
+    pub now: u64,
+}
+
+/// Wall-clock split of the cycle pipeline's phases, accumulated only
+/// when explicitly enabled (`Network::set_phase_stats`) — the hot path
+/// pays one branch per phase otherwise. Informational: feeds the bench's
+/// `decide/apply/barrier` time-split metrics, never simulation results.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseStats {
+    /// Nanoseconds the caller's thread spent in decide work.
+    pub decide_ns: u64,
+    /// Nanoseconds spent applying (local ops, boundary tails, folds).
+    pub apply_ns: u64,
+    /// Nanoseconds spent waiting on the ticket barrier for other
+    /// participants (zero when the caller claims every ticket itself).
+    pub barrier_ns: u64,
+}
+
+/// Shared state of one worker pool. The job slot is protected by the
+/// ticket protocol, not a lock: participants may read it only between
+/// winning a ticket (an `AcqRel` RMW on a counter the coordinator reset
+/// with `Release` *after* writing the slot) and bumping the matching
+/// done-counter — so every read is ordered after the write it observes,
+/// and the coordinator's end-of-pass `Acquire` wait orders all reads
+/// before the next overwrite.
+struct PoolShared {
+    /// Shard count, fixed for the pool's lifetime (the pool is rebuilt on
+    /// re-partition).
+    shards: usize,
+    /// The current pass (see the struct docs for the access protocol).
+    job: UnsafeCell<MaybeUninit<Job>>,
+    /// Decide tickets: `fetch_add` < `shards` wins that shard's decide.
+    decide_next: AtomicUsize,
+    /// Decides completed this pass.
+    decide_done: AtomicUsize,
+    /// Local-apply tickets.
+    apply_next: AtomicUsize,
+    /// Local applies completed this pass (the coordinator's completion
+    /// condition).
+    apply_done: AtomicUsize,
+    /// Tells workers to exit (checked in the wait loop and before
+    /// parking).
+    shutdown: AtomicBool,
+    /// Per-worker parked flags, so a dispatch can skip the unpark syscall
+    /// for workers that are spinning (and, on a single-core host, skip
+    /// waking parked workers at all outside rare probes).
+    parked: Vec<AtomicBool>,
+}
+
+use std::cell::UnsafeCell;
+
+// SAFETY: the job slot's access protocol is documented on the struct;
+// everything else is atomic.
+unsafe impl Sync for PoolShared {}
+unsafe impl Send for PoolShared {}
+
+/// Iterations a worker spins on the ticket counter before parking.
+const SPIN_LIMIT: u32 = 1 << 14;
+/// On a single-core host parked workers are not woken per dispatch (the
+/// coordinator claims every ticket faster than a futex wake); they are
+/// re-probed this often in case the core count was misdetected or grows.
+const WAKE_PROBE: u64 = 4096;
+/// Spins before a barrier wait starts yielding the CPU (on one core the
+/// claiming participant needs the timeslice to finish).
+const WAIT_SPINS: u32 = 128;
+
+/// `S - 1` persistent worker threads executing parallel passes for one
+/// shard plan, plus the caller's thread as a full participant. See the
+/// module docs for the protocol. Dropping the pool shuts the workers
+/// down and joins them.
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Whether this host has more than one core: if not, parked workers
+    /// stay parked (the coordinator inlines all work) except for probes.
+    multi: bool,
+    dispatches: u64,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .field("multi", &self.multi)
+            .field("dispatches", &self.dispatches)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool for `shards` shards (`shards - 1` workers; the
+    /// caller's thread is the remaining participant).
+    pub(crate) fn new(shards: usize) -> Self {
+        debug_assert!(shards > 1);
+        let workers = shards - 1;
+        let shared = Arc::new(PoolShared {
+            shards,
+            job: UnsafeCell::new(MaybeUninit::uninit()),
+            // Exhausted until the first dispatch opens the tickets.
+            decide_next: AtomicUsize::new(shards),
+            decide_done: AtomicUsize::new(shards),
+            apply_next: AtomicUsize::new(shards),
+            apply_done: AtomicUsize::new(shards),
+            shutdown: AtomicBool::new(false),
+            parked: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("stcc-shard-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        let multi = std::thread::available_parallelism()
+            .map(|n| n.get() > 1)
+            .unwrap_or(false);
+        WorkerPool {
+            shared,
+            handles,
+            multi,
+            dispatches: 0,
+        }
+    }
+
+    /// Executes one pass to completion: publishes `job`, opens the
+    /// tickets, wakes workers per the host policy, participates from the
+    /// caller's thread, and returns once every shard's decide and local
+    /// apply have landed. The sequential boundary tail is the caller's
+    /// job afterwards.
+    pub(crate) fn run(&mut self, job: Job, stats: Option<&mut PhaseStats>) {
+        let sh = &*self.shared;
+        debug_assert_eq!(job.shards, sh.shards);
+        // SAFETY: tickets are exhausted and the previous pass's Acquire
+        // wait ordered every reader before now — nobody can touch the
+        // slot until the ticket counters below reopen it.
+        unsafe { (*sh.job.get()).write(job) };
+        sh.apply_done.store(0, Ordering::Relaxed);
+        sh.decide_done.store(0, Ordering::Relaxed);
+        sh.apply_next.store(0, Ordering::Release);
+        sh.decide_next.store(0, Ordering::SeqCst);
+        self.dispatches += 1;
+        if self.multi || self.dispatches.is_multiple_of(WAKE_PROBE) {
+            for (w, h) in self.handles.iter().enumerate() {
+                if sh.parked[w].load(Ordering::SeqCst) {
+                    h.thread().unpark();
+                }
+            }
+        }
+        match stats {
+            None => {
+                participate(sh);
+                wait_count(&sh.apply_done, sh.shards);
+            }
+            Some(st) => {
+                let t0 = std::time::Instant::now();
+                decide_claims(sh);
+                let t1 = std::time::Instant::now();
+                wait_count(&sh.decide_done, sh.shards);
+                let t2 = std::time::Instant::now();
+                apply_claims(sh);
+                let t3 = std::time::Instant::now();
+                wait_count(&sh.apply_done, sh.shards);
+                let t4 = std::time::Instant::now();
+                st.decide_ns += (t1 - t0).as_nanos() as u64;
+                st.barrier_ns += ((t2 - t1) + (t4 - t3)).as_nanos() as u64;
+                st.apply_ns += (t3 - t2).as_nanos() as u64;
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for h in &self.handles {
+            h.thread().unpark();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spin-then-yield wait for a completion counter to reach `target`.
+fn wait_count(counter: &AtomicUsize, target: usize) {
+    let mut spins = 0u32;
+    while counter.load(Ordering::Acquire) < target {
+        spins += 1;
+        if spins < WAIT_SPINS {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Claims and executes decide tickets until they run out.
+fn decide_claims(sh: &PoolShared) {
+    loop {
+        let t = sh.decide_next.fetch_add(1, Ordering::AcqRel);
+        if t >= sh.shards {
+            return;
+        }
+        // SAFETY: the winning RMW above reads from (or after) the
+        // coordinator's ticket-opening store, which was released after
+        // the job write — see `PoolShared`.
+        let job = unsafe { (*sh.job.get()).assume_init() };
+        let net = unsafe { &*job.net };
+        let (lo, hi) = (net.plan.bounds[t], net.plan.bounds[t + 1]);
+        // SAFETY: ticket `t` is won exactly once per pass: exclusive.
+        let stage = unsafe { &mut *job.stages.add(t) };
+        match job.kind {
+            Pass::Route => net.route_decide(job.now, lo, hi, stage),
+            Pass::Switch => net.switch_decide(job.now, lo, hi, stage),
+        }
+        sh.decide_done.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// Claims and executes local-apply tickets until they run out. A winner
+/// first waits for every decide to land — the decide→apply barrier.
+/// (The wait sits *inside* the loop so that a straggler from a previous
+/// pass that claims into a fresh pass still honors the new pass's
+/// barrier.)
+fn apply_claims(sh: &PoolShared) {
+    loop {
+        let t = sh.apply_next.fetch_add(1, Ordering::AcqRel);
+        if t >= sh.shards {
+            return;
+        }
+        wait_count(&sh.decide_done, sh.shards);
+        // SAFETY: as in `decide_claims`; additionally the barrier above
+        // orders this read/`&mut` after the decide writer released it.
+        let job = unsafe { (*sh.job.get()).assume_init() };
+        let stage = unsafe { &mut *job.stages.add(t) };
+        match job.kind {
+            Pass::Route => unsafe { job.ctx.apply_route_ops_local(job.now, stage) },
+            Pass::Switch => unsafe { job.ctx.apply_switch_ops_local(job.now, stage) },
+        }
+        sh.apply_done.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// One full pass from any participant's perspective.
+fn participate(sh: &PoolShared) {
+    decide_claims(sh);
+    apply_claims(sh);
+}
+
+/// A worker's life: spin on the ticket counter, participate when a pass
+/// opens, park after a quiet spell (announce-then-recheck so a wake is
+/// never lost), exit on shutdown.
+fn worker_loop(sh: &PoolShared, me: usize) {
+    let mut spins: u32 = 0;
+    loop {
+        if sh.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if sh.decide_next.load(Ordering::SeqCst) < sh.shards {
+            spins = 0;
+            participate(sh);
+            continue;
+        }
+        spins += 1;
+        if spins < SPIN_LIMIT {
+            std::hint::spin_loop();
+            continue;
+        }
+        sh.parked[me].store(true, Ordering::SeqCst);
+        if sh.decide_next.load(Ordering::SeqCst) >= sh.shards
+            && !sh.shutdown.load(Ordering::Acquire)
+        {
+            std::thread::park();
+        }
+        sh.parked[me].store(false, Ordering::SeqCst);
+        spins = 0;
     }
 }
 
@@ -205,5 +963,22 @@ mod tests {
         let mut plan = ShardPlan::new(2, 4, 8, 5);
         plan.rebuild_census(&[0b11, 0b1, 0, 0b111]);
         assert_eq!(plan.full_count, vec![3, 3]);
+    }
+
+    #[test]
+    fn plan_construction_spawns_no_threads() {
+        let plan = ShardPlan::new(8, 64, 8, 5);
+        assert!(plan.pool.is_none(), "pool attachment is set_shards' job");
+    }
+
+    #[test]
+    fn pool_tears_down_cleanly_without_a_dispatch() {
+        // Spawn-and-drop must join promptly even if no pass ever ran
+        // (workers are parked or spinning on exhausted tickets).
+        for _ in 0..3 {
+            let pool = WorkerPool::new(4);
+            assert_eq!(pool.handles.len(), 3);
+            drop(pool);
+        }
     }
 }

@@ -161,6 +161,59 @@ impl TimerWheel {
         let slot = self.slot_of(deadline);
         self.bits[slot * self.words + (idx >> 6)] |= 1u64 << (idx & 63);
     }
+
+    /// Raw shared-mutable view for the parallel shard-local apply (see
+    /// [`crate::shard::ApplyCtx`]). Deadlines are per-VC and shard-owned
+    /// (plain writes); bucket bitset words straddle shard boundaries, so
+    /// the view ORs them atomically.
+    pub(crate) fn view(&mut self) -> TimerWheelView {
+        TimerWheelView {
+            timeout: self.timeout,
+            slots: self.slots,
+            words: self.words,
+            bits: self.bits.as_mut_ptr(),
+            deadline: self.deadline.as_mut_ptr(),
+            n_vcs: self.deadline.len(),
+        }
+    }
+}
+
+/// Raw view into a [`TimerWheel`] for the parallel shard-local apply.
+///
+/// # Safety contract
+///
+/// `schedule` may run concurrently from several shard workers: the
+/// per-VC `deadline` entry is written plainly (each VC has exactly one
+/// owning shard), while the bucket bitset word — shared across shard
+/// boundaries — is set with an atomic OR, commuting with concurrent
+/// enrollments into the same word.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TimerWheelView {
+    timeout: u64,
+    slots: usize,
+    words: usize,
+    bits: *mut u64,
+    deadline: *mut u64,
+    n_vcs: usize,
+}
+
+// SAFETY: deadline writes are shard-disjoint, bucket words atomic.
+unsafe impl Send for TimerWheelView {}
+unsafe impl Sync for TimerWheelView {}
+
+impl TimerWheelView {
+    /// See [`TimerWheel::schedule`]; caller owns VC `idx`'s shard.
+    #[inline]
+    pub(crate) unsafe fn schedule(&self, idx: usize, deadline: u64) {
+        debug_assert!(self.timeout > 0, "scheduling on a disabled wheel");
+        debug_assert!(deadline.is_multiple_of(self.timeout));
+        debug_assert!(idx < self.n_vcs);
+        *self.deadline.add(idx) = deadline;
+        let slot = ((deadline / self.timeout) as usize) % self.slots;
+        let word = self.bits.add(slot * self.words + (idx >> 6));
+        let word = std::sync::atomic::AtomicU64::from_ptr(word);
+        word.fetch_or(1u64 << (idx & 63), std::sync::atomic::Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]

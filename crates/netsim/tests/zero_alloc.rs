@@ -66,9 +66,14 @@ fn saturating_source(nodes: usize) -> impl FnMut(u64, usize) -> Option<usize> {
 /// drained every 32 cycles during measurement — the drain itself must be
 /// allocation-free too — and every 64 during warmup, so the delivery
 /// ring's warmed capacity upper-bounds any measurement-window backlog.
-fn assert_zero_alloc_steady_state(label: &str, cfg: NetConfig) {
+fn assert_zero_alloc_steady_state(label: &str, cfg: NetConfig, shards: usize) {
     let nodes = cfg.node_count();
     let mut net = Network::new(cfg).expect("valid config");
+    // Worker-pool spawn and per-shard op-buffer allocation are one-time
+    // costs paid here, before the warmup; the sharded steady state —
+    // ticket barriers, parallel decides and applies, park/unpark — must
+    // then be exactly as allocation-free as the inline path.
+    net.set_shards(shards);
     let mut src = saturating_source(nodes);
     for c in 0..20_000u64 {
         net.cycle(&mut src, &mut NoControl);
@@ -108,6 +113,7 @@ fn steady_state_cycles_never_allocate() {
             source_queue_cap: 4,
             ..NetConfig::small(DeadlockMode::PAPER_RECOVERY)
         },
+        1,
     );
     // Duato avoidance: exercises escape-channel allocation and the sticky
     // escape flags.
@@ -117,5 +123,17 @@ fn steady_state_cycles_never_allocate() {
             source_queue_cap: 4,
             ..NetConfig::small(DeadlockMode::Avoidance)
         },
+        1,
+    );
+    // Sharded stepping (the `STCC_SHARDS=4` configuration): the persistent
+    // worker pool's dispatch/claim/park cycle and the split local/boundary
+    // apply must allocate nothing once the pool is up.
+    assert_zero_alloc_steady_state(
+        "recovery@shards=4",
+        NetConfig {
+            source_queue_cap: 4,
+            ..NetConfig::small(DeadlockMode::PAPER_RECOVERY)
+        },
+        4,
     );
 }

@@ -11,8 +11,8 @@
 #   9. parallel smoke    (a --jobs 4 sweep through the runner)
 #  10. kill-and-resume   (SIGKILL a sweep mid-run, finish it with --resume)
 #  11. audited sweep     (STCC_AUDIT=256 fig2 run must still match golden)
-#  12. shard gate        (STCC_SHARDS=4 audited sweep vs golden, plus a
-#                         SIGKILL + --resume smoke at STCC_SHARDS=2)
+#  12. shard gate        (STCC_SHARDS=4 and =8 audited sweeps vs golden,
+#                         plus a SIGKILL + --resume smoke at STCC_SHARDS=8)
 #  13. chaos smoke       (fixed-seed chaos trials at random shard counts,
 #                         kill/resume determinism)
 #  14. campaign smoke    (orchestrator retry/quarantine + kill/resume)
@@ -145,21 +145,25 @@ audited_sweep() {
 step "audited sweep (STCC_AUDIT=256 vs golden)" audited_sweep
 
 # Shard gate: intra-network sharding must not change a single output byte.
-# First an audited fig2 sweep stepping every simulation across 4 shards —
-# byte-compared to the same golden the unsharded runs match, with the
-# audit's shard invariants (mailbox conservation, partition disjointness,
-# per-shard census) scanning every 256 cycles. Then the kill-and-resume
-# pattern at STCC_SHARDS=2: a journal written by an unsharded run earlier
-# in this script is interchangeable with a sharded one, and vice versa.
+# First audited fig2 sweeps stepping every simulation across 4 and then 8
+# shards — byte-compared to the same golden the unsharded runs match, with
+# the audit's shard invariants (mailbox conservation including the
+# boundary tails, partition disjointness, per-shard census) scanning every
+# 256 cycles. Then the kill-and-resume pattern at STCC_SHARDS=8: a journal
+# written by an unsharded run earlier in this script is interchangeable
+# with a sharded one, and vice versa, even at the widest shard count the
+# chaos harness draws.
 shard_gate() {
     out=target/ci-shards
-    rm -rf "$out"
-    STCC_SHARDS=4 STCC_AUDIT=256 cargo run --release -q -p experiments --bin fig2 -- \
-        --scale tiny --net small --jobs 2 --out "$out" >/dev/null
-    cmp "$out/fig2.tiny.csv" crates/experiments/tests/golden/fig2.tiny.csv
+    for shards in 4 8; do
+        rm -rf "$out"
+        STCC_SHARDS=$shards STCC_AUDIT=256 cargo run --release -q -p experiments --bin fig2 -- \
+            --scale tiny --net small --jobs 2 --out "$out" >/dev/null
+        cmp "$out/fig2.tiny.csv" crates/experiments/tests/golden/fig2.tiny.csv
+    done
 
     bin=target/release/fig4
-    STCC_SHARDS=2 "$bin" --scale tiny --net small --jobs 1 --out "$out" \
+    STCC_SHARDS=8 "$bin" --scale tiny --net small --jobs 1 --out "$out" \
         >/dev/null 2>&1 &
     pid=$!
     for _ in $(seq 1 500); do
@@ -178,11 +182,11 @@ shard_gate() {
         echo "  (sharded sweep finished before the kill; resume runs fresh)"
     fi
     wait "$pid" 2>/dev/null || true
-    STCC_SHARDS=2 "$bin" --scale tiny --net small --jobs 1 --out "$out" --resume \
+    STCC_SHARDS=8 "$bin" --scale tiny --net small --jobs 1 --out "$out" --resume \
         >/dev/null
     cmp "$out/fig4.tiny.csv" crates/experiments/tests/golden/fig4.tiny.csv
 }
-step "shard gate (STCC_SHARDS=4 vs golden, resume at STCC_SHARDS=2)" shard_gate
+step "shard gate (STCC_SHARDS=4/8 vs golden, resume at STCC_SHARDS=8)" shard_gate
 
 # Chaos smoke: a short fixed-seed slice of the chaos harness — random
 # configs × patterns × fault storms, per-trial audits, a mid-trial
